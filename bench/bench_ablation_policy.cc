@@ -1,0 +1,60 @@
+// Ablation: how much does the learned policy matter? The paper argues
+// (Section 1) that exploring around a *random* feature is ineffective
+// because features are not equally important. This bench compares, on
+// DBpedia-NYTimes batch mode:
+//
+//   learned      - the full ε-greedy Monte Carlo policy (paper defaults)
+//   random       - every action drawn uniformly at random (ε = 1)
+//   no_decay     - learned policy with a constant ε (no GLIE decay)
+//   no_optims    - learned policy without blacklist and rollback
+//
+// The learned policy should dominate on F-measure and converge, while the
+// random policy keeps flooding the candidate set with junk links.
+
+#include "bench_util.h"
+#include "datagen/scenarios.h"
+
+int main() {
+  using namespace alex;
+  const size_t kEpisodes = 30;
+
+  simulation::SimulationConfig learned =
+      bench::MakeConfig(datagen::DbpediaNytimes(), 1000);
+  learned.alex.max_episodes = kEpisodes;
+
+  simulation::SimulationConfig random = learned;
+  random.alex.epsilon = 1.0;
+  random.alex.epsilon_decay = false;
+
+  simulation::SimulationConfig no_decay = learned;
+  no_decay.alex.epsilon_decay = false;
+
+  simulation::SimulationConfig no_optims = learned;
+  no_optims.alex.use_blacklist = false;
+  no_optims.alex.use_rollback = false;
+
+  const simulation::RunResult r_learned =
+      simulation::Simulation(learned).Run();
+  const simulation::RunResult r_random = simulation::Simulation(random).Run();
+  const simulation::RunResult r_nodecay =
+      simulation::Simulation(no_decay).Run();
+  const simulation::RunResult r_nooptims =
+      simulation::Simulation(no_optims).Run();
+
+  const std::vector<std::string> labels = {"learned", "random_policy",
+                                           "no_eps_decay", "no_optims"};
+  const std::vector<const simulation::RunResult*> runs = {
+      &r_learned, &r_random, &r_nodecay, &r_nooptims};
+  bench::PrintComparisonFigure("Ablation: action policy", "F-measure", labels,
+                               runs, bench::ExtractF);
+  bench::PrintComparisonFigure("Ablation: action policy",
+                               "negative feedback %", labels, runs,
+                               bench::ExtractNegPercent);
+  std::printf("\nfinal F: learned=%.3f random=%.3f no_decay=%.3f "
+              "no_optims=%.3f\n",
+              r_learned.final_episode().metrics.f_measure,
+              r_random.final_episode().metrics.f_measure,
+              r_nodecay.final_episode().metrics.f_measure,
+              r_nooptims.final_episode().metrics.f_measure);
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Figure 10 (Appendix D): sensitivity to the step size (exploration band
+// half-width) on DBpedia-NYTimes: (a) F-measure, (b) recall, (c) percent of
+// negative feedback for the first 10 episodes, plus the execution-time
+// comparison discussed in the text (larger steps explore more junk and take
+// longer).
+
+#include "bench_util.h"
+#include "datagen/scenarios.h"
+
+int main() {
+  using namespace alex;
+  const double steps[] = {0.01, 0.05, 0.1};
+  std::vector<simulation::RunResult> results;
+  std::vector<std::string> labels;
+  for (double step : steps) {
+    simulation::SimulationConfig config =
+        bench::MakeConfig(datagen::DbpediaNytimes(), 1000);
+    config.alex.step_size = step;
+    config.alex.max_episodes = 40;
+    results.push_back(simulation::Simulation(config).Run());
+    char label[32];
+    std::snprintf(label, sizeof(label), "step_%.2f", step);
+    labels.push_back(label);
+  }
+  std::vector<const simulation::RunResult*> ptrs;
+  for (const auto& r : results) ptrs.push_back(&r);
+
+  bench::PrintComparisonFigure("Figure 10(a)", "F-measure", labels, ptrs,
+                               bench::ExtractF);
+  bench::PrintComparisonFigure("Figure 10(b)", "recall", labels, ptrs,
+                               bench::ExtractRecall);
+  bench::PrintComparisonFigure("Figure 10(c)", "negative feedback %", labels,
+                               ptrs, bench::ExtractNegPercent,
+                               /*max_episodes=*/11);
+
+  std::printf("\nexecution time (total seconds, including space build):\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    std::printf("  %s: %.2fs (slowest partition build %.2fs)\n",
+                labels[i].c_str(), results[i].total_seconds,
+                results[i].build_seconds_max);
+  }
+  return 0;
+}

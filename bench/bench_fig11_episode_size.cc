@@ -1,0 +1,34 @@
+// Figure 11 (Appendix D): sensitivity to the episode size on
+// DBpedia-NYTimes: F-measure per episode for episode sizes 500, 1000, and
+// 1500, plus the convergence-episode comparison the text reports
+// (larger episodes converge in fewer episodes).
+
+#include "bench_util.h"
+#include "datagen/scenarios.h"
+
+int main() {
+  using namespace alex;
+  const size_t sizes[] = {500, 1000, 1500};
+  std::vector<simulation::RunResult> results;
+  std::vector<std::string> labels;
+  for (size_t size : sizes) {
+    simulation::SimulationConfig config =
+        bench::MakeConfig(datagen::DbpediaNytimes(), size);
+    config.alex.max_episodes = 60;
+    results.push_back(simulation::Simulation(config).Run());
+    labels.push_back("episode_" + std::to_string(size));
+  }
+  std::vector<const simulation::RunResult*> ptrs;
+  for (const auto& r : results) ptrs.push_back(&r);
+
+  bench::PrintComparisonFigure("Figure 11", "F-measure", labels, ptrs,
+                               bench::ExtractF);
+  std::printf("\nconvergence episodes (strict / relaxed):\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    std::printf("  %s: strict=%zu relaxed=%zu final_F=%.3f\n",
+                labels[i].c_str(), results[i].converged_episode,
+                results[i].relaxed_episode,
+                results[i].final_episode().metrics.f_measure);
+  }
+  return 0;
+}

@@ -1,0 +1,23 @@
+// Figure 3: quality of links between OpenCyc and NYTimes, Drugbank, and
+// Lexvo in batch mode (episode size 1000).
+
+#include "bench_util.h"
+#include "datagen/scenarios.h"
+
+int main() {
+  using namespace alex;
+  const struct {
+    const char* title;
+    datagen::ScenarioConfig scenario;
+  } figures[] = {
+      {"Figure 3(a): OpenCyc - NYTimes", datagen::OpencycNytimes()},
+      {"Figure 3(b): OpenCyc - Drugbank", datagen::OpencycDrugbank()},
+      {"Figure 3(c): OpenCyc - Lexvo", datagen::OpencycLexvo()},
+  };
+  for (const auto& fig : figures) {
+    simulation::Simulation sim(bench::MakeConfig(fig.scenario, 1000));
+    const simulation::RunResult result = sim.Run();
+    bench::PrintQualityFigure(fig.title, result);
+  }
+  return 0;
+}

@@ -1,0 +1,27 @@
+// Figure 4: quality of links for specific domains (publications and NBA
+// basketball players) in the interactive single-user setting: episode size
+// 10, so users see quick improvement after a handful of feedback items.
+
+#include "bench_util.h"
+#include "datagen/scenarios.h"
+
+int main() {
+  using namespace alex;
+  const struct {
+    const char* title;
+    datagen::ScenarioConfig scenario;
+  } figures[] = {
+      {"Figure 4(a): DBpedia - Semantic Web Dogfood", datagen::DbpediaSwdf()},
+      {"Figure 4(b): OpenCyc - Semantic Web Dogfood", datagen::OpencycSwdf()},
+      {"Figure 4(c): DBpedia (NBA) - NYTimes", datagen::DbpediaNbaNytimes()},
+      {"Figure 4(d): OpenCyc (NBA) - NYTimes", datagen::OpencycNbaNytimes()},
+  };
+  for (const auto& fig : figures) {
+    simulation::SimulationConfig config = bench::MakeConfig(fig.scenario, 10);
+    config.alex.num_partitions = 4;  // Small interactive datasets.
+    simulation::Simulation sim(config);
+    const simulation::RunResult result = sim.Run();
+    bench::PrintQualityFigure(fig.title, result);
+  }
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Figure 6: effect of the blacklist optimization (Section 6.3) on
+// DBpedia-NYTimes, batch mode: (a) F-measure with vs without the blacklist;
+// (b) percent of negative feedback per episode for the first 10 episodes.
+
+#include "bench_util.h"
+#include "datagen/scenarios.h"
+
+int main() {
+  using namespace alex;
+  simulation::SimulationConfig with_config =
+      bench::MakeConfig(datagen::DbpediaNytimes(), 1000);
+  simulation::SimulationConfig without_config = with_config;
+  without_config.alex.use_blacklist = false;
+
+  const simulation::RunResult with_bl =
+      simulation::Simulation(with_config).Run();
+  const simulation::RunResult without_bl =
+      simulation::Simulation(without_config).Run();
+
+  bench::PrintComparisonFigure(
+      "Figure 6(a): effect of the blacklist", "F-measure",
+      {"with_blacklist", "without_blacklist"}, {&with_bl, &without_bl},
+      bench::ExtractF);
+  bench::PrintComparisonFigure(
+      "Figure 6(b): negative feedback", "percent of feedback",
+      {"with_blacklist", "without_blacklist"}, {&with_bl, &without_bl},
+      bench::ExtractNegPercent, /*max_episodes=*/11);
+  std::printf(
+      "\nconvergence: with_blacklist strict=%zu relaxed=%zu | "
+      "without_blacklist strict=%zu relaxed=%zu\n",
+      with_bl.converged_episode, with_bl.relaxed_episode,
+      without_bl.converged_episode, without_bl.relaxed_episode);
+  return 0;
+}

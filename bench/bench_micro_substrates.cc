@@ -1,0 +1,162 @@
+// Microbenchmarks (google-benchmark) for the substrate layers: similarity
+// kernels, triple-store pattern matching, feature-set construction, link
+// space construction and band queries, and the PARIS fixpoint. These are
+// the per-operation costs behind the figure-level timings.
+
+#include <benchmark/benchmark.h>
+
+#include "core/feature.h"
+#include "core/link_space.h"
+#include "datagen/generator.h"
+#include "paris/paris.h"
+#include "similarity/similarity.h"
+#include "similarity/string_metrics.h"
+#include "sparql/evaluator.h"
+
+namespace {
+
+using namespace alex;
+
+void BM_JaroWinkler(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sim::JaroWinklerSimilarity("Tasopra Elkonomi", "Tasopra Elkonmi"));
+  }
+}
+BENCHMARK(BM_JaroWinkler);
+
+void BM_TrigramDice(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sim::TrigramDiceSimilarity("tasopra elkonomi", "tasopra elkonmi"));
+  }
+}
+BENCHMARK(BM_TrigramDice);
+
+void BM_TokenJaccard(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sim::TokenJaccardSimilarity("tasopra elkonomi", "elkonomi, tasopra"));
+  }
+}
+BENCHMARK(BM_TokenJaccard);
+
+void BM_TermSimilarity(benchmark::State& state) {
+  const rdf::Term a = rdf::Term::Literal("1984-12-30");
+  const rdf::Term b = rdf::Term::Literal("1985-01-15");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::TermSimilarity(a, b));
+  }
+}
+BENCHMARK(BM_TermSimilarity);
+
+datagen::GeneratedPair* BenchPair() {
+  static datagen::GeneratedPair* pair = [] {
+    datagen::ScenarioConfig c;
+    c.seed = 9090;
+    c.num_shared = 200;
+    c.num_left_only = 200;
+    c.num_right_only = 100;
+    c.domains = {"person", "organization"};
+    c.value_noise = 0.4;
+    return new datagen::GeneratedPair(datagen::GenerateScenario(c));
+  }();
+  return pair;
+}
+
+void BM_TripleStoreSubjectLookup(benchmark::State& state) {
+  const auto& ds = BenchPair()->left;
+  const rdf::TermId subject = ds.entity_term(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ds.store().CountMatches(
+        rdf::TriplePattern{subject, rdf::kInvalidTermId, rdf::kInvalidTermId}));
+  }
+}
+BENCHMARK(BM_TripleStoreSubjectLookup);
+
+void BM_TripleStorePredicateScan(benchmark::State& state) {
+  const auto& ds = BenchPair()->left;
+  const rdf::TermId pred = ds.store().DistinctPredicates()[0];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ds.store().CountMatches(
+        rdf::TriplePattern{rdf::kInvalidTermId, pred, rdf::kInvalidTermId}));
+  }
+}
+BENCHMARK(BM_TripleStorePredicateScan);
+
+void BM_ComputeFeatureSet(benchmark::State& state) {
+  const auto* pair = BenchPair();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::ComputeFeatureSet(pair->left, 0, pair->right, 0, 0.3));
+  }
+}
+BENCHMARK(BM_ComputeFeatureSet);
+
+void BM_LinkSpaceBuild(benchmark::State& state) {
+  const auto* pair = BenchPair();
+  std::vector<rdf::EntityId> lefts;
+  for (rdf::EntityId e = 0; e < pair->left.num_entities(); ++e) {
+    lefts.push_back(e);
+  }
+  for (auto _ : state) {
+    core::LinkSpace space;
+    space.Build(pair->left, pair->right, lefts, 0.3, 20000);
+    benchmark::DoNotOptimize(space.size());
+  }
+}
+BENCHMARK(BM_LinkSpaceBuild)->Unit(benchmark::kMillisecond);
+
+void BM_LinkSpaceBandQuery(benchmark::State& state) {
+  const auto* pair = BenchPair();
+  std::vector<rdf::EntityId> lefts;
+  for (rdf::EntityId e = 0; e < pair->left.num_entities(); ++e) {
+    lefts.push_back(e);
+  }
+  static core::LinkSpace* space = [&] {
+    auto* s = new core::LinkSpace();
+    s->Build(pair->left, pair->right, lefts, 0.3, 20000);
+    return s;
+  }();
+  // Feature of the first ground-truth pair in the space.
+  core::FeatureKey feature = 0;
+  for (feedback::PairKey key : pair->truth.pairs()) {
+    const core::FeatureSet* fs = space->FeaturesOf(key);
+    if (fs != nullptr && !fs->empty()) {
+      feature = (*fs)[0].key;
+      break;
+    }
+  }
+  std::vector<feedback::PairKey> out;
+  for (auto _ : state) {
+    out.clear();
+    space->BandQuery(feature, 0.95, 1.0, &out);
+    benchmark::DoNotOptimize(out.size());
+  }
+}
+BENCHMARK(BM_LinkSpaceBandQuery);
+
+void BM_ParisFixpoint(benchmark::State& state) {
+  const auto* pair = BenchPair();
+  for (auto _ : state) {
+    paris::ParisLinker linker(&pair->left, &pair->right);
+    benchmark::DoNotOptimize(linker.Run().size());
+  }
+}
+BENCHMARK(BM_ParisFixpoint)->Unit(benchmark::kMillisecond);
+
+void BM_SparqlBgpJoin(benchmark::State& state) {
+  const auto& ds = BenchPair()->left;
+  const std::string prefix = "http://" + ds.name() + ".example.org/ontology/";
+  const std::string query = "SELECT ?s ?b WHERE { ?s <" + prefix +
+                            "name> ?n . ?s <" + prefix + "birthDate> ?b . }";
+  for (auto _ : state) {
+    auto r = sparql::EvaluateQuery(query, ds);
+    benchmark::DoNotOptimize(r.ok() ? r->NumRows() : 0);
+  }
+}
+BENCHMARK(BM_SparqlBgpJoin)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

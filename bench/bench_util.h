@@ -1,0 +1,89 @@
+#ifndef ALEX_BENCH_BENCH_UTIL_H_
+#define ALEX_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "simulation/simulation.h"
+
+namespace alex::bench {
+
+/// Builds the default simulation configuration for a named figure run.
+inline simulation::SimulationConfig MakeConfig(
+    const datagen::ScenarioConfig& scenario, size_t episode_size) {
+  simulation::SimulationConfig config;
+  config.scenario = scenario;
+  config.alex.episode_size = episode_size;
+  return config;
+}
+
+/// Prints one run in the layout of the paper's quality figures: one row per
+/// episode with the precision / recall / F-measure series, plus the
+/// convergence markers the figures annotate.
+inline void PrintQualityFigure(const char* title,
+                               const simulation::RunResult& result) {
+  std::printf("\n=== %s ===\n", title);
+  std::printf("%8s %10s %8s %10s\n", "episode", "precision", "recall",
+              "f-measure");
+  for (const auto& r : result.episodes) {
+    std::printf("%8zu %10.3f %8.3f %10.3f\n", r.episode, r.metrics.precision,
+                r.metrics.recall, r.metrics.f_measure);
+  }
+  std::printf(
+      "relaxed_convergence(<5%% change)=%zu strict_convergence=%zu "
+      "ground_truth=%zu initial_links=%zu new_links_discovered=%zu\n",
+      result.relaxed_episode, result.converged_episode,
+      result.episodes.back().metrics.ground_truth, result.initial_links,
+      result.new_links_discovered);
+}
+
+/// Prints several runs' series for one metric side by side (episode rows,
+/// one column per run), as the comparison figures do.
+inline void PrintComparisonFigure(
+    const char* title, const char* metric,
+    const std::vector<std::string>& labels,
+    const std::vector<const simulation::RunResult*>& runs,
+    double (*extract)(const simulation::EpisodeRecord&),
+    size_t max_episodes = SIZE_MAX) {
+  std::printf("\n=== %s (%s) ===\n", title, metric);
+  std::printf("%8s", "episode");
+  for (const std::string& label : labels) {
+    std::printf(" %14s", label.c_str());
+  }
+  std::printf("\n");
+  size_t longest = 0;
+  for (const auto* run : runs) {
+    longest = std::max(longest, run->episodes.size());
+  }
+  longest = std::min(longest, max_episodes);
+  for (size_t i = 0; i < longest; ++i) {
+    std::printf("%8zu", i);
+    for (const auto* run : runs) {
+      if (i < run->episodes.size()) {
+        std::printf(" %14.3f", extract(run->episodes[i]));
+      } else {
+        // Converged: the series holds at its final value.
+        std::printf(" %14.3f", extract(run->episodes.back()));
+      }
+    }
+    std::printf("\n");
+  }
+}
+
+inline double ExtractF(const simulation::EpisodeRecord& r) {
+  return r.metrics.f_measure;
+}
+inline double ExtractPrecision(const simulation::EpisodeRecord& r) {
+  return r.metrics.precision;
+}
+inline double ExtractRecall(const simulation::EpisodeRecord& r) {
+  return r.metrics.recall;
+}
+inline double ExtractNegPercent(const simulation::EpisodeRecord& r) {
+  return r.NegativeFeedbackPercent();
+}
+
+}  // namespace alex::bench
+
+#endif  // ALEX_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,105 @@
+// End-to-end walkthrough of the paper's motivating story (Section 1):
+// "Find all New York Times articles about the NBA's MVP of 2013."
+//
+// Two knowledge bases are linked by owl:sameAs links; a federated SPARQL
+// query joins them; the user approves or rejects answers; the feedback —
+// attributed to links through answer provenance — repairs the link set.
+//
+// Run: ./build/examples/federated_query
+
+#include <iostream>
+
+#include "federation/federated_engine.h"
+#include "rdf/dataset.h"
+
+int main() {
+  using namespace alex;
+  using rdf::Term;
+
+  // --- A DBpedia-like knowledge base. ---
+  rdf::Dataset dbpedia("dbpedia");
+  dbpedia.AddLiteralTriple("http://dbpedia.org/LeBron_James",
+                           "http://dbpedia.org/ontology/award",
+                           Term::Literal("NBA MVP 2013"));
+  dbpedia.AddLiteralTriple("http://dbpedia.org/LeBron_James",
+                           "http://dbpedia.org/ontology/name",
+                           Term::Literal("LeBron James"));
+  dbpedia.AddLiteralTriple("http://dbpedia.org/Kevin_Durant",
+                           "http://dbpedia.org/ontology/award",
+                           Term::Literal("NBA MVP 2014"));
+  dbpedia.AddLiteralTriple("http://dbpedia.org/Kevin_Durant",
+                           "http://dbpedia.org/ontology/name",
+                           Term::Literal("Kevin Durant"));
+
+  // --- A New York Times-like knowledge base. ---
+  rdf::Dataset nytimes("nytimes");
+  nytimes.AddIriTriple("http://nyt.com/article/1", "http://nyt.com/about",
+                       "http://nyt.com/person/lebron-james");
+  nytimes.AddLiteralTriple("http://nyt.com/article/1",
+                           "http://nyt.com/headline",
+                           Term::Literal("King James seals fourth MVP"));
+  nytimes.AddIriTriple("http://nyt.com/article/2", "http://nyt.com/about",
+                       "http://nyt.com/person/lebron-james");
+  nytimes.AddLiteralTriple("http://nyt.com/article/2",
+                           "http://nyt.com/headline",
+                           Term::Literal("Heat repeat as champions"));
+  nytimes.AddIriTriple("http://nyt.com/article/3", "http://nyt.com/about",
+                       "http://nyt.com/person/kevin-durant");
+  nytimes.AddLiteralTriple("http://nyt.com/article/3",
+                           "http://nyt.com/headline",
+                           Term::Literal("Durant leads Thunder"));
+
+  // --- Candidate links from an (imperfect) automatic linker. ---
+  fed::LinkIndex links;
+  links.Add("http://dbpedia.org/LeBron_James",
+            "http://nyt.com/person/lebron-james");
+  // An incorrect candidate link the linker also produced:
+  links.Add("http://dbpedia.org/LeBron_James",
+            "http://nyt.com/person/kevin-durant");
+
+  fed::Endpoint dbp(&dbpedia);
+  fed::Endpoint nyt(&nytimes);
+  fed::FederatedEngine engine(&dbp, &nyt, &links);
+
+  const std::string query =
+      "SELECT ?headline WHERE { "
+      "  ?player <http://dbpedia.org/ontology/award> \"NBA MVP 2013\" . "
+      "  ?article <http://nyt.com/about> ?player . "
+      "  ?article <http://nyt.com/headline> ?headline . }";
+
+  std::cout << "Query: all NYT articles about the NBA MVP of 2013\n\n";
+  auto result = engine.ExecuteText(query);
+  if (!result.ok()) {
+    std::cerr << "query failed: " << result.status() << "\n";
+    return 1;
+  }
+  std::cout << "Answers before feedback (" << result->NumRows() << "):\n";
+  for (const fed::ProvenancedRow& row : result->rows) {
+    std::cout << "  " << row.values[0].value << "   [via ";
+    for (const fed::SameAsLink& link : row.links_used) {
+      std::cout << link.left_iri << " = " << link.right_iri << " ";
+    }
+    std::cout << "]\n";
+  }
+
+  // The user recognizes "Durant leads Thunder" as a wrong answer and
+  // rejects it. The row's provenance names the link to blame.
+  std::cout << "\nUser rejects the Durant article. Removing the link its"
+            << " provenance names...\n";
+  for (const fed::ProvenancedRow& row : result->rows) {
+    if (row.values[0].value == "Durant leads Thunder") {
+      for (const fed::SameAsLink& link : row.links_used) {
+        links.Remove(link.left_iri, link.right_iri);
+        std::cout << "  removed " << link.left_iri << " = " << link.right_iri
+                  << "\n";
+      }
+    }
+  }
+
+  auto repaired = engine.ExecuteText(query);
+  std::cout << "\nAnswers after feedback (" << repaired->NumRows() << "):\n";
+  for (const fed::ProvenancedRow& row : repaired->rows) {
+    std::cout << "  " << row.values[0].value << "\n";
+  }
+  return 0;
+}

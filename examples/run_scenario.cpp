@@ -1,0 +1,53 @@
+// Runs any built-in scenario end to end and prints the per-episode quality
+// series, mirroring the paper's figures.
+//
+// Usage:
+//   run_scenario [scenario] [episode_size] [step_size] [error_rate]
+//                [epsilon] [max_links_per_action]
+//   run_scenario --list
+//
+// Example:
+//   ./build/examples/run_scenario dbpedia_drugbank 1000 0.05 0.0
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "datagen/scenarios.h"
+#include "simulation/report.h"
+#include "simulation/simulation.h"
+
+int main(int argc, char** argv) {
+  using namespace alex;
+
+  const std::string name = argc > 1 ? argv[1] : "dbpedia_nytimes";
+  if (name == "--list") {
+    for (const auto& s : datagen::AllScenarios()) {
+      std::cout << s.name << "\n";
+    }
+    return 0;
+  }
+
+  datagen::ScenarioConfig scenario = datagen::ScenarioByName(name);
+  if (scenario.name.empty()) {
+    std::cerr << "unknown scenario '" << name << "' (try --list)\n";
+    return 1;
+  }
+
+  simulation::SimulationConfig config;
+  config.scenario = scenario;
+  if (argc > 2) config.alex.episode_size = std::strtoull(argv[2], nullptr, 10);
+  if (argc > 3) config.alex.step_size = std::strtod(argv[3], nullptr);
+  if (argc > 4) config.feedback_error_rate = std::strtod(argv[4], nullptr);
+  if (argc > 5) config.alex.epsilon = std::strtod(argv[5], nullptr);
+  if (argc > 6) {
+    config.alex.max_links_per_action = std::strtoull(argv[6], nullptr, 10);
+  }
+
+  simulation::Simulation sim(config);
+  const simulation::RunResult result = sim.Run();
+  simulation::PrintEpisodeSeries(result, std::cout);
+  std::cout << "\n";
+  simulation::PrintRunSummary(result, std::cout);
+  return 0;
+}

@@ -1,0 +1,48 @@
+#ifndef ALEX_COMMON_LOGGING_H_
+#define ALEX_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace alex {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global minimum level below which messages are dropped.
+/// Thread-safe. Default is kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// Stream-style single-message emitter; flushes one line to stderr on
+/// destruction. Use via the ALEX_LOG macro, not directly.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace alex
+
+/// Usage: ALEX_LOG(kInfo) << "built " << n << " links";
+#define ALEX_LOG(severity)                                      \
+  ::alex::internal_logging::LogMessage(::alex::LogLevel::severity, \
+                                       __FILE__, __LINE__)
+
+#endif  // ALEX_COMMON_LOGGING_H_

@@ -1,0 +1,78 @@
+#ifndef ALEX_COMMON_RESULT_H_
+#define ALEX_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace alex {
+
+/// Holds either a value of type T or an error Status.
+///
+/// The value accessors assert in debug builds; callers must check `ok()`
+/// first (or use `ValueOr`). An OK Status cannot be stored — constructing a
+/// Result from an OK Status is a programming error and is normalized to an
+/// Internal error so the invariant "has_value() XOR !status().ok()" holds.
+template <typename T>
+class Result {
+ public:
+  /// Implicit so `return value;` works in functions returning Result<T>.
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit so `return Status::NotFound(...)` works.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    if (std::get<Status>(repr_).ok()) {
+      repr_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+  bool has_value() const { return ok(); }
+
+  /// Returns the error status, or OK if a value is held.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(repr_);
+  }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(repr_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the held value, or `fallback` on error.
+  T ValueOr(T fallback) const& { return ok() ? value() : std::move(fallback); }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+/// Assigns the value of a Result expression to `lhs`, or propagates its error
+/// status to the caller.
+#define ALEX_ASSIGN_OR_RETURN(lhs, rexpr)             \
+  auto ALEX_CONCAT_(_res_, __LINE__) = (rexpr);       \
+  if (!ALEX_CONCAT_(_res_, __LINE__).ok())            \
+    return ALEX_CONCAT_(_res_, __LINE__).status();    \
+  lhs = std::move(ALEX_CONCAT_(_res_, __LINE__)).value()
+
+#define ALEX_CONCAT_INNER_(a, b) a##b
+#define ALEX_CONCAT_(a, b) ALEX_CONCAT_INNER_(a, b)
+
+}  // namespace alex
+
+#endif  // ALEX_COMMON_RESULT_H_

@@ -1,0 +1,68 @@
+#ifndef ALEX_COMMON_RNG_H_
+#define ALEX_COMMON_RNG_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace alex {
+
+/// Deterministic, seedable pseudo-random number generator
+/// (xoshiro256** seeded via splitmix64).
+///
+/// Every stochastic component in the library (data generation, the feedback
+/// oracle, the ε-greedy policy) takes an explicit Rng so experiments are
+/// reproducible bit-for-bit across runs. Not thread-safe; give each thread
+/// or partition its own instance (see Fork()).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) { Seed(seed); }
+
+  /// Re-seeds the generator deterministically from a single 64-bit value.
+  void Seed(uint64_t seed);
+
+  /// Returns the next raw 64-bit output.
+  uint64_t Next();
+
+  /// Returns a uniformly distributed double in [0, 1).
+  double UniformDouble();
+
+  /// Returns a uniformly distributed double in [lo, hi).
+  double UniformDouble(double lo, double hi);
+
+  /// Returns a uniformly distributed integer in [0, n). Requires n > 0.
+  uint64_t UniformInt(uint64_t n);
+
+  /// Returns true with probability p (clamped to [0, 1]).
+  bool Bernoulli(double p);
+
+  /// Samples an index in [0, weights.size()) proportionally to the weights.
+  /// Weights must be non-negative; if they sum to zero the draw is uniform.
+  size_t SampleWeighted(const std::vector<double>& weights);
+
+  /// Approximately normal draw (sum of uniforms), mean 0, stddev 1.
+  double Gaussian();
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    if (v->empty()) return;
+    for (size_t i = v->size() - 1; i > 0; --i) {
+      size_t j = static_cast<size_t>(UniformInt(i + 1));
+      std::swap((*v)[i], (*v)[j]);
+    }
+  }
+
+  /// Derives an independent child generator; the parent advances once.
+  /// Used to hand one deterministic stream to each partition/thread.
+  Rng Fork() { return Rng(Next()); }
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace alex
+
+#endif  // ALEX_COMMON_RNG_H_

@@ -1,0 +1,32 @@
+#ifndef ALEX_COMMON_STOPWATCH_H_
+#define ALEX_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace alex {
+
+/// Monotonic wall-clock timer used by the experiment harness to report
+/// per-episode and total execution times (paper Section 7.3).
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the timer.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction or the last Reset, in seconds.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in milliseconds.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace alex
+
+#endif  // ALEX_COMMON_STOPWATCH_H_

@@ -1,0 +1,37 @@
+#ifndef ALEX_COMMON_STRING_UTIL_H_
+#define ALEX_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace alex {
+
+/// Returns a lowercase (ASCII) copy of `s`.
+std::string ToLowerAscii(std::string_view s);
+
+/// Strips ASCII whitespace from both ends.
+std::string_view TrimAscii(std::string_view s);
+
+/// Splits on a single character; empty fields are kept.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Splits on runs of ASCII whitespace; empty tokens are dropped.
+std::vector<std::string> SplitWhitespace(std::string_view s);
+
+/// Joins pieces with `sep`.
+std::string Join(const std::vector<std::string>& pieces, std::string_view sep);
+
+/// Replaces every occurrence of `from` (non-empty) with `to`.
+std::string ReplaceAll(std::string_view s, std::string_view from,
+                       std::string_view to);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Lowercased alphanumeric word tokens, for token-based similarity.
+std::vector<std::string> WordTokens(std::string_view s);
+
+}  // namespace alex
+
+#endif  // ALEX_COMMON_STRING_UTIL_H_

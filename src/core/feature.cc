@@ -1,0 +1,77 @@
+#include "core/feature.h"
+
+#include <algorithm>
+
+#include "similarity/similarity.h"
+#include "similarity/value.h"
+
+namespace alex::core {
+
+FeatureSet ComputeFeatureSet(const rdf::Dataset& left, rdf::EntityId left_e,
+                             const rdf::Dataset& right, rdf::EntityId right_e,
+                             double theta) {
+  const auto& la = left.attributes(left_e);
+  const auto& ra = right.attributes(right_e);
+  if (la.empty() || ra.empty()) return {};
+
+  // Parse each attribute value once.
+  std::vector<sim::TypedValue> lv;
+  lv.reserve(la.size());
+  for (const rdf::Attribute& a : la) {
+    lv.push_back(sim::ParseValue(left.dict().term(a.object)));
+  }
+  std::vector<sim::TypedValue> rv;
+  rv.reserve(ra.size());
+  for (const rdf::Attribute& a : ra) {
+    rv.push_back(sim::ParseValue(right.dict().term(a.object)));
+  }
+
+  // Similarity matrix, reduced along the larger dimension (Section 4.1):
+  // per left attribute if the left entity has more attributes, else per
+  // right attribute, keeping the best-matching opposite attribute.
+  FeatureSet raw;
+  const bool reduce_rows = la.size() >= ra.size();
+  const size_t outer = reduce_rows ? la.size() : ra.size();
+  const size_t inner = reduce_rows ? ra.size() : la.size();
+  for (size_t i = 0; i < outer; ++i) {
+    double best = 0.0;
+    size_t best_j = 0;
+    for (size_t j = 0; j < inner; ++j) {
+      const size_t li = reduce_rows ? i : j;
+      const size_t rj = reduce_rows ? j : i;
+      const double s = sim::ValueSimilarity(lv[li], rv[rj]);
+      if (s > best) {
+        best = s;
+        best_j = j;
+      }
+    }
+    if (best < theta) continue;
+    const size_t li = reduce_rows ? i : best_j;
+    const size_t rj = reduce_rows ? best_j : i;
+    raw.push_back(FeatureValue{
+        MakeFeatureKey(la[li].predicate, ra[rj].predicate), best});
+  }
+
+  // Deduplicate by feature key, keeping the maximum score (an entity can
+  // carry several values for the same predicate).
+  std::sort(raw.begin(), raw.end(), [](const FeatureValue& a,
+                                       const FeatureValue& b) {
+    return a.key != b.key ? a.key < b.key : a.score > b.score;
+  });
+  FeatureSet out;
+  for (const FeatureValue& f : raw) {
+    if (out.empty() || out.back().key != f.key) out.push_back(f);
+  }
+  return out;
+}
+
+std::string FeatureName(const rdf::Dataset& left, const rdf::Dataset& right,
+                        FeatureKey key) {
+  const std::string_view lp =
+      sim::IriLocalName(left.dict().term(FeatureLeftPred(key)).value);
+  const std::string_view rp =
+      sim::IriLocalName(right.dict().term(FeatureRightPred(key)).value);
+  return "(" + std::string(lp) + ", " + std::string(rp) + ")";
+}
+
+}  // namespace alex::core

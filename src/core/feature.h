@@ -1,0 +1,55 @@
+#ifndef ALEX_CORE_FEATURE_H_
+#define ALEX_CORE_FEATURE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rdf/dataset.h"
+
+namespace alex::core {
+
+/// Identifies one feature: a (left predicate, right predicate) pair, packed
+/// as left TermId in the high 32 bits and right TermId in the low 32 bits.
+/// In the paper (Section 4.1) a feature is an attribute pair whose value is
+/// the similarity score of the two attributes' objects.
+using FeatureKey = uint64_t;
+
+inline FeatureKey MakeFeatureKey(rdf::TermId left_pred, rdf::TermId right_pred) {
+  return (static_cast<uint64_t>(left_pred) << 32) |
+         static_cast<uint64_t>(right_pred);
+}
+inline rdf::TermId FeatureLeftPred(FeatureKey key) {
+  return static_cast<rdf::TermId>(key >> 32);
+}
+inline rdf::TermId FeatureRightPred(FeatureKey key) {
+  return static_cast<rdf::TermId>(key & 0xffffffffULL);
+}
+
+/// One feature of a state feature set: the attribute pair and its score.
+struct FeatureValue {
+  FeatureKey key = 0;
+  double score = 0.0;
+};
+
+/// The state feature set `sf` of a link (Section 4.1): the θ-filtered
+/// similarity matrix between the two entities' attributes, reduced to the
+/// per-row maxima if the left entity has more attributes (or per-column
+/// maxima otherwise). Sorted by key; one entry per distinct attribute pair.
+using FeatureSet = std::vector<FeatureValue>;
+
+/// Computes the state feature set for the entity pair (left_e, right_e).
+///
+/// Scores below `theta` are discarded (Section 6.1). An empty result means
+/// the pair does not belong to the search space.
+FeatureSet ComputeFeatureSet(const rdf::Dataset& left, rdf::EntityId left_e,
+                             const rdf::Dataset& right, rdf::EntityId right_e,
+                             double theta);
+
+/// Human-readable feature name, e.g. "(name, label)".
+std::string FeatureName(const rdf::Dataset& left, const rdf::Dataset& right,
+                        FeatureKey key);
+
+}  // namespace alex::core
+
+#endif  // ALEX_CORE_FEATURE_H_

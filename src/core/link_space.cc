@@ -1,0 +1,133 @@
+#include "core/link_space.h"
+
+#include <algorithm>
+#include <string>
+#include <unordered_set>
+
+#include "common/string_util.h"
+#include "similarity/value.h"
+
+namespace alex::core {
+namespace {
+
+using rdf::Dataset;
+using rdf::EntityId;
+
+/// Blocking keys for one attribute value: the full normalized value, its
+/// word tokens, and a 5-character prefix per longer token (tolerates tail typos).
+void CollectBlockingKeys(const Dataset& ds, rdf::TermId object,
+                         std::unordered_set<std::string>* keys) {
+  const rdf::Term& t = ds.dict().term(object);
+  const std::string norm = ToLowerAscii(
+      t.is_iri() ? std::string(sim::IriLocalName(t.value)) : t.value);
+  if (norm.empty()) return;
+  keys->insert("v:" + norm);
+  for (const std::string& tok : WordTokens(norm)) {
+    if (tok.size() < 2) continue;
+    keys->insert("t:" + tok);
+    if (tok.size() >= 6) keys->insert("p:" + tok.substr(0, 5));
+  }
+}
+
+std::unordered_set<std::string> EntityBlockingKeys(const Dataset& ds,
+                                                   EntityId e) {
+  std::unordered_set<std::string> keys;
+  for (const rdf::Attribute& a : ds.attributes(e)) {
+    CollectBlockingKeys(ds, a.object, &keys);
+  }
+  return keys;
+}
+
+}  // namespace
+
+void LinkSpace::Build(const Dataset& left, const Dataset& right,
+                      const std::vector<EntityId>& left_entities, double theta,
+                      size_t max_block_pairs) {
+  index_.clear();
+  pairs_.clear();
+  feature_sets_.clear();
+  feature_index_.clear();
+  stats_ = BuildStats{};
+  stats_.total_possible = static_cast<uint64_t>(left_entities.size()) *
+                          static_cast<uint64_t>(right.num_entities());
+
+  // Invert the right dataset by blocking key.
+  std::unordered_map<std::string, std::vector<EntityId>> right_blocks;
+  for (EntityId r = 0; r < right.num_entities(); ++r) {
+    for (const std::string& key : EntityBlockingKeys(right, r)) {
+      right_blocks[key].push_back(r);
+    }
+  }
+  // Count left-subset entities per key so oversized blocks can be skipped.
+  std::unordered_map<std::string, size_t> left_key_counts;
+  for (EntityId l : left_entities) {
+    for (const std::string& key : EntityBlockingKeys(left, l)) {
+      ++left_key_counts[key];
+    }
+  }
+
+  // A key proposing a sizable fraction of the whole cross product is a stop
+  // value regardless of the absolute cap (e.g. a shared rdf:type class at
+  // small scale); such blocks carry no identifying signal.
+  const uint64_t relative_cap =
+      std::max<uint64_t>(100, stats_.total_possible / 20);
+  const uint64_t effective_cap =
+      std::min<uint64_t>(max_block_pairs, relative_cap);
+
+  std::unordered_set<PairKey> evaluated;
+  for (EntityId l : left_entities) {
+    for (const std::string& key : EntityBlockingKeys(left, l)) {
+      auto rit = right_blocks.find(key);
+      if (rit == right_blocks.end()) continue;
+      const uint64_t block_size =
+          static_cast<uint64_t>(left_key_counts[key]) * rit->second.size();
+      if (block_size > effective_cap) continue;  // Stop value.
+      for (EntityId r : rit->second) {
+        const PairKey pair = feedback::PackPair(l, r);
+        if (!evaluated.insert(pair).second) continue;
+        FeatureSet fs = ComputeFeatureSet(left, l, right, r, theta);
+        if (fs.empty()) continue;
+        const uint32_t ordinal = static_cast<uint32_t>(pairs_.size());
+        index_.emplace(pair, ordinal);
+        pairs_.push_back(pair);
+        feature_sets_.push_back(std::move(fs));
+      }
+    }
+  }
+  stats_.candidate_pairs = evaluated.size();
+  stats_.kept_pairs = pairs_.size();
+
+  for (uint32_t ordinal = 0; ordinal < pairs_.size(); ++ordinal) {
+    for (const FeatureValue& f : feature_sets_[ordinal]) {
+      feature_index_[f.key].emplace_back(static_cast<float>(f.score), ordinal);
+      ++stats_.features_indexed;
+    }
+  }
+  max_feature_count_ = 0;
+  for (auto& [key, entries] : feature_index_) {
+    std::sort(entries.begin(), entries.end());
+    max_feature_count_ = std::max(max_feature_count_, entries.size());
+  }
+}
+
+const FeatureSet* LinkSpace::FeaturesOf(PairKey pair) const {
+  auto it = index_.find(pair);
+  if (it == index_.end()) return nullptr;
+  return &feature_sets_[it->second];
+}
+
+void LinkSpace::BandQuery(FeatureKey f, double lo, double hi,
+                          std::vector<PairKey>* out) const {
+  auto it = feature_index_.find(f);
+  if (it == feature_index_.end()) return;
+  const auto& entries = it->second;
+  auto begin = std::lower_bound(
+      entries.begin(), entries.end(),
+      std::make_pair(static_cast<float>(lo), uint32_t{0}));
+  for (auto cur = begin; cur != entries.end(); ++cur) {
+    if (cur->first > static_cast<float>(hi)) break;
+    out->push_back(pairs_[cur->second]);
+  }
+}
+
+}  // namespace alex::core

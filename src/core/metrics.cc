@@ -1,0 +1,28 @@
+#include "core/metrics.h"
+
+namespace alex::core {
+
+LinkSetMetrics ComputeMetrics(
+    const std::unordered_set<feedback::PairKey>& candidates,
+    const feedback::GroundTruth& truth) {
+  LinkSetMetrics m;
+  m.candidates = candidates.size();
+  m.ground_truth = truth.size();
+  for (feedback::PairKey key : candidates) {
+    if (truth.Contains(key)) ++m.correct;
+  }
+  if (m.candidates > 0) {
+    m.precision = static_cast<double>(m.correct) /
+                  static_cast<double>(m.candidates);
+  }
+  if (m.ground_truth > 0) {
+    m.recall = static_cast<double>(m.correct) /
+               static_cast<double>(m.ground_truth);
+  }
+  if (m.precision + m.recall > 0.0) {
+    m.f_measure = 2.0 * m.precision * m.recall / (m.precision + m.recall);
+  }
+  return m;
+}
+
+}  // namespace alex::core

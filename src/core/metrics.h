@@ -1,0 +1,28 @@
+#ifndef ALEX_CORE_METRICS_H_
+#define ALEX_CORE_METRICS_H_
+
+#include <unordered_set>
+
+#include "feedback/ground_truth.h"
+
+namespace alex::core {
+
+/// Link-set quality as reported in the paper's figures:
+/// P = |C∩G| / |C|,  R = |C∩G| / |G|,  F = 2PR/(P+R)  (Section 7.1).
+struct LinkSetMetrics {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f_measure = 0.0;
+  size_t correct = 0;
+  size_t candidates = 0;
+  size_t ground_truth = 0;
+};
+
+/// Computes metrics of a candidate link set against the ground truth.
+LinkSetMetrics ComputeMetrics(
+    const std::unordered_set<feedback::PairKey>& candidates,
+    const feedback::GroundTruth& truth);
+
+}  // namespace alex::core
+
+#endif  // ALEX_CORE_METRICS_H_

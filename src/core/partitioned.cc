@@ -1,0 +1,144 @@
+#include "core/partitioned.h"
+
+#include <thread>
+
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
+
+namespace alex::core {
+
+PartitionedAlex::PartitionedAlex(const rdf::Dataset* left,
+                                 const rdf::Dataset* right,
+                                 const AlexConfig& config)
+    : left_(left), right_(right), config_(config) {
+  size_t n = config_.num_partitions;
+  if (n == 0) n = 1;
+  partition_entities_.resize(n);
+  for (rdf::EntityId e = 0; e < left_->num_entities(); ++e) {
+    partition_entities_[e % n].push_back(e);
+  }
+  Rng seeder(config_.seed);
+  for (size_t p = 0; p < n; ++p) {
+    spaces_.push_back(std::make_unique<LinkSpace>());
+    engines_.push_back(
+        std::make_unique<AlexEngine>(spaces_[p].get(), config_, seeder.Next()));
+  }
+}
+
+ThreadPool* PartitionedAlex::pool() {
+  if (!pool_) {
+    size_t threads = config_.num_threads;
+    if (threads == 0) {
+      threads = std::max<size_t>(1, std::thread::hardware_concurrency());
+    }
+    pool_ = std::make_unique<ThreadPool>(std::min(threads, spaces_.size()));
+  }
+  return pool_.get();
+}
+
+std::vector<double> PartitionedAlex::Build() {
+  const size_t n = spaces_.size();
+  std::vector<double> seconds(n, 0.0);
+  ParallelFor(pool(), n, [this, &seconds](size_t p) {
+    Stopwatch watch;
+    spaces_[p]->Build(*left_, *right_, partition_entities_[p], config_.theta,
+                      config_.max_block_pairs);
+    seconds[p] = watch.ElapsedSeconds();
+  });
+  return seconds;
+}
+
+void PartitionedAlex::InitializeCandidates(
+    const std::vector<paris::ScoredLink>& links) {
+  std::vector<PairKey> keys;
+  keys.reserve(links.size());
+  for (const paris::ScoredLink& link : links) {
+    keys.push_back(feedback::PackPair(link.left, link.right));
+  }
+  InitializeCandidates(keys);
+}
+
+void PartitionedAlex::InitializeCandidates(const std::vector<PairKey>& links) {
+  std::vector<std::vector<PairKey>> routed(engines_.size());
+  for (PairKey key : links) {
+    routed[PartitionOf(feedback::PairLeft(key))].push_back(key);
+  }
+  for (size_t p = 0; p < engines_.size(); ++p) {
+    engines_[p]->InitializeCandidates(routed[p]);
+  }
+}
+
+void PartitionedAlex::ProcessFeedback(const feedback::FeedbackItem& item) {
+  engines_[PartitionOf(item.left)]->ProcessFeedback(item);
+}
+
+void PartitionedAlex::ProcessFeedbackBatch(
+    const std::vector<feedback::FeedbackItem>& items) {
+  std::vector<std::vector<feedback::FeedbackItem>> routed(engines_.size());
+  for (const feedback::FeedbackItem& item : items) {
+    routed[PartitionOf(item.left)].push_back(item);
+  }
+  ParallelFor(pool(), engines_.size(), [this, &routed](size_t p) {
+    for (const feedback::FeedbackItem& item : routed[p]) {
+      engines_[p]->ProcessFeedback(item);
+    }
+  });
+}
+
+EngineEpisodeStats PartitionedAlex::EndEpisode() {
+  EngineEpisodeStats total;
+  for (auto& engine : engines_) {
+    const EngineEpisodeStats s = engine->EndEpisode();
+    total.feedback_items += s.feedback_items;
+    total.positive_items += s.positive_items;
+    total.negative_items += s.negative_items;
+    total.links_added += s.links_added;
+    total.links_removed += s.links_removed;
+    total.rollbacks += s.rollbacks;
+  }
+  return total;
+}
+
+std::unordered_set<PairKey> PartitionedAlex::Candidates() const {
+  std::unordered_set<PairKey> out;
+  for (const auto& engine : engines_) {
+    out.insert(engine->candidates().begin(), engine->candidates().end());
+  }
+  return out;
+}
+
+std::vector<PairKey> PartitionedAlex::CandidateVector() const {
+  std::vector<PairKey> out;
+  out.reserve(NumCandidates());
+  for (const auto& engine : engines_) {
+    out.insert(out.end(), engine->candidates().begin(),
+               engine->candidates().end());
+  }
+  return out;
+}
+
+size_t PartitionedAlex::NumCandidates() const {
+  size_t n = 0;
+  for (const auto& engine : engines_) n += engine->candidates().size();
+  return n;
+}
+
+size_t PartitionedAlex::TotalExploredLinks() const {
+  size_t n = 0;
+  for (const auto& engine : engines_) n += engine->total_explored_links();
+  return n;
+}
+
+LinkSpace::BuildStats PartitionedAlex::AggregatedSpaceStats() const {
+  LinkSpace::BuildStats total;
+  for (const auto& space : spaces_) {
+    const LinkSpace::BuildStats& s = space->stats();
+    total.total_possible += s.total_possible;
+    total.candidate_pairs += s.candidate_pairs;
+    total.kept_pairs += s.kept_pairs;
+    total.features_indexed += s.features_indexed;
+  }
+  return total;
+}
+
+}  // namespace alex::core

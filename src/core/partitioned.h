@@ -1,0 +1,82 @@
+#ifndef ALEX_CORE_PARTITIONED_H_
+#define ALEX_CORE_PARTITIONED_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/engine.h"
+#include "paris/paris.h"
+
+namespace alex::core {
+
+/// Equal-size partitioned ALEX (Section 6.2): the larger (left) dataset is
+/// split round-robin — entity i belongs to partition i mod n — and each
+/// partition owns an independent LinkSpace and AlexEngine pairing its left
+/// entities with the whole right dataset. Partition link spaces are built
+/// in parallel on a thread pool; feedback is routed to the partition that
+/// owns the link's left entity.
+class PartitionedAlex {
+ public:
+  /// Datasets are borrowed and must outlive this object.
+  PartitionedAlex(const rdf::Dataset* left, const rdf::Dataset* right,
+                  const AlexConfig& config);
+
+  /// Builds every partition's link space (the preprocessing step).
+  /// Returns per-partition build seconds (Section 7.3 reports the slowest).
+  std::vector<double> Build();
+
+  /// Seeds candidates from an automatic linker's output.
+  void InitializeCandidates(const std::vector<paris::ScoredLink>& links);
+  void InitializeCandidates(const std::vector<PairKey>& links);
+
+  /// Routes one feedback item to its partition's engine.
+  void ProcessFeedback(const feedback::FeedbackItem& item);
+
+  /// Routes a batch of feedback items and processes the partitions in
+  /// parallel on the worker pool (Section 6.2: partitions are independent,
+  /// so "feedback can be directed to all partitions"). Item order within a
+  /// partition is preserved, so the result equals processing the batch
+  /// sequentially.
+  void ProcessFeedbackBatch(const std::vector<feedback::FeedbackItem>& items);
+
+  /// Ends the episode on every partition; returns aggregated stats.
+  EngineEpisodeStats EndEpisode();
+
+  /// Union of all partitions' candidate sets.
+  std::unordered_set<PairKey> Candidates() const;
+  std::vector<PairKey> CandidateVector() const;
+  size_t NumCandidates() const;
+
+  size_t num_partitions() const { return engines_.size(); }
+  size_t PartitionOf(rdf::EntityId left_entity) const {
+    return left_entity % engines_.size();
+  }
+  const AlexEngine& engine(size_t partition) const {
+    return *engines_[partition];
+  }
+  const LinkSpace& space(size_t partition) const {
+    return *spaces_[partition];
+  }
+
+  /// Total distinct links ever added by exploration, across partitions.
+  size_t TotalExploredLinks() const;
+
+  /// Aggregated link-space stats (Figure 5 reports partition 0's).
+  LinkSpace::BuildStats AggregatedSpaceStats() const;
+
+ private:
+  ThreadPool* pool();
+
+  const rdf::Dataset* left_;
+  const rdf::Dataset* right_;
+  AlexConfig config_;
+  std::vector<std::vector<rdf::EntityId>> partition_entities_;
+  std::vector<std::unique_ptr<LinkSpace>> spaces_;
+  std::vector<std::unique_ptr<AlexEngine>> engines_;
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace alex::core
+
+#endif  // ALEX_CORE_PARTITIONED_H_

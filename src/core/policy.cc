@@ -1,0 +1,120 @@
+#include "core/policy.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace alex::core {
+
+std::optional<FeatureKey> EpsilonGreedyPolicy::ChooseAction(
+    PairKey state, const FeatureSet& actions, const ActionPrior& prior) {
+  if (actions.empty()) return std::nullopt;
+
+  // ε branch: uniform random exploration.
+  if (rng_.Bernoulli(epsilon_)) {
+    return actions[static_cast<size_t>(rng_.UniformInt(actions.size()))].key;
+  }
+
+  // Greedy branch. The state's recorded greedy action (from the last
+  // policy improvement) wins if still available.
+  auto git = greedy_.find(state);
+  if (git != greedy_.end()) {
+    for (const FeatureValue& f : actions) {
+      if (f.key == git->second) return f.key;
+    }
+  }
+
+  // Otherwise score every action: the state's own Q when known, else the
+  // global per-feature average return, else the cold-start prior — an
+  // untried feature beats one known to be bad, and loses to one known to
+  // be good.
+  std::optional<FeatureKey> best;
+  double best_q = 0.0;
+  ties_.clear();
+  for (const FeatureValue& f : actions) {
+    double q;
+    auto it = returns_.find(StateAction{state, f.key});
+    if (it != returns_.end()) {
+      q = it->second.q();
+    } else {
+      auto global = global_returns_.find(f.key);
+      if (global != global_returns_.end()) {
+        q = global->second.q();
+      } else {
+        q = prior ? prior(f.key) : 0.0;
+      }
+    }
+    if (!best.has_value() || q > best_q) {
+      best = f.key;
+      best_q = q;
+      ties_.clear();
+      ties_.push_back(f.key);
+    } else if (q == best_q) {
+      ties_.push_back(f.key);
+    }
+  }
+  // Break exact ties randomly so equally scored actions all get explored.
+  if (ties_.size() > 1) {
+    return ties_[static_cast<size_t>(rng_.UniformInt(ties_.size()))];
+  }
+  return best;
+}
+
+void EpsilonGreedyPolicy::RecordReturn(const StateAction& sa, double reward) {
+  Stats& s = returns_[sa];
+  s.sum += reward;
+  ++s.count;
+  Stats& g = global_returns_[sa.action];
+  g.sum += reward;
+  ++g.count;
+}
+
+void EpsilonGreedyPolicy::Improve(const std::vector<PairKey>& episode_states) {
+  // argmax_a Q(s, a) for every episode state, in one pass over the returns.
+  const std::unordered_set<PairKey> in_episode(episode_states.begin(),
+                                               episode_states.end());
+  std::unordered_map<PairKey, std::pair<FeatureKey, double>> best;
+  for (const auto& [sa, stats] : returns_) {
+    if (!in_episode.count(sa.state)) continue;
+    const double q = stats.q();
+    auto it = best.find(sa.state);
+    if (it == best.end() || q > it->second.second) {
+      best[sa.state] = {sa.action, q};
+    }
+  }
+  for (const auto& [state, action_q] : best) {
+    greedy_[state] = action_q.first;
+  }
+}
+
+std::optional<double> EpsilonGreedyPolicy::Q(const StateAction& sa) const {
+  auto it = returns_.find(sa);
+  if (it == returns_.end()) return std::nullopt;
+  return it->second.q();
+}
+
+std::optional<double> EpsilonGreedyPolicy::GlobalQ(FeatureKey action) const {
+  auto it = global_returns_.find(action);
+  if (it == global_returns_.end()) return std::nullopt;
+  return it->second.q();
+}
+
+std::vector<std::pair<FeatureKey, double>>
+EpsilonGreedyPolicy::GlobalActionValues() const {
+  std::vector<std::pair<FeatureKey, double>> out;
+  out.reserve(global_returns_.size());
+  for (const auto& [action, stats] : global_returns_) {
+    out.emplace_back(action, stats.q());
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  return out;
+}
+
+std::optional<FeatureKey> EpsilonGreedyPolicy::GreedyAction(
+    PairKey state) const {
+  auto it = greedy_.find(state);
+  if (it == greedy_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace alex::core

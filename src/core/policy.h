@@ -1,0 +1,115 @@
+#ifndef ALEX_CORE_POLICY_H_
+#define ALEX_CORE_POLICY_H_
+
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/feature.h"
+#include "feedback/ground_truth.h"
+
+namespace alex::core {
+
+using feedback::PairKey;
+
+/// A state-action pair: the link (state) and the feature explored around
+/// (action). See paper Sections 4.1-4.2.
+struct StateAction {
+  PairKey state = 0;
+  FeatureKey action = 0;
+
+  friend bool operator==(const StateAction& a, const StateAction& b) {
+    return a.state == b.state && a.action == b.action;
+  }
+};
+
+struct StateActionHash {
+  size_t operator()(const StateAction& sa) const {
+    // 64-bit mix of the two keys.
+    uint64_t h = sa.state * 0x9e3779b97f4a7c15ULL;
+    h ^= sa.action + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    return static_cast<size_t>(h);
+  }
+};
+
+/// ε-greedy stochastic policy with first-visit Monte Carlo action-value
+/// estimation (Algorithm 1).
+///
+/// Per-state Q tables are kept exactly as the paper specifies; in addition
+/// a global per-feature average return acts as a prior for states that have
+/// never been visited (this is how ALEX "learns that a feature is not
+/// distinctive and avoids exploring around it in the future" — Section 4.2 —
+/// before a particular state is ever revisited).
+class EpsilonGreedyPolicy {
+ public:
+  EpsilonGreedyPolicy(double epsilon, uint64_t seed)
+      : epsilon_(epsilon), rng_(seed) {}
+
+  /// Scores an untried action in the absence of any recorded return; used
+  /// to order cold-start exploration. Must return values in [0, 0.5] so a
+  /// learned positive Q (+1 scale) always dominates and a learned negative
+  /// Q always loses. The default prior is the constant 0.
+  using ActionPrior = std::function<double(FeatureKey)>;
+
+  /// Chooses the action (feature) to explore around at `state`, given the
+  /// state's available actions (its feature set). Returns nullopt when
+  /// `actions` is empty.
+  ///
+  /// With probability 1−ε the greedy action is taken: the action with the
+  /// best estimated Q at this state, falling back to the global per-feature
+  /// average return, and finally to `prior` for actions never tried
+  /// anywhere. Ties break uniformly at random. With probability ε a
+  /// uniformly random action is taken, so every action has
+  /// π(s,a) ≥ ε/|A(s)| > 0 (continuous exploration, Section 4.4.1).
+  std::optional<FeatureKey> ChooseAction(PairKey state,
+                                         const FeatureSet& actions,
+                                         const ActionPrior& prior = {});
+
+  /// Appends a Monte Carlo return to Returns(s,a) and refreshes
+  /// Q(s,a) = avg(Returns(s,a)) (Algorithm 1 lines 14-16).
+  void RecordReturn(const StateAction& sa, double reward);
+
+  /// Policy improvement (Algorithm 1 lines 24-33): makes the policy greedy
+  /// w.r.t. the current Q at every state visited in the episode.
+  void Improve(const std::vector<PairKey>& episode_states);
+
+  /// Sets the exploration rate (used by GLIE ε decay across episodes).
+  void set_epsilon(double epsilon) { epsilon_ = epsilon; }
+  double epsilon() const { return epsilon_; }
+
+  /// Estimated Q(s,a); nullopt if the pair was never returned to.
+  std::optional<double> Q(const StateAction& sa) const;
+
+  /// Global prior Q̄(a) for a feature; nullopt if never returned to.
+  std::optional<double> GlobalQ(FeatureKey action) const;
+
+  /// Greedy action recorded for a state at the last Improve(), if any.
+  std::optional<FeatureKey> GreedyAction(PairKey state) const;
+
+  /// The global per-feature average returns, sorted descending — the
+  /// learned ranking of features from most to least rewarding to explore
+  /// around (how ALEX "learns that a feature is not distinctive").
+  std::vector<std::pair<FeatureKey, double>> GlobalActionValues() const;
+
+  size_t num_states() const { return greedy_.size(); }
+
+ private:
+  struct Stats {
+    double sum = 0.0;
+    size_t count = 0;
+    double q() const { return count == 0 ? 0.0 : sum / count; }
+  };
+
+  double epsilon_;
+  Rng rng_;
+  std::vector<FeatureKey> ties_;  // Scratch for greedy tie-breaking.
+  std::unordered_map<StateAction, Stats, StateActionHash> returns_;
+  std::unordered_map<FeatureKey, Stats> global_returns_;
+  std::unordered_map<PairKey, FeatureKey> greedy_;
+};
+
+}  // namespace alex::core
+
+#endif  // ALEX_CORE_POLICY_H_

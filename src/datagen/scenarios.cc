@@ -1,0 +1,196 @@
+#include "datagen/scenarios.h"
+
+namespace alex::datagen {
+
+ScenarioConfig DbpediaNytimes() {
+  ScenarioConfig c;
+  c.name = "dbpedia_nytimes";
+  c.left_name = "dbpedia";
+  c.right_name = "nytimes";
+  c.seed = 1101;
+  // Paper: 10968 ground-truth links; PARIS starts near P=0.9, R=0.2.
+  // Heavy value noise breaks exact-value blocking for most pairs (low
+  // recall) while decoys are absent (high precision).
+  c.num_shared = 1100;
+  c.num_left_only = 2400;
+  c.num_right_only = 500;
+  c.domains = {"person", "organization", "place"};
+  c.predicate_rename_prob = 0.4;
+  c.value_noise = 0.68;
+  c.drop_attr_prob = 0.10;
+  c.ambiguity = 0.0;
+  return c;
+}
+
+ScenarioConfig DbpediaDrugbank() {
+  ScenarioConfig c;
+  c.name = "dbpedia_drugbank";
+  c.left_name = "dbpedia";
+  c.right_name = "drugbank";
+  c.seed = 1102;
+  // Paper: 1514 links; PARIS starts near P<0.3, R>0.95. Clean values keep
+  // recall high; heavy decoying collapses precision.
+  c.num_shared = 300;
+  c.num_left_only = 500;
+  c.num_right_only = 120;
+  c.domains = {"drug"};
+  c.predicate_rename_prob = 0.25;
+  c.value_noise = 0.05;
+  c.drop_attr_prob = 0.05;
+  c.ambiguity = 2.5;
+  c.decoy_shared_attrs = 2;
+  return c;
+}
+
+ScenarioConfig DbpediaLexvo() {
+  ScenarioConfig c;
+  c.name = "dbpedia_lexvo";
+  c.left_name = "dbpedia";
+  c.right_name = "lexvo";
+  c.seed = 1103;
+  // Paper: 4364 links; both precision and recall start low.
+  c.num_shared = 450;
+  c.num_left_only = 900;
+  c.num_right_only = 250;
+  c.domains = {"language"};
+  c.predicate_rename_prob = 0.35;
+  c.value_noise = 0.6;
+  c.drop_attr_prob = 0.10;
+  c.ambiguity = 1.0;
+  return c;
+}
+
+ScenarioConfig OpencycNytimes() {
+  ScenarioConfig c = DbpediaNytimes();
+  c.name = "opencyc_nytimes";
+  c.left_name = "opencyc";
+  c.seed = 1104;
+  // Paper: 2965 links; OpenCyc is much smaller than DBpedia.
+  c.num_shared = 300;
+  c.num_left_only = 600;
+  c.num_right_only = 250;
+  return c;
+}
+
+ScenarioConfig OpencycDrugbank() {
+  ScenarioConfig c = DbpediaDrugbank();
+  c.name = "opencyc_drugbank";
+  c.left_name = "opencyc";
+  c.seed = 1105;
+  // Paper: 204 links.
+  c.num_shared = 60;
+  c.num_left_only = 150;
+  c.num_right_only = 60;
+  return c;
+}
+
+ScenarioConfig OpencycLexvo() {
+  ScenarioConfig c = DbpediaLexvo();
+  c.name = "opencyc_lexvo";
+  c.left_name = "opencyc";
+  c.seed = 1106;
+  // Paper: 383 links.
+  c.num_shared = 80;
+  c.num_left_only = 200;
+  c.num_right_only = 60;
+  return c;
+}
+
+ScenarioConfig DbpediaSwdf() {
+  ScenarioConfig c;
+  c.name = "dbpedia_swdf";
+  c.left_name = "dbpedia";
+  c.right_name = "swdf";
+  c.seed = 1107;
+  // Paper: 461 links, mostly universities and companies; interactive
+  // setting with episode size 10.
+  c.num_shared = 120;
+  c.num_left_only = 250;
+  c.num_right_only = 100;
+  c.domains = {"organization", "publication"};
+  c.predicate_rename_prob = 0.3;
+  c.value_noise = 0.3;
+  c.drop_attr_prob = 0.08;
+  c.ambiguity = 0.1;
+  return c;
+}
+
+ScenarioConfig OpencycSwdf() {
+  ScenarioConfig c = DbpediaSwdf();
+  c.name = "opencyc_swdf";
+  c.left_name = "opencyc";
+  c.seed = 1108;
+  // Paper: 110 links.
+  c.num_shared = 40;
+  c.num_left_only = 100;
+  c.num_right_only = 50;
+  return c;
+}
+
+ScenarioConfig DbpediaNbaNytimes() {
+  ScenarioConfig c;
+  c.name = "dbpedia_nba_nytimes";
+  c.left_name = "dbpedia_nba";
+  c.right_name = "nytimes";
+  c.seed = 1109;
+  // Paper: 93 links over NBA basketball players; run at full paper size.
+  c.num_shared = 93;
+  c.num_left_only = 180;
+  c.num_right_only = 60;
+  c.domains = {"person"};
+  c.predicate_rename_prob = 0.3;
+  c.value_noise = 0.4;
+  c.drop_attr_prob = 0.08;
+  c.ambiguity = 0.1;
+  return c;
+}
+
+ScenarioConfig OpencycNbaNytimes() {
+  ScenarioConfig c = DbpediaNbaNytimes();
+  c.name = "opencyc_nba_nytimes";
+  c.left_name = "opencyc_nba";
+  c.seed = 1110;
+  // Paper: 35 links.
+  c.num_shared = 35;
+  c.num_left_only = 60;
+  c.num_right_only = 40;
+  return c;
+}
+
+ScenarioConfig DbpediaOpencyc() {
+  ScenarioConfig c;
+  c.name = "dbpedia_opencyc";
+  c.left_name = "dbpedia";
+  c.right_name = "opencyc";
+  c.seed = 1111;
+  // Paper (Appendix B): 41039 links, the largest and most heterogeneous
+  // pair; PARIS found 12227 correct initial links (R ~ 0.3).
+  c.num_shared = 2000;
+  c.num_left_only = 3000;
+  c.num_right_only = 1500;
+  c.domains = {"person", "organization", "place",
+               "drug",   "language",     "publication"};
+  c.predicate_rename_prob = 0.5;
+  c.value_noise = 0.65;
+  c.drop_attr_prob = 0.12;
+  c.ambiguity = 0.3;
+  return c;
+}
+
+std::vector<ScenarioConfig> AllScenarios() {
+  return {DbpediaNytimes(),    DbpediaDrugbank(),  DbpediaLexvo(),
+          OpencycNytimes(),    OpencycDrugbank(),  OpencycLexvo(),
+          DbpediaSwdf(),       OpencycSwdf(),      DbpediaNbaNytimes(),
+          OpencycNbaNytimes(), DbpediaOpencyc()};
+}
+
+ScenarioConfig ScenarioByName(const std::string& name) {
+  for (ScenarioConfig& c : AllScenarios()) {
+    if (c.name == name) return c;
+  }
+  ScenarioConfig unknown;
+  unknown.name = "";
+  return unknown;
+}
+
+}  // namespace alex::datagen

@@ -1,0 +1,45 @@
+#ifndef ALEX_DATAGEN_SCENARIOS_H_
+#define ALEX_DATAGEN_SCENARIOS_H_
+
+#include <string>
+#include <vector>
+
+#include "datagen/generator.h"
+
+namespace alex::datagen {
+
+/// Preset scenario configurations reproducing each dataset pair of the
+/// paper's evaluation (Table 1 and Sections 7.2, Appendix B), scaled down
+/// roughly 10x so every experiment runs on one machine in minutes.
+///
+/// Each preset is tuned so that a PARIS run over the generated pair starts
+/// from the same qualitative precision/recall profile the paper reports:
+///
+///   - DBpedia-NYTimes   : good precision, bad recall   (Fig 2a)
+///   - DBpedia-Drugbank  : bad precision, good recall   (Fig 2b)
+///   - DBpedia-Lexvo     : both bad                     (Fig 2c)
+///   - OpenCyc-*         : the same three profiles at smaller scale (Fig 3)
+///   - *-SWDF, NBA-*     : small specific domains        (Fig 4)
+///   - DBpedia-OpenCyc   : largest, most heterogeneous  (Fig 8)
+ScenarioConfig DbpediaNytimes();
+ScenarioConfig DbpediaDrugbank();
+ScenarioConfig DbpediaLexvo();
+ScenarioConfig OpencycNytimes();
+ScenarioConfig OpencycDrugbank();
+ScenarioConfig OpencycLexvo();
+ScenarioConfig DbpediaSwdf();
+ScenarioConfig OpencycSwdf();
+ScenarioConfig DbpediaNbaNytimes();
+ScenarioConfig OpencycNbaNytimes();
+ScenarioConfig DbpediaOpencyc();
+
+/// All presets in paper order, for Table 1 style inventories.
+std::vector<ScenarioConfig> AllScenarios();
+
+/// Looks up a preset by its `name` field; returns a default-constructed
+/// config with an empty name when unknown.
+ScenarioConfig ScenarioByName(const std::string& name);
+
+}  // namespace alex::datagen
+
+#endif  // ALEX_DATAGEN_SCENARIOS_H_

@@ -1,0 +1,30 @@
+#include "federation/endpoint.h"
+
+namespace alex::fed {
+
+Endpoint::Endpoint(const rdf::Dataset* dataset) : dataset_(dataset) {
+  for (rdf::TermId p : dataset_->store().DistinctPredicates()) {
+    predicates_.insert(dataset_->dict().term(p).value);
+  }
+}
+
+bool Endpoint::HasPredicate(const std::string& predicate_iri) const {
+  return predicates_.count(predicate_iri) > 0;
+}
+
+bool Endpoint::CanAnswer(const sparql::TriplePatternAst& pattern) const {
+  if (sparql::IsVariable(pattern.predicate)) return true;
+  const rdf::Term& p = std::get<rdf::Term>(pattern.predicate);
+  return p.is_iri() && HasPredicate(p.value);
+}
+
+Result<sparql::QueryResult> Endpoint::Select(
+    const sparql::SelectQuery& query) const {
+  return sparql::Evaluate(query, *dataset_);
+}
+
+Result<bool> Endpoint::Ask(const sparql::SelectQuery& query) const {
+  return sparql::Ask(query, *dataset_);
+}
+
+}  // namespace alex::fed

@@ -1,0 +1,48 @@
+#ifndef ALEX_FEDERATION_ENDPOINT_H_
+#define ALEX_FEDERATION_ENDPOINT_H_
+
+#include <string>
+#include <unordered_set>
+
+#include "common/result.h"
+#include "rdf/dataset.h"
+#include "sparql/ast.h"
+#include "sparql/evaluator.h"
+
+namespace alex::fed {
+
+/// Wraps one Dataset as a queryable federation member (the role a remote
+/// SPARQL endpoint plays for FedX in the paper).
+///
+/// Source selection uses predicate membership, the same signal FedX obtains
+/// with SPARQL ASK probes: a triple pattern is routed to an endpoint only if
+/// the endpoint can possibly answer it.
+class Endpoint {
+ public:
+  /// Does not take ownership; `dataset` must outlive the endpoint.
+  explicit Endpoint(const rdf::Dataset* dataset);
+
+  const std::string& name() const { return dataset_->name(); }
+  const rdf::Dataset& dataset() const { return *dataset_; }
+
+  /// True if any triple uses this predicate IRI (ASK-style probe).
+  bool HasPredicate(const std::string& predicate_iri) const;
+
+  /// True if the pattern could match here (constant predicate present, or
+  /// variable predicate).
+  bool CanAnswer(const sparql::TriplePatternAst& pattern) const;
+
+  /// Runs a full SELECT query against this endpoint alone.
+  Result<sparql::QueryResult> Select(const sparql::SelectQuery& query) const;
+
+  /// SPARQL ASK against this endpoint alone: true if any solution exists.
+  Result<bool> Ask(const sparql::SelectQuery& query) const;
+
+ private:
+  const rdf::Dataset* dataset_;
+  std::unordered_set<std::string> predicates_;
+};
+
+}  // namespace alex::fed
+
+#endif  // ALEX_FEDERATION_ENDPOINT_H_

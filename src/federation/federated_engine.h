@@ -1,0 +1,60 @@
+#ifndef ALEX_FEDERATION_FEDERATED_ENGINE_H_
+#define ALEX_FEDERATION_FEDERATED_ENGINE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "federation/endpoint.h"
+#include "federation/link_index.h"
+#include "sparql/ast.h"
+
+namespace alex::fed {
+
+/// One federated answer row with link provenance: which owl:sameAs links
+/// were used to produce it. Feedback on a row is feedback on those links
+/// (paper Section 3.2) — this is the bridge between querying and ALEX.
+struct ProvenancedRow {
+  std::vector<rdf::Term> values;
+  std::vector<SameAsLink> links_used;
+};
+
+/// Result of a federated query.
+struct FederatedResult {
+  std::vector<std::string> variables;
+  std::vector<ProvenancedRow> rows;
+
+  size_t NumRows() const { return rows.size(); }
+};
+
+/// Minimal federated query processor in the FedX mold (paper Section 3.2).
+///
+/// Execution: triple patterns are ordered greedily by boundness, then
+/// evaluated with bound (nested) joins. Each pattern is routed to every
+/// endpoint that can answer it (predicate-based source selection). When a
+/// bound join variable holds an entity IRI, its owl:sameAs co-referents are
+/// substituted too, so answers can span datasets; every link crossed this
+/// way is recorded in the row's provenance.
+class FederatedEngine {
+ public:
+  /// Exactly two endpoints (the paper links dataset pairs); `links` maps
+  /// entities of endpoints[0] to entities of endpoints[1]. Pointers are
+  /// borrowed and must outlive the engine.
+  FederatedEngine(const Endpoint* left, const Endpoint* right,
+                  const LinkIndex* links);
+
+  /// Executes a parsed SELECT query across the federation.
+  Result<FederatedResult> Execute(const sparql::SelectQuery& query) const;
+
+  /// Parses and executes.
+  Result<FederatedResult> ExecuteText(std::string_view query_text) const;
+
+ private:
+  const Endpoint* left_;
+  const Endpoint* right_;
+  const LinkIndex* links_;
+};
+
+}  // namespace alex::fed
+
+#endif  // ALEX_FEDERATION_FEDERATED_ENGINE_H_

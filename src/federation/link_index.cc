@@ -1,0 +1,81 @@
+#include "federation/link_index.h"
+
+#include <algorithm>
+
+namespace alex::fed {
+namespace {
+
+const std::vector<std::string>& EmptyVec() {
+  static const auto* kEmpty = new std::vector<std::string>();
+  return *kEmpty;
+}
+
+bool EraseValue(std::vector<std::string>* v, const std::string& value) {
+  auto it = std::find(v->begin(), v->end(), value);
+  if (it == v->end()) return false;
+  v->erase(it);
+  return true;
+}
+
+}  // namespace
+
+bool LinkIndex::Add(const std::string& left_iri, const std::string& right_iri) {
+  if (Contains(left_iri, right_iri)) return false;
+  left_to_right_[left_iri].push_back(right_iri);
+  right_to_left_[right_iri].push_back(left_iri);
+  ++size_;
+  return true;
+}
+
+bool LinkIndex::Remove(const std::string& left_iri,
+                       const std::string& right_iri) {
+  auto it = left_to_right_.find(left_iri);
+  if (it == left_to_right_.end()) return false;
+  if (!EraseValue(&it->second, right_iri)) return false;
+  if (it->second.empty()) left_to_right_.erase(it);
+  auto rit = right_to_left_.find(right_iri);
+  if (rit != right_to_left_.end()) {
+    EraseValue(&rit->second, left_iri);
+    if (rit->second.empty()) right_to_left_.erase(rit);
+  }
+  --size_;
+  return true;
+}
+
+bool LinkIndex::Contains(const std::string& left_iri,
+                         const std::string& right_iri) const {
+  auto it = left_to_right_.find(left_iri);
+  if (it == left_to_right_.end()) return false;
+  return std::find(it->second.begin(), it->second.end(), right_iri) !=
+         it->second.end();
+}
+
+const std::vector<std::string>& LinkIndex::RightsFor(
+    const std::string& left_iri) const {
+  auto it = left_to_right_.find(left_iri);
+  return it == left_to_right_.end() ? EmptyVec() : it->second;
+}
+
+const std::vector<std::string>& LinkIndex::LeftsFor(
+    const std::string& right_iri) const {
+  auto it = right_to_left_.find(right_iri);
+  return it == right_to_left_.end() ? EmptyVec() : it->second;
+}
+
+std::vector<SameAsLink> LinkIndex::AllLinks() const {
+  std::vector<SameAsLink> out;
+  out.reserve(size_);
+  for (const auto& [left, rights] : left_to_right_) {
+    for (const std::string& right : rights) {
+      out.push_back(SameAsLink{left, right});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SameAsLink& a, const SameAsLink& b) {
+              return std::tie(a.left_iri, a.right_iri) <
+                     std::tie(b.left_iri, b.right_iri);
+            });
+  return out;
+}
+
+}  // namespace alex::fed

@@ -1,0 +1,59 @@
+#ifndef ALEX_FEDERATION_LINK_INDEX_H_
+#define ALEX_FEDERATION_LINK_INDEX_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace alex::fed {
+
+/// An owl:sameAs link between an entity of the left dataset and an entity of
+/// the right dataset, identified by IRI.
+struct SameAsLink {
+  std::string left_iri;
+  std::string right_iri;
+
+  friend bool operator==(const SameAsLink& a, const SameAsLink& b) {
+    return a.left_iri == b.left_iri && a.right_iri == b.right_iri;
+  }
+};
+
+/// Bidirectional index over a set of owl:sameAs links between two datasets.
+///
+/// This is the artifact ALEX maintains: the federated engine reads it to
+/// answer cross-dataset queries, and ALEX mutates it as feedback arrives
+/// (adding explored links, removing rejected ones).
+class LinkIndex {
+ public:
+  LinkIndex() = default;
+
+  /// Adds a link; duplicate adds are ignored. Returns true if added.
+  bool Add(const std::string& left_iri, const std::string& right_iri);
+
+  /// Removes a link if present. Returns true if removed.
+  bool Remove(const std::string& left_iri, const std::string& right_iri);
+
+  bool Contains(const std::string& left_iri,
+                const std::string& right_iri) const;
+
+  /// Right-side co-referents of a left entity (empty vector if none).
+  const std::vector<std::string>& RightsFor(const std::string& left_iri) const;
+
+  /// Left-side co-referents of a right entity (empty vector if none).
+  const std::vector<std::string>& LeftsFor(const std::string& right_iri) const;
+
+  /// Total number of links.
+  size_t size() const { return size_; }
+
+  /// Snapshot of all links.
+  std::vector<SameAsLink> AllLinks() const;
+
+ private:
+  std::unordered_map<std::string, std::vector<std::string>> left_to_right_;
+  std::unordered_map<std::string, std::vector<std::string>> right_to_left_;
+  size_t size_ = 0;
+};
+
+}  // namespace alex::fed
+
+#endif  // ALEX_FEDERATION_LINK_INDEX_H_

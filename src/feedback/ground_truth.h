@@ -1,0 +1,59 @@
+#ifndef ALEX_FEEDBACK_GROUND_TRUTH_H_
+#define ALEX_FEEDBACK_GROUND_TRUTH_H_
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "rdf/dataset.h"
+
+namespace alex::feedback {
+
+/// An entity pair across two datasets, packed into one 64-bit key
+/// (left EntityId in the high half, right in the low half).
+using PairKey = uint64_t;
+
+inline PairKey PackPair(rdf::EntityId left, rdf::EntityId right) {
+  return (static_cast<uint64_t>(left) << 32) | static_cast<uint64_t>(right);
+}
+inline rdf::EntityId PairLeft(PairKey key) {
+  return static_cast<rdf::EntityId>(key >> 32);
+}
+inline rdf::EntityId PairRight(PairKey key) {
+  return static_cast<rdf::EntityId>(key & 0xffffffffULL);
+}
+
+/// The reference set of correct owl:sameAs links between a dataset pair.
+///
+/// In the paper this is the (manually curated) set of pre-existing LOD-cloud
+/// links (Section 7.1 "Ground Truth"); here it is produced by the synthetic
+/// generator, which knows exactly which entities co-refer.
+class GroundTruth {
+ public:
+  GroundTruth() = default;
+
+  void Add(rdf::EntityId left, rdf::EntityId right) {
+    pairs_.insert(PackPair(left, right));
+  }
+
+  bool Contains(rdf::EntityId left, rdf::EntityId right) const {
+    return pairs_.count(PackPair(left, right)) > 0;
+  }
+  bool Contains(PairKey key) const { return pairs_.count(key) > 0; }
+
+  size_t size() const { return pairs_.size(); }
+  bool empty() const { return pairs_.empty(); }
+
+  const std::unordered_set<PairKey>& pairs() const { return pairs_; }
+
+  std::vector<PairKey> AsVector() const {
+    return std::vector<PairKey>(pairs_.begin(), pairs_.end());
+  }
+
+ private:
+  std::unordered_set<PairKey> pairs_;
+};
+
+}  // namespace alex::feedback
+
+#endif  // ALEX_FEEDBACK_GROUND_TRUTH_H_

@@ -1,0 +1,24 @@
+#include "feedback/oracle.h"
+
+namespace alex::feedback {
+
+FeedbackItem Oracle::Judge(rdf::EntityId left, rdf::EntityId right) {
+  FeedbackItem item;
+  item.left = left;
+  item.right = right;
+  item.positive = truth_->Contains(left, right);
+  if (error_rate_ > 0.0 && rng_.Bernoulli(error_rate_)) {
+    item.positive = !item.positive;
+  }
+  return item;
+}
+
+std::optional<FeedbackItem> Oracle::SampleAndJudge(
+    const std::vector<PairKey>& candidates) {
+  if (candidates.empty()) return std::nullopt;
+  const PairKey key =
+      candidates[static_cast<size_t>(rng_.UniformInt(candidates.size()))];
+  return Judge(PairLeft(key), PairRight(key));
+}
+
+}  // namespace alex::feedback

@@ -1,0 +1,51 @@
+#ifndef ALEX_FEEDBACK_ORACLE_H_
+#define ALEX_FEEDBACK_ORACLE_H_
+
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "feedback/ground_truth.h"
+
+namespace alex::feedback {
+
+/// One user feedback item over a candidate link: approval or rejection of
+/// the query answer that the link produced (paper Section 3.2).
+struct FeedbackItem {
+  rdf::EntityId left = rdf::kInvalidEntityId;
+  rdf::EntityId right = rdf::kInvalidEntityId;
+  bool positive = false;
+
+  PairKey key() const { return PackPair(left, right); }
+};
+
+/// Simulated user, matching the paper's feedback methodology (Section 7.1):
+/// a randomly chosen candidate link is compared against the ground truth;
+/// membership yields positive feedback, absence yields negative feedback.
+/// With probability `error_rate` the verdict is flipped (Appendix C studies
+/// 10% incorrect feedback).
+class Oracle {
+ public:
+  /// `truth` is borrowed and must outlive the oracle.
+  Oracle(const GroundTruth* truth, double error_rate, uint64_t seed)
+      : truth_(truth), error_rate_(error_rate), rng_(seed) {}
+
+  /// Judges one candidate link.
+  FeedbackItem Judge(rdf::EntityId left, rdf::EntityId right);
+
+  /// Samples one link uniformly from `candidates` and judges it.
+  /// Returns nullopt if `candidates` is empty.
+  std::optional<FeedbackItem> SampleAndJudge(
+      const std::vector<PairKey>& candidates);
+
+  double error_rate() const { return error_rate_; }
+
+ private:
+  const GroundTruth* truth_;
+  double error_rate_;
+  Rng rng_;
+};
+
+}  // namespace alex::feedback
+
+#endif  // ALEX_FEEDBACK_ORACLE_H_

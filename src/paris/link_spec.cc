@@ -1,0 +1,232 @@
+#include "paris/link_spec.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/string_util.h"
+#include "feedback/ground_truth.h"
+#include "similarity/similarity.h"
+#include "similarity/string_metrics.h"
+#include "similarity/value.h"
+
+namespace alex::paris {
+namespace {
+
+using feedback::PackPair;
+using feedback::PairKey;
+using rdf::Dataset;
+using rdf::EntityId;
+using rdf::TermId;
+
+Result<Metric> ParseMetric(const std::string& name) {
+  if (name == "exact") return Metric::kExact;
+  if (name == "levenshtein") return Metric::kLevenshtein;
+  if (name == "jaro_winkler") return Metric::kJaroWinkler;
+  if (name == "token_jaccard") return Metric::kTokenJaccard;
+  if (name == "trigram_dice") return Metric::kTrigramDice;
+  if (name == "numeric") return Metric::kNumericProximity;
+  if (name == "date") return Metric::kDateProximity;
+  return Status::ParseError("unknown metric '" + name + "'");
+}
+
+double ApplyMetric(Metric metric, const rdf::Term& a, const rdf::Term& b) {
+  const sim::TypedValue va = sim::ParseValue(a);
+  const sim::TypedValue vb = sim::ParseValue(b);
+  const std::string la = ToLowerAscii(va.text);
+  const std::string lb = ToLowerAscii(vb.text);
+  switch (metric) {
+    case Metric::kExact:
+      return la == lb ? 1.0 : 0.0;
+    case Metric::kLevenshtein:
+      return sim::LevenshteinSimilarity(la, lb);
+    case Metric::kJaroWinkler:
+      return sim::JaroWinklerSimilarity(la, lb);
+    case Metric::kTokenJaccard:
+      return sim::TokenJaccardSimilarity(la, lb);
+    case Metric::kTrigramDice:
+      return sim::TrigramDiceSimilarity(la, lb);
+    case Metric::kNumericProximity:
+      if (!va.is_numeric() || !vb.is_numeric()) return 0.0;
+      return sim::NumericSimilarity(va.real, vb.real);
+    case Metric::kDateProximity:
+      if (va.kind != sim::ValueKind::kDate || vb.kind != sim::ValueKind::kDate)
+        return 0.0;
+      return sim::DateSimilarity(va.date_days, vb.date_days);
+  }
+  return 0.0;
+}
+
+/// Values of an entity under one predicate id.
+std::vector<const rdf::Term*> ValuesOf(const Dataset& ds, EntityId e,
+                                       TermId pred) {
+  std::vector<const rdf::Term*> out;
+  for (const rdf::Attribute& a : ds.attributes(e)) {
+    if (a.predicate == pred) out.push_back(&ds.dict().term(a.object));
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<LinkSpec> ParseLinkSpec(std::string_view text) {
+  LinkSpec spec;
+  size_t line_no = 0;
+  for (const std::string& raw : Split(text, '\n')) {
+    ++line_no;
+    const std::string line(TrimAscii(raw));
+    if (line.empty() || line[0] == '#') continue;
+    const std::vector<std::string> tokens = SplitWhitespace(line);
+    auto fail = [&](const std::string& msg) {
+      return Status::ParseError("link spec line " + std::to_string(line_no) +
+                                ": " + msg);
+    };
+    if (tokens[0] == "compare") {
+      if (tokens.size() < 5 || tokens[3] != "using") {
+        return fail("expected: compare <left> <right> using <metric>");
+      }
+      Comparison cmp;
+      cmp.left_predicate = tokens[1];
+      cmp.right_predicate = tokens[2];
+      ALEX_ASSIGN_OR_RETURN(cmp.metric, ParseMetric(tokens[4]));
+      if (tokens.size() >= 7 && tokens[5] == "weight") {
+        cmp.weight = std::strtod(tokens[6].c_str(), nullptr);
+        if (cmp.weight <= 0.0) return fail("weight must be positive");
+      } else if (tokens.size() != 5) {
+        return fail("trailing tokens after metric");
+      }
+      spec.comparisons.push_back(std::move(cmp));
+    } else if (tokens[0] == "aggregate") {
+      if (tokens.size() != 2) return fail("expected: aggregate <fn>");
+      if (tokens[1] == "average") spec.aggregation = Aggregation::kAverage;
+      else if (tokens[1] == "min") spec.aggregation = Aggregation::kMin;
+      else if (tokens[1] == "max") spec.aggregation = Aggregation::kMax;
+      else return fail("unknown aggregation '" + tokens[1] + "'");
+    } else if (tokens[0] == "threshold") {
+      if (tokens.size() != 2) return fail("expected: threshold <value>");
+      spec.threshold = std::strtod(tokens[1].c_str(), nullptr);
+      if (spec.threshold <= 0.0 || spec.threshold > 1.0) {
+        return fail("threshold must be in (0, 1]");
+      }
+    } else {
+      return fail("unknown directive '" + tokens[0] + "'");
+    }
+  }
+  if (spec.comparisons.empty()) {
+    return Status::ParseError("link spec has no comparisons");
+  }
+  return spec;
+}
+
+std::vector<ScoredLink> RunLinkSpec(const Dataset& left, const Dataset& right,
+                                    const LinkSpec& spec) {
+  // Resolve predicate IRIs to ids; comparisons over unknown predicates
+  // contribute 0 everywhere.
+  struct ResolvedComparison {
+    TermId left_pred = rdf::kInvalidTermId;
+    TermId right_pred = rdf::kInvalidTermId;
+    Metric metric;
+    double weight;
+  };
+  std::vector<ResolvedComparison> comparisons;
+  for (const Comparison& cmp : spec.comparisons) {
+    ResolvedComparison rc;
+    rc.metric = cmp.metric;
+    rc.weight = cmp.weight;
+    auto lp = left.dict().Lookup(rdf::Term::Iri(cmp.left_predicate));
+    auto rp = right.dict().Lookup(rdf::Term::Iri(cmp.right_predicate));
+    if (lp) rc.left_pred = *lp;
+    if (rp) rc.right_pred = *rp;
+    comparisons.push_back(rc);
+  }
+
+  // Blocking: index right-side values of the compared predicates by
+  // normalized value and token.
+  std::unordered_map<std::string, std::vector<EntityId>> right_blocks;
+  auto keys_of = [](const rdf::Term& t) {
+    std::vector<std::string> keys;
+    const std::string norm = ToLowerAscii(
+        t.is_iri() ? std::string(sim::IriLocalName(t.value)) : t.value);
+    if (norm.empty()) return keys;
+    keys.push_back("v:" + norm);
+    for (const std::string& tok : WordTokens(norm)) {
+      if (tok.size() >= 2) keys.push_back("t:" + tok);
+    }
+    return keys;
+  };
+  for (EntityId r = 0; r < right.num_entities(); ++r) {
+    std::unordered_set<std::string> seen;
+    for (const ResolvedComparison& rc : comparisons) {
+      if (rc.right_pred == rdf::kInvalidTermId) continue;
+      for (const rdf::Term* value : ValuesOf(right, r, rc.right_pred)) {
+        for (std::string& key : keys_of(*value)) {
+          if (seen.insert(key).second) right_blocks[key].push_back(r);
+        }
+      }
+    }
+  }
+
+  std::unordered_set<PairKey> candidates;
+  for (EntityId l = 0; l < left.num_entities(); ++l) {
+    std::unordered_set<std::string> seen;
+    for (const ResolvedComparison& rc : comparisons) {
+      if (rc.left_pred == rdf::kInvalidTermId) continue;
+      for (const rdf::Term* value : ValuesOf(left, l, rc.left_pred)) {
+        for (std::string& key : keys_of(*value)) {
+          if (!seen.insert(key).second) continue;
+          auto it = right_blocks.find(key);
+          if (it == right_blocks.end()) continue;
+          if (it->second.size() > spec.max_block_pairs) continue;
+          for (EntityId r : it->second) candidates.insert(PackPair(l, r));
+        }
+      }
+    }
+  }
+
+  // Score every candidate against the specification.
+  std::vector<ScoredLink> out;
+  for (PairKey key : candidates) {
+    const EntityId l = feedback::PairLeft(key);
+    const EntityId r = feedback::PairRight(key);
+    double acc = spec.aggregation == Aggregation::kMin ? 1.0 : 0.0;
+    double weight_sum = 0.0;
+    for (const ResolvedComparison& rc : comparisons) {
+      double best = 0.0;
+      if (rc.left_pred != rdf::kInvalidTermId &&
+          rc.right_pred != rdf::kInvalidTermId) {
+        for (const rdf::Term* lv : ValuesOf(left, l, rc.left_pred)) {
+          for (const rdf::Term* rv : ValuesOf(right, r, rc.right_pred)) {
+            best = std::max(best, ApplyMetric(rc.metric, *lv, *rv));
+          }
+        }
+      }
+      switch (spec.aggregation) {
+        case Aggregation::kAverage:
+          acc += best * rc.weight;
+          weight_sum += rc.weight;
+          break;
+        case Aggregation::kMin:
+          acc = std::min(acc, best);
+          break;
+        case Aggregation::kMax:
+          acc = std::max(acc, best);
+          break;
+      }
+    }
+    const double score =
+        spec.aggregation == Aggregation::kAverage
+            ? (weight_sum > 0.0 ? acc / weight_sum : 0.0)
+            : acc;
+    if (score >= spec.threshold) {
+      out.push_back(ScoredLink{l, r, score});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ScoredLink& a, const ScoredLink& b) {
+              return std::tie(a.left, a.right) < std::tie(b.left, b.right);
+            });
+  return out;
+}
+
+}  // namespace alex::paris

@@ -1,0 +1,232 @@
+#include "paris/paris.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/string_util.h"
+#include "feedback/ground_truth.h"
+#include "similarity/similarity.h"
+#include "similarity/value.h"
+
+namespace alex::paris {
+namespace {
+
+using feedback::PackPair;
+using feedback::PairKey;
+using rdf::Dataset;
+using rdf::EntityId;
+using rdf::TermId;
+
+/// Normalized comparison key for a literal/IRI object.
+std::string ValueKey(const Dataset& ds, TermId object) {
+  const rdf::Term& t = ds.dict().term(object);
+  if (t.is_iri()) {
+    return ToLowerAscii(sim::IriLocalName(t.value));
+  }
+  return ToLowerAscii(t.value);
+}
+
+/// Per-dataset relation statistics: inverse functionality per predicate,
+/// i.e. #distinct object values / #triples. A predicate whose values are
+/// (nearly) unique per entity — a name, an id — has invfun near 1 and is
+/// highly identifying; rdf:type has invfun near 0.
+std::unordered_map<TermId, double> InverseFunctionality(const Dataset& ds) {
+  std::unordered_map<TermId, size_t> triples;
+  std::unordered_map<TermId, std::unordered_set<std::string>> values;
+  const size_t n = ds.num_entities();
+  for (EntityId e = 0; e < n; ++e) {
+    for (const rdf::Attribute& a : ds.attributes(e)) {
+      ++triples[a.predicate];
+      values[a.predicate].insert(ValueKey(ds, a.object));
+    }
+  }
+  std::unordered_map<TermId, double> invfun;
+  for (const auto& [p, count] : triples) {
+    invfun[p] = static_cast<double>(values[p].size()) /
+                static_cast<double>(count);
+  }
+  return invfun;
+}
+
+/// Key for a relation pair (left predicate, right predicate).
+uint64_t RelPairKey(TermId p, TermId q) {
+  return (static_cast<uint64_t>(p) << 32) | static_cast<uint64_t>(q);
+}
+
+}  // namespace
+
+ParisLinker::ParisLinker(const Dataset* left, const Dataset* right,
+                         ParisConfig config)
+    : left_(left), right_(right), config_(config) {}
+
+std::vector<ScoredLink> ParisLinker::Run() {
+  const Dataset& dl = *left_;
+  const Dataset& dr = *right_;
+
+  // --- Step 1: blocking via a shared-value inverted index. ---
+  std::unordered_map<std::string, std::vector<EntityId>> left_by_value;
+  std::unordered_map<std::string, std::vector<EntityId>> right_by_value;
+  for (EntityId e = 0; e < dl.num_entities(); ++e) {
+    for (const rdf::Attribute& a : dl.attributes(e)) {
+      left_by_value[ValueKey(dl, a.object)].push_back(e);
+    }
+  }
+  for (EntityId e = 0; e < dr.num_entities(); ++e) {
+    for (const rdf::Attribute& a : dr.attributes(e)) {
+      right_by_value[ValueKey(dr, a.object)].push_back(e);
+    }
+  }
+  std::unordered_set<PairKey> candidate_set;
+  for (const auto& [value, lefts] : left_by_value) {
+    auto it = right_by_value.find(value);
+    if (it == right_by_value.end()) continue;
+    const auto& rights = it->second;
+    if (lefts.size() * rights.size() > config_.max_pairs_per_value) continue;
+    for (EntityId l : lefts) {
+      for (EntityId r : rights) candidate_set.insert(PackPair(l, r));
+    }
+  }
+  std::vector<PairKey> candidates(candidate_set.begin(), candidate_set.end());
+  std::sort(candidates.begin(), candidates.end());
+
+  // --- Step 2: relation statistics. ---
+  const auto invfun_left = InverseFunctionality(dl);
+  const auto invfun_right = InverseFunctionality(dr);
+
+  // Relation alignment scores, refined each round. Initialized to 1 so the
+  // first round relies purely on inverse functionality and value similarity.
+  std::unordered_map<uint64_t, double> align;
+  auto alignment = [&align](TermId p, TermId q) {
+    auto it = align.find(RelPairKey(p, q));
+    return it == align.end() ? 1.0 : it->second;
+  };
+
+  // Per-candidate evidence list: (p, q, sim) triples above the literal
+  // threshold. Computed once; probabilities and alignments iterate over it.
+  struct Evidence {
+    TermId p;
+    TermId q;
+    double sim;
+  };
+  std::vector<std::vector<Evidence>> evidence(candidates.size());
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    const EntityId l = feedback::PairLeft(candidates[i]);
+    const EntityId r = feedback::PairRight(candidates[i]);
+    for (const rdf::Attribute& al : dl.attributes(l)) {
+      const sim::TypedValue vl = sim::ParseValue(dl.dict().term(al.object));
+      for (const rdf::Attribute& ar : dr.attributes(r)) {
+        const sim::TypedValue vr = sim::ParseValue(dr.dict().term(ar.object));
+        const double s = sim::ValueSimilarity(vl, vr);
+        if (s >= config_.literal_sim_threshold) {
+          evidence[i].push_back(Evidence{al.predicate, ar.predicate, s});
+        }
+      }
+    }
+  }
+
+  std::vector<double> prob(candidates.size(), 0.0);
+  for (int round = 0; round < config_.iterations; ++round) {
+    // --- Step 3: entity-equivalence probabilities (noisy-OR). ---
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      double survive = 1.0;
+      for (const Evidence& ev : evidence[i]) {
+        // Geometric mean of the two relations' inverse functionalities:
+        // PARIS's evidence term uses a single relation's functionality; a
+        // plain product double-counts the penalty and caps scores far below
+        // 1 even for perfectly matching multi-evidence pairs.
+        const double identifying =
+            std::sqrt(invfun_left.at(ev.p) * invfun_right.at(ev.q));
+        const double w = identifying * alignment(ev.p, ev.q) * ev.sim;
+        survive *= (1.0 - std::min(0.999999, w));
+      }
+      prob[i] = 1.0 - survive;
+    }
+
+    // --- Step 4: re-estimate relation alignment from probabilities. ---
+    // align(p,q) = Σ prob over pairs where (p,q) values match
+    //            / Σ prob over pairs where the left entity has p at all,
+    // counting only pairs currently believed equivalent (prob ≥ 0.5):
+    // letting every low-probability blocking candidate vote would drown
+    // the alignment of genuinely aligned relations in junk-pair mass.
+    constexpr double kAlignmentVoteThreshold = 0.5;
+    std::unordered_map<uint64_t, double> num;
+    std::unordered_map<TermId, double> den;
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      if (prob[i] < kAlignmentVoteThreshold) continue;
+      const EntityId l = feedback::PairLeft(candidates[i]);
+      std::unordered_set<TermId> left_preds;
+      for (const rdf::Attribute& al : dl.attributes(l)) {
+        left_preds.insert(al.predicate);
+      }
+      for (TermId p : left_preds) den[p] += prob[i];
+      std::unordered_set<uint64_t> matched_here;
+      for (const Evidence& ev : evidence[i]) {
+        matched_here.insert(RelPairKey(ev.p, ev.q));
+      }
+      for (uint64_t key : matched_here) num[key] += prob[i];
+    }
+    align.clear();
+    for (const auto& [key, n] : num) {
+      const TermId p = static_cast<TermId>(key >> 32);
+      const double d = den.count(p) ? den.at(p) : 0.0;
+      align[key] = d > 0.0 ? std::min(1.0, n / d) : 0.0;
+    }
+  }
+
+  relation_alignments_.clear();
+  for (const auto& [key, score] : align) {
+    relation_alignments_.push_back(
+        RelationAlignment{static_cast<TermId>(key >> 32),
+                          static_cast<TermId>(key & 0xffffffffULL), score});
+  }
+  std::sort(relation_alignments_.begin(), relation_alignments_.end(),
+            [](const RelationAlignment& a, const RelationAlignment& b) {
+              return a.score > b.score;
+            });
+
+  std::vector<ScoredLink> out;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    if (prob[i] >= config_.link_threshold) {
+      out.push_back(ScoredLink{feedback::PairLeft(candidates[i]),
+                               feedback::PairRight(candidates[i]), prob[i]});
+    }
+  }
+  return out;
+}
+
+std::vector<ScoredLink> NaiveLabelLinker(const Dataset& left,
+                                         const Dataset& right,
+                                         double threshold) {
+  std::unordered_map<std::string, std::vector<EntityId>> right_by_value;
+  for (EntityId e = 0; e < right.num_entities(); ++e) {
+    for (const rdf::Attribute& a : right.attributes(e)) {
+      right_by_value[ValueKey(right, a.object)].push_back(e);
+    }
+  }
+  std::unordered_map<PairKey, size_t> shared;
+  for (EntityId e = 0; e < left.num_entities(); ++e) {
+    for (const rdf::Attribute& a : left.attributes(e)) {
+      auto it = right_by_value.find(ValueKey(left, a.object));
+      if (it == right_by_value.end()) continue;
+      for (EntityId r : it->second) ++shared[PackPair(e, r)];
+    }
+  }
+  std::vector<ScoredLink> out;
+  for (const auto& [key, count] : shared) {
+    const EntityId l = feedback::PairLeft(key);
+    const size_t nl = left.attributes(l).size();
+    const double score =
+        nl == 0 ? 0.0 : static_cast<double>(count) / static_cast<double>(nl);
+    if (score >= threshold) {
+      out.push_back(ScoredLink{l, feedback::PairRight(key), score});
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const ScoredLink& a, const ScoredLink& b) {
+    return std::tie(a.left, a.right) < std::tie(b.left, b.right);
+  });
+  return out;
+}
+
+}  // namespace alex::paris

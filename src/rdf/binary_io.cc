@@ -1,0 +1,137 @@
+#include "rdf/binary_io.h"
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace alex::rdf {
+namespace {
+
+constexpr char kMagic[8] = {'A', 'L', 'E', 'X', 'R', 'D', 'F', '1'};
+constexpr uint32_t kMaxStringLength = 1u << 28;  // 256 MiB sanity bound.
+
+void WriteU32(std::ostream& out, uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  out.write(buf, 4);
+}
+
+void WriteU64(std::ostream& out, uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out.write(buf, 8);
+}
+
+void WriteString(std::ostream& out, const std::string& s) {
+  WriteU32(out, static_cast<uint32_t>(s.size()));
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+bool ReadU32(std::istream& in, uint32_t* v) {
+  char buf[4];
+  in.read(buf, 4);
+  if (in.gcount() != 4) return false;
+  std::memcpy(v, buf, 4);
+  return true;
+}
+
+bool ReadU64(std::istream& in, uint64_t* v) {
+  char buf[8];
+  in.read(buf, 8);
+  if (in.gcount() != 8) return false;
+  std::memcpy(v, buf, 8);
+  return true;
+}
+
+bool ReadString(std::istream& in, std::string* s) {
+  uint32_t len = 0;
+  if (!ReadU32(in, &len) || len > kMaxStringLength) return false;
+  s->resize(len);
+  in.read(s->data(), static_cast<std::streamsize>(len));
+  return static_cast<uint32_t>(in.gcount()) == len;
+}
+
+}  // namespace
+
+Status WriteBinaryDataset(const Dictionary& dict, const TripleStore& store,
+                          std::ostream& out) {
+  out.write(kMagic, sizeof(kMagic));
+  WriteU64(out, dict.size());
+  for (TermId id = 0; id < dict.size(); ++id) {
+    const Term& t = dict.term(id);
+    out.put(static_cast<char>(t.kind));
+    WriteString(out, t.value);
+    WriteString(out, t.datatype);
+    WriteString(out, t.language);
+  }
+  WriteU64(out, store.size());
+  Status status = Status::OK();
+  store.ForEachMatch(TriplePattern{}, [&](const Triple& t) {
+    WriteU32(out, t.subject);
+    WriteU32(out, t.predicate);
+    WriteU32(out, t.object);
+    return static_cast<bool>(out);
+  });
+  if (!out) status = Status::IOError("binary dataset write failed");
+  return status;
+}
+
+Status ReadBinaryDataset(std::istream& in, Dictionary* dict,
+                         TripleStore* store) {
+  if (dict->size() != 0 || store->size() != 0) {
+    return Status::InvalidArgument(
+        "binary datasets must be read into empty containers");
+  }
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (in.gcount() != sizeof(magic) ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::ParseError("not an ALEXRDF1 binary dataset");
+  }
+  uint64_t term_count = 0;
+  if (!ReadU64(in, &term_count)) {
+    return Status::ParseError("truncated term count");
+  }
+  if (term_count > UINT32_MAX) {
+    return Status::ParseError("term count exceeds TermId range");
+  }
+  for (uint64_t i = 0; i < term_count; ++i) {
+    const int kind_byte = in.get();
+    if (kind_byte < 0 || kind_byte > 2) {
+      return Status::ParseError("bad term kind at index " +
+                                std::to_string(i));
+    }
+    Term t;
+    t.kind = static_cast<TermKind>(kind_byte);
+    if (!ReadString(in, &t.value) || !ReadString(in, &t.datatype) ||
+        !ReadString(in, &t.language)) {
+      return Status::ParseError("truncated term at index " +
+                                std::to_string(i));
+    }
+    // Interning into an empty dictionary preserves ids because they were
+    // written in id order; a duplicate would break that invariant.
+    const TermId assigned = dict->Intern(t);
+    if (assigned != static_cast<TermId>(i)) {
+      return Status::ParseError("duplicate term breaks id assignment");
+    }
+  }
+  uint64_t triple_count = 0;
+  if (!ReadU64(in, &triple_count)) {
+    return Status::ParseError("truncated triple count");
+  }
+  for (uint64_t i = 0; i < triple_count; ++i) {
+    uint32_t s = 0, p = 0, o = 0;
+    if (!ReadU32(in, &s) || !ReadU32(in, &p) || !ReadU32(in, &o)) {
+      return Status::ParseError("truncated triple at index " +
+                                std::to_string(i));
+    }
+    if (s >= term_count || p >= term_count || o >= term_count) {
+      return Status::ParseError("triple term id out of range at index " +
+                                std::to_string(i));
+    }
+    store->Add(s, p, o);
+  }
+  return Status::OK();
+}
+
+}  // namespace alex::rdf

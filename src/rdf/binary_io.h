@@ -1,0 +1,35 @@
+#ifndef ALEX_RDF_BINARY_IO_H_
+#define ALEX_RDF_BINARY_IO_H_
+
+#include <istream>
+#include <ostream>
+
+#include "common/status.h"
+#include "rdf/dictionary.h"
+#include "rdf/triple_store.h"
+
+namespace alex::rdf {
+
+/// Compact binary serialization of a dictionary-encoded store — the fast
+/// load path for large dumps (parse the N-Triples/Turtle text once, then
+/// reload in milliseconds).
+///
+/// Format (little-endian):
+///   magic "ALEXRDF1" (8 bytes)
+///   u64 term_count
+///     per term: u8 kind; then value, datatype, language as
+///     (u32 length, bytes)
+///   u64 triple_count
+///     per triple: u32 subject, u32 predicate, u32 object (term ids)
+Status WriteBinaryDataset(const Dictionary& dict, const TripleStore& store,
+                          std::ostream& out);
+
+/// Reads a binary dataset written by WriteBinaryDataset into an *empty*
+/// dictionary and store. Fails with ParseError on a bad magic, truncated
+/// input, or out-of-range term ids.
+Status ReadBinaryDataset(std::istream& in, Dictionary* dict,
+                         TripleStore* store);
+
+}  // namespace alex::rdf
+
+#endif  // ALEX_RDF_BINARY_IO_H_

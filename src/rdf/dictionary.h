@@ -1,0 +1,51 @@
+#ifndef ALEX_RDF_DICTIONARY_H_
+#define ALEX_RDF_DICTIONARY_H_
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "rdf/term.h"
+
+namespace alex::rdf {
+
+/// Dense identifier assigned to each distinct Term in a Dictionary.
+using TermId = uint32_t;
+
+inline constexpr TermId kInvalidTermId = UINT32_MAX;
+
+/// Bidirectional Term <-> TermId mapping (dictionary encoding).
+///
+/// TermIds are dense and start at 0, so they index directly into arrays.
+/// Not thread-safe for concurrent mutation; concurrent lookups are safe
+/// once loading is complete.
+class Dictionary {
+ public:
+  Dictionary() = default;
+
+  /// Returns the id for `term`, interning it if new.
+  TermId Intern(const Term& term);
+
+  /// Returns the id for `term` if already interned.
+  std::optional<TermId> Lookup(const Term& term) const;
+
+  /// Convenience: intern an IRI / plain literal by string.
+  TermId InternIri(std::string iri) { return Intern(Term::Iri(std::move(iri))); }
+  TermId InternLiteral(std::string lex) {
+    return Intern(Term::Literal(std::move(lex)));
+  }
+
+  /// Returns the term for a valid id. Id must be < size().
+  const Term& term(TermId id) const { return terms_[id]; }
+
+  size_t size() const { return terms_.size(); }
+
+ private:
+  std::vector<Term> terms_;
+  std::unordered_map<Term, TermId, TermHash> index_;
+};
+
+}  // namespace alex::rdf
+
+#endif  // ALEX_RDF_DICTIONARY_H_

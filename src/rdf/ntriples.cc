@@ -1,0 +1,175 @@
+#include "rdf/ntriples.h"
+
+#include <cctype>
+#include <string>
+
+#include "common/string_util.h"
+
+namespace alex::rdf {
+namespace {
+
+void SkipSpace(std::string_view s, size_t* pos) {
+  while (*pos < s.size() &&
+         std::isspace(static_cast<unsigned char>(s[*pos]))) {
+    ++*pos;
+  }
+}
+
+Result<std::string> ParseQuoted(std::string_view line, size_t* pos) {
+  // *pos points at the opening quote.
+  std::string out;
+  size_t i = *pos + 1;
+  while (i < line.size()) {
+    char c = line[i];
+    if (c == '"') {
+      *pos = i + 1;
+      return out;
+    }
+    if (c == '\\') {
+      if (i + 1 >= line.size()) break;
+      char e = line[i + 1];
+      switch (e) {
+        case 'n':
+          out += '\n';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case '"':
+          out += '"';
+          break;
+        case '\\':
+          out += '\\';
+          break;
+        default:
+          return Status::ParseError("unknown escape \\" + std::string(1, e));
+      }
+      i += 2;
+      continue;
+    }
+    out += c;
+    ++i;
+  }
+  return Status::ParseError("unterminated string literal");
+}
+
+}  // namespace
+
+Result<Term> ParseNTriplesTerm(std::string_view line, size_t* pos) {
+  SkipSpace(line, pos);
+  if (*pos >= line.size()) return Status::ParseError("unexpected end of line");
+  char c = line[*pos];
+  if (c == '<') {
+    size_t end = line.find('>', *pos + 1);
+    if (end == std::string_view::npos) {
+      return Status::ParseError("unterminated IRI");
+    }
+    Term t = Term::Iri(std::string(line.substr(*pos + 1, end - *pos - 1)));
+    *pos = end + 1;
+    SkipSpace(line, pos);
+    return t;
+  }
+  if (c == '_') {
+    if (*pos + 1 >= line.size() || line[*pos + 1] != ':') {
+      return Status::ParseError("malformed blank node");
+    }
+    size_t start = *pos + 2;
+    size_t i = start;
+    while (i < line.size() &&
+           !std::isspace(static_cast<unsigned char>(line[i])) &&
+           line[i] != '.') {
+      ++i;
+    }
+    if (i == start) return Status::ParseError("empty blank node label");
+    Term t = Term::Blank(std::string(line.substr(start, i - start)));
+    *pos = i;
+    SkipSpace(line, pos);
+    return t;
+  }
+  if (c == '"') {
+    ALEX_ASSIGN_OR_RETURN(std::string lexical, ParseQuoted(line, pos));
+    Term t = Term::Literal(std::move(lexical));
+    if (*pos < line.size() && line[*pos] == '@') {
+      size_t start = *pos + 1;
+      size_t i = start;
+      while (i < line.size() &&
+             (std::isalnum(static_cast<unsigned char>(line[i])) ||
+              line[i] == '-')) {
+        ++i;
+      }
+      if (i == start) return Status::ParseError("empty language tag");
+      t.language = std::string(line.substr(start, i - start));
+      *pos = i;
+    } else if (*pos + 1 < line.size() && line[*pos] == '^' &&
+               line[*pos + 1] == '^') {
+      *pos += 2;
+      if (*pos >= line.size() || line[*pos] != '<') {
+        return Status::ParseError("datatype must be an IRI");
+      }
+      size_t end = line.find('>', *pos + 1);
+      if (end == std::string_view::npos) {
+        return Status::ParseError("unterminated datatype IRI");
+      }
+      t.datatype = std::string(line.substr(*pos + 1, end - *pos - 1));
+      *pos = end + 1;
+    }
+    SkipSpace(line, pos);
+    return t;
+  }
+  return Status::ParseError("unexpected character '" + std::string(1, c) +
+                            "'");
+}
+
+Result<ParsedTriple> ParseNTriplesLine(std::string_view line) {
+  std::string_view trimmed = TrimAscii(line);
+  if (trimmed.empty() || trimmed[0] == '#') {
+    return Status::NotFound("blank or comment line");
+  }
+  size_t pos = 0;
+  ParsedTriple out;
+  ALEX_ASSIGN_OR_RETURN(out.subject, ParseNTriplesTerm(trimmed, &pos));
+  ALEX_ASSIGN_OR_RETURN(out.predicate, ParseNTriplesTerm(trimmed, &pos));
+  if (!out.predicate.is_iri()) {
+    return Status::ParseError("predicate must be an IRI");
+  }
+  ALEX_ASSIGN_OR_RETURN(out.object, ParseNTriplesTerm(trimmed, &pos));
+  if (pos >= trimmed.size() || trimmed[pos] != '.') {
+    return Status::ParseError("missing terminating '.'");
+  }
+  return out;
+}
+
+Status ReadNTriples(std::istream& in, Dictionary* dict, TripleStore* store) {
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    Result<ParsedTriple> parsed = ParseNTriplesLine(line);
+    if (!parsed.ok()) {
+      if (parsed.status().code() == StatusCode::kNotFound) continue;  // skip
+      return Status::ParseError("line " + std::to_string(line_no) + ": " +
+                                parsed.status().message());
+    }
+    store->Add(dict->Intern(parsed->subject), dict->Intern(parsed->predicate),
+               dict->Intern(parsed->object));
+  }
+  return Status::OK();
+}
+
+Status WriteNTriples(const TripleStore& store, const Dictionary& dict,
+                     std::ostream& out) {
+  Status status = Status::OK();
+  store.ForEachMatch(TriplePattern{}, [&](const Triple& t) {
+    out << dict.term(t.subject).ToNTriples() << " "
+        << dict.term(t.predicate).ToNTriples() << " "
+        << dict.term(t.object).ToNTriples() << " .\n";
+    return static_cast<bool>(out);
+  });
+  if (!out) status = Status::IOError("write failed");
+  return status;
+}
+
+}  // namespace alex::rdf

@@ -1,0 +1,40 @@
+#ifndef ALEX_RDF_NTRIPLES_H_
+#define ALEX_RDF_NTRIPLES_H_
+
+#include <istream>
+#include <ostream>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "rdf/dictionary.h"
+#include "rdf/triple.h"
+#include "rdf/triple_store.h"
+
+namespace alex::rdf {
+
+/// Parses a single N-Triples term starting at `*pos` in `line`, advancing
+/// `*pos` past the term and any trailing whitespace. Handles IRIs, blank
+/// nodes, and literals with escapes, language tags, and datatypes.
+Result<Term> ParseNTriplesTerm(std::string_view line, size_t* pos);
+
+/// Parses one N-Triples line ("<s> <p> <o> .") into a Term triple.
+/// Blank lines and '#' comment lines yield Status::NotFound (skip marker).
+struct ParsedTriple {
+  Term subject;
+  Term predicate;
+  Term object;
+};
+Result<ParsedTriple> ParseNTriplesLine(std::string_view line);
+
+/// Reads an N-Triples document from `in`, interning terms into `dict` and
+/// adding triples to `store`. Stops at the first malformed line.
+Status ReadNTriples(std::istream& in, Dictionary* dict, TripleStore* store);
+
+/// Writes all triples of `store` to `out` in N-Triples syntax.
+Status WriteNTriples(const TripleStore& store, const Dictionary& dict,
+                     std::ostream& out);
+
+}  // namespace alex::rdf
+
+#endif  // ALEX_RDF_NTRIPLES_H_

@@ -1,0 +1,115 @@
+#include "rdf/term.h"
+
+#include <tuple>
+
+namespace alex::rdf {
+
+Term Term::Iri(std::string iri) {
+  Term t;
+  t.kind = TermKind::kIri;
+  t.value = std::move(iri);
+  return t;
+}
+
+Term Term::Literal(std::string lexical) {
+  Term t;
+  t.kind = TermKind::kLiteral;
+  t.value = std::move(lexical);
+  return t;
+}
+
+Term Term::TypedLiteral(std::string lexical, std::string datatype_iri) {
+  Term t;
+  t.kind = TermKind::kLiteral;
+  t.value = std::move(lexical);
+  t.datatype = std::move(datatype_iri);
+  return t;
+}
+
+Term Term::LangLiteral(std::string lexical, std::string lang) {
+  Term t;
+  t.kind = TermKind::kLiteral;
+  t.value = std::move(lexical);
+  t.language = std::move(lang);
+  return t;
+}
+
+Term Term::Blank(std::string label) {
+  Term t;
+  t.kind = TermKind::kBlank;
+  t.value = std::move(label);
+  return t;
+}
+
+bool operator<(const Term& a, const Term& b) {
+  return std::tie(a.kind, a.value, a.datatype, a.language) <
+         std::tie(b.kind, b.value, b.datatype, b.language);
+}
+
+std::string EscapeNTriplesString(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string Term::ToNTriples() const {
+  switch (kind) {
+    case TermKind::kIri:
+      return "<" + value + ">";
+    case TermKind::kBlank:
+      return "_:" + value;
+    case TermKind::kLiteral: {
+      std::string out = "\"" + EscapeNTriplesString(value) + "\"";
+      if (!language.empty()) {
+        out += "@" + language;
+      } else if (!datatype.empty()) {
+        out += "^^<" + datatype + ">";
+      }
+      return out;
+    }
+  }
+  return "";
+}
+
+size_t TermHash::operator()(const Term& t) const {
+  // FNV-1a over kind byte and all string components with separators.
+  uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](const char* data, size_t n) {
+    for (size_t i = 0; i < n; ++i) {
+      h ^= static_cast<unsigned char>(data[i]);
+      h *= 1099511628211ULL;
+    }
+  };
+  char kind_byte = static_cast<char>(t.kind);
+  mix(&kind_byte, 1);
+  mix(t.value.data(), t.value.size());
+  char sep = '\x1f';
+  mix(&sep, 1);
+  mix(t.datatype.data(), t.datatype.size());
+  mix(&sep, 1);
+  mix(t.language.data(), t.language.size());
+  return static_cast<size_t>(h);
+}
+
+}  // namespace alex::rdf

@@ -1,0 +1,70 @@
+#ifndef ALEX_RDF_TERM_H_
+#define ALEX_RDF_TERM_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace alex::rdf {
+
+/// Kind of an RDF term.
+enum class TermKind : uint8_t { kIri = 0, kLiteral = 1, kBlank = 2 };
+
+/// An RDF term: an IRI, a literal (with optional datatype IRI or language
+/// tag), or a blank node. Value type; cheap to move.
+struct Term {
+  TermKind kind = TermKind::kIri;
+  /// IRI string, literal lexical form, or blank node label (without "_:").
+  std::string value;
+  /// Datatype IRI for typed literals; empty otherwise.
+  std::string datatype;
+  /// Language tag for language-tagged literals; empty otherwise.
+  std::string language;
+
+  static Term Iri(std::string iri);
+  static Term Literal(std::string lexical);
+  static Term TypedLiteral(std::string lexical, std::string datatype_iri);
+  static Term LangLiteral(std::string lexical, std::string lang);
+  static Term Blank(std::string label);
+
+  bool is_iri() const { return kind == TermKind::kIri; }
+  bool is_literal() const { return kind == TermKind::kLiteral; }
+  bool is_blank() const { return kind == TermKind::kBlank; }
+
+  /// Serializes in N-Triples syntax, e.g. `<http://x>` or `"v"^^<dt>`.
+  std::string ToNTriples() const;
+
+  friend bool operator==(const Term& a, const Term& b) {
+    return a.kind == b.kind && a.value == b.value &&
+           a.datatype == b.datatype && a.language == b.language;
+  }
+  friend bool operator!=(const Term& a, const Term& b) { return !(a == b); }
+  friend bool operator<(const Term& a, const Term& b);
+};
+
+/// Stable hash over all term components, for dictionary lookups.
+struct TermHash {
+  size_t operator()(const Term& t) const;
+};
+
+/// Escapes `\`, `"`, newline, CR, and tab per N-Triples literal rules.
+std::string EscapeNTriplesString(std::string_view s);
+
+/// Well-known vocabulary IRIs used throughout the library.
+inline constexpr std::string_view kOwlSameAs =
+    "http://www.w3.org/2002/07/owl#sameAs";
+inline constexpr std::string_view kRdfType =
+    "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+inline constexpr std::string_view kXsdInteger =
+    "http://www.w3.org/2001/XMLSchema#integer";
+inline constexpr std::string_view kXsdDouble =
+    "http://www.w3.org/2001/XMLSchema#double";
+inline constexpr std::string_view kXsdDate =
+    "http://www.w3.org/2001/XMLSchema#date";
+inline constexpr std::string_view kXsdString =
+    "http://www.w3.org/2001/XMLSchema#string";
+
+}  // namespace alex::rdf
+
+#endif  // ALEX_RDF_TERM_H_

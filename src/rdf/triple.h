@@ -1,0 +1,41 @@
+#ifndef ALEX_RDF_TRIPLE_H_
+#define ALEX_RDF_TRIPLE_H_
+
+#include <tuple>
+
+#include "rdf/dictionary.h"
+
+namespace alex::rdf {
+
+/// A dictionary-encoded RDF triple.
+struct Triple {
+  TermId subject = kInvalidTermId;
+  TermId predicate = kInvalidTermId;
+  TermId object = kInvalidTermId;
+
+  friend bool operator==(const Triple& a, const Triple& b) {
+    return a.subject == b.subject && a.predicate == b.predicate &&
+           a.object == b.object;
+  }
+  friend bool operator<(const Triple& a, const Triple& b) {
+    return std::tie(a.subject, a.predicate, a.object) <
+           std::tie(b.subject, b.predicate, b.object);
+  }
+};
+
+/// A triple pattern: any component may be a wildcard (kInvalidTermId).
+struct TriplePattern {
+  TermId subject = kInvalidTermId;    // kInvalidTermId means "any".
+  TermId predicate = kInvalidTermId;  // kInvalidTermId means "any".
+  TermId object = kInvalidTermId;     // kInvalidTermId means "any".
+
+  bool Matches(const Triple& t) const {
+    return (subject == kInvalidTermId || subject == t.subject) &&
+           (predicate == kInvalidTermId || predicate == t.predicate) &&
+           (object == kInvalidTermId || object == t.object);
+  }
+};
+
+}  // namespace alex::rdf
+
+#endif  // ALEX_RDF_TRIPLE_H_

@@ -1,0 +1,73 @@
+#ifndef ALEX_RDF_TRIPLE_STORE_H_
+#define ALEX_RDF_TRIPLE_STORE_H_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "rdf/triple.h"
+
+namespace alex::rdf {
+
+/// In-memory triple store with SPO, POS, and OSP sorted indexes.
+///
+/// Triples are dictionary-encoded (TermId components). Insertion appends;
+/// indexes are (re)built lazily on first lookup after a mutation, with
+/// duplicates removed. Every pattern shape is answered from the index whose
+/// sort order makes the bound components a prefix, so lookups are two binary
+/// searches plus a scan of the matching range.
+///
+/// Thread-compatible: concurrent reads are safe once indexes are built (call
+/// `EnsureIndexes()` or perform any read before sharing across threads);
+/// mutation requires external synchronization.
+class TripleStore {
+ public:
+  TripleStore() = default;
+
+  /// Appends a triple; duplicates are tolerated and removed at index build.
+  void Add(const Triple& t);
+  void Add(TermId s, TermId p, TermId o) { Add(Triple{s, p, o}); }
+
+  /// Number of distinct triples.
+  size_t size() const;
+  bool empty() const { return size() == 0; }
+
+  /// Returns true if the exact triple is present.
+  bool Contains(const Triple& t) const;
+
+  /// Returns all triples matching the pattern (wildcards = kInvalidTermId).
+  std::vector<Triple> Match(const TriplePattern& pattern) const;
+
+  /// Calls fn for every matching triple; stops early if fn returns false.
+  void ForEachMatch(const TriplePattern& pattern,
+                    const std::function<bool(const Triple&)>& fn) const;
+
+  /// Number of triples matching the pattern.
+  size_t CountMatches(const TriplePattern& pattern) const;
+
+  /// Distinct predicate ids present in the store, sorted ascending.
+  std::vector<TermId> DistinctPredicates() const;
+
+  /// Distinct subject ids present in the store, sorted ascending.
+  std::vector<TermId> DistinctSubjects() const;
+
+  /// Builds indexes now (idempotent). Useful before sharing across threads.
+  void EnsureIndexes() const;
+
+ private:
+  // Index orderings.
+  struct LessSpo;
+  struct LessPos;
+  struct LessOsp;
+
+  // Appended triples; canonical deduplicated copy lives in spo_.
+  mutable std::vector<Triple> pending_;
+  mutable std::vector<Triple> spo_;
+  mutable std::vector<Triple> pos_;
+  mutable std::vector<Triple> osp_;
+  mutable bool dirty_ = false;
+};
+
+}  // namespace alex::rdf
+
+#endif  // ALEX_RDF_TRIPLE_STORE_H_

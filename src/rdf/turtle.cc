@@ -1,0 +1,323 @@
+#include "rdf/turtle.h"
+
+#include <cctype>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+
+#include "common/result.h"
+#include "common/string_util.h"
+
+namespace alex::rdf {
+namespace {
+
+constexpr std::string_view kXsdBoolean =
+    "http://www.w3.org/2001/XMLSchema#boolean";
+
+/// Character-level recursive-descent parser over the whole document.
+class TurtleParser {
+ public:
+  TurtleParser(std::string_view doc, Dictionary* dict, TripleStore* store)
+      : doc_(doc), dict_(dict), store_(store) {}
+
+  Status Parse();
+
+ private:
+  bool AtEnd() const { return pos_ >= doc_.size(); }
+  char Peek() const { return doc_[pos_]; }
+
+  Status Fail(const std::string& msg) const {
+    // Compute 1-based line number for the error message.
+    size_t line = 1;
+    for (size_t i = 0; i < pos_ && i < doc_.size(); ++i) {
+      if (doc_[i] == '\n') ++line;
+    }
+    return Status::ParseError("turtle line " + std::to_string(line) + ": " +
+                              msg);
+  }
+
+  void SkipWhitespaceAndComments();
+  bool Consume(char c);
+  bool ConsumeWord(std::string_view word);
+
+  Result<std::string> ParseIriRef();         // <...>, returns resolved IRI.
+  Result<std::string> ParsePrefixedName();   // ns:local -> full IRI.
+  Result<Term> ParseLiteral();
+  Result<Term> ParseTerm(bool subject_position);
+  Status ParseDirective();
+  Status ParseStatement();
+
+  std::string_view doc_;
+  size_t pos_ = 0;
+  Dictionary* dict_;
+  TripleStore* store_;
+  std::string base_;
+  std::unordered_map<std::string, std::string> prefixes_;
+};
+
+void TurtleParser::SkipWhitespaceAndComments() {
+  while (!AtEnd()) {
+    if (std::isspace(static_cast<unsigned char>(Peek()))) {
+      ++pos_;
+    } else if (Peek() == '#') {
+      while (!AtEnd() && Peek() != '\n') ++pos_;
+    } else {
+      return;
+    }
+  }
+}
+
+bool TurtleParser::Consume(char c) {
+  SkipWhitespaceAndComments();
+  if (!AtEnd() && Peek() == c) {
+    ++pos_;
+    return true;
+  }
+  return false;
+}
+
+bool TurtleParser::ConsumeWord(std::string_view word) {
+  SkipWhitespaceAndComments();
+  if (doc_.substr(pos_, word.size()) != word) return false;
+  const size_t after = pos_ + word.size();
+  if (after < doc_.size()) {
+    const char c = doc_[after];
+    if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == ':') {
+      return false;  // Longer token; not this word.
+    }
+  }
+  pos_ = after;
+  return true;
+}
+
+Result<std::string> TurtleParser::ParseIriRef() {
+  // Caller guarantees Peek() == '<'.
+  size_t end = doc_.find('>', pos_ + 1);
+  if (end == std::string_view::npos) return Fail("unterminated IRI");
+  std::string iri(doc_.substr(pos_ + 1, end - pos_ - 1));
+  pos_ = end + 1;
+  // Resolve relative IRIs against @base by concatenation (covers the
+  // common dump style of absolute IRIs plus simple relative references).
+  if (!base_.empty() && iri.find("://") == std::string::npos) {
+    iri = base_ + iri;
+  }
+  return iri;
+}
+
+Result<std::string> TurtleParser::ParsePrefixedName() {
+  size_t start = pos_;
+  while (pos_ < doc_.size() &&
+         (std::isalnum(static_cast<unsigned char>(doc_[pos_])) ||
+          doc_[pos_] == '_' || doc_[pos_] == '-' || doc_[pos_] == '.')) {
+    ++pos_;
+  }
+  // The namespace part must not end with '.' (statement terminator).
+  while (pos_ > start && doc_[pos_ - 1] == '.') --pos_;
+  std::string ns(doc_.substr(start, pos_ - start));
+  if (AtEnd() || Peek() != ':') return Fail("expected ':' in prefixed name");
+  ++pos_;
+  start = pos_;
+  while (pos_ < doc_.size() &&
+         (std::isalnum(static_cast<unsigned char>(doc_[pos_])) ||
+          doc_[pos_] == '_' || doc_[pos_] == '-' || doc_[pos_] == '.')) {
+    ++pos_;
+  }
+  while (pos_ > start && doc_[pos_ - 1] == '.') --pos_;
+  std::string local(doc_.substr(start, pos_ - start));
+  auto it = prefixes_.find(ns);
+  if (it == prefixes_.end()) {
+    return Fail("undeclared prefix '" + ns + ":'");
+  }
+  return it->second + local;
+}
+
+Result<Term> TurtleParser::ParseLiteral() {
+  // Caller guarantees Peek() == '"'.
+  if (doc_.substr(pos_, 3) == "\"\"\"") {
+    return Fail("multiline string literals are not supported");
+  }
+  ++pos_;
+  std::string body;
+  while (!AtEnd()) {
+    char c = Peek();
+    if (c == '"') {
+      ++pos_;
+      Term t = Term::Literal(std::move(body));
+      if (!AtEnd() && Peek() == '@') {
+        ++pos_;
+        size_t start = pos_;
+        while (pos_ < doc_.size() &&
+               (std::isalnum(static_cast<unsigned char>(doc_[pos_])) ||
+                doc_[pos_] == '-')) {
+          ++pos_;
+        }
+        if (pos_ == start) return Fail("empty language tag");
+        t.language = std::string(doc_.substr(start, pos_ - start));
+      } else if (doc_.substr(pos_, 2) == "^^") {
+        pos_ += 2;
+        SkipWhitespaceAndComments();
+        if (!AtEnd() && Peek() == '<') {
+          ALEX_ASSIGN_OR_RETURN(t.datatype, ParseIriRef());
+        } else {
+          ALEX_ASSIGN_OR_RETURN(t.datatype, ParsePrefixedName());
+        }
+      }
+      return t;
+    }
+    if (c == '\\') {
+      if (pos_ + 1 >= doc_.size()) break;
+      char e = doc_[pos_ + 1];
+      switch (e) {
+        case 'n': body += '\n'; break;
+        case 't': body += '\t'; break;
+        case 'r': body += '\r'; break;
+        case '"': body += '"'; break;
+        case '\\': body += '\\'; break;
+        default:
+          return Fail(std::string("unknown escape \\") + e);
+      }
+      pos_ += 2;
+      continue;
+    }
+    body += c;
+    ++pos_;
+  }
+  return Fail("unterminated string literal");
+}
+
+Result<Term> TurtleParser::ParseTerm(bool subject_position) {
+  SkipWhitespaceAndComments();
+  if (AtEnd()) return Fail("unexpected end of document");
+  const char c = Peek();
+  if (c == '<') {
+    ALEX_ASSIGN_OR_RETURN(std::string iri, ParseIriRef());
+    return Term::Iri(std::move(iri));
+  }
+  if (c == '_') {
+    if (doc_.substr(pos_, 2) != "_:") return Fail("malformed blank node");
+    pos_ += 2;
+    size_t start = pos_;
+    while (pos_ < doc_.size() &&
+           (std::isalnum(static_cast<unsigned char>(doc_[pos_])) ||
+            doc_[pos_] == '_')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Fail("empty blank node label");
+    return Term::Blank(std::string(doc_.substr(start, pos_ - start)));
+  }
+  if (c == '[') return Fail("anonymous blank nodes are not supported");
+  if (c == '(') return Fail("collections are not supported");
+  if (subject_position) {
+    // Subjects may only be IRIs/prefixed names/blank nodes.
+    ALEX_ASSIGN_OR_RETURN(std::string iri, ParsePrefixedName());
+    return Term::Iri(std::move(iri));
+  }
+  if (c == '"') return ParseLiteral();
+  if (std::isdigit(static_cast<unsigned char>(c)) || c == '-' || c == '+') {
+    size_t start = pos_;
+    if (c == '-' || c == '+') ++pos_;
+    bool dot = false;
+    while (pos_ < doc_.size() &&
+           (std::isdigit(static_cast<unsigned char>(doc_[pos_])) ||
+            (doc_[pos_] == '.' && !dot && pos_ + 1 < doc_.size() &&
+             std::isdigit(static_cast<unsigned char>(doc_[pos_ + 1]))))) {
+      if (doc_[pos_] == '.') dot = true;
+      ++pos_;
+    }
+    std::string lex(doc_.substr(start, pos_ - start));
+    return Term::TypedLiteral(
+        std::move(lex),
+        std::string(dot ? kXsdDouble : kXsdInteger));
+  }
+  if (ConsumeWord("true")) {
+    return Term::TypedLiteral("true", std::string(kXsdBoolean));
+  }
+  if (ConsumeWord("false")) {
+    return Term::TypedLiteral("false", std::string(kXsdBoolean));
+  }
+  ALEX_ASSIGN_OR_RETURN(std::string iri, ParsePrefixedName());
+  return Term::Iri(std::move(iri));
+}
+
+Status TurtleParser::ParseDirective() {
+  // "@prefix"/"PREFIX" already consumed by the caller's dispatch; here we
+  // handle the remainder: `ns: <iri> [.]`.
+  SkipWhitespaceAndComments();
+  size_t start = pos_;
+  while (pos_ < doc_.size() && doc_[pos_] != ':' &&
+         !std::isspace(static_cast<unsigned char>(doc_[pos_]))) {
+    ++pos_;
+  }
+  std::string ns(doc_.substr(start, pos_ - start));
+  if (AtEnd() || Peek() != ':') return Fail("expected ':' after prefix name");
+  ++pos_;
+  SkipWhitespaceAndComments();
+  if (AtEnd() || Peek() != '<') return Fail("expected IRI after prefix");
+  ALEX_ASSIGN_OR_RETURN(std::string iri, ParseIriRef());
+  prefixes_[ns] = iri;
+  Consume('.');  // @prefix requires it; SPARQL PREFIX omits it.
+  return Status::OK();
+}
+
+Status TurtleParser::ParseStatement() {
+  ALEX_ASSIGN_OR_RETURN(Term subject, ParseTerm(/*subject_position=*/true));
+  const TermId s = dict_->Intern(subject);
+  for (;;) {  // Predicate list.
+    SkipWhitespaceAndComments();
+    Term predicate;
+    if (ConsumeWord("a")) {
+      predicate = Term::Iri(std::string(kRdfType));
+    } else {
+      ALEX_ASSIGN_OR_RETURN(predicate, ParseTerm(/*subject_position=*/true));
+    }
+    if (!predicate.is_iri()) return Fail("predicate must be an IRI");
+    const TermId p = dict_->Intern(predicate);
+    for (;;) {  // Object list.
+      ALEX_ASSIGN_OR_RETURN(Term object, ParseTerm(/*subject_position=*/false));
+      store_->Add(s, p, dict_->Intern(object));
+      if (!Consume(',')) break;
+    }
+    if (!Consume(';')) break;
+    SkipWhitespaceAndComments();
+    // A trailing ';' before '.' is legal Turtle.
+    if (!AtEnd() && Peek() == '.') break;
+  }
+  if (!Consume('.')) return Fail("expected '.' at end of statement");
+  return Status::OK();
+}
+
+Status TurtleParser::Parse() {
+  for (;;) {
+    SkipWhitespaceAndComments();
+    if (AtEnd()) return Status::OK();
+    if (ConsumeWord("@prefix") || ConsumeWord("PREFIX")) {
+      ALEX_RETURN_NOT_OK(ParseDirective());
+      continue;
+    }
+    if (ConsumeWord("@base") || ConsumeWord("BASE")) {
+      SkipWhitespaceAndComments();
+      if (AtEnd() || Peek() != '<') return Fail("expected IRI after @base");
+      ALEX_ASSIGN_OR_RETURN(base_, ParseIriRef());
+      Consume('.');
+      continue;
+    }
+    ALEX_RETURN_NOT_OK(ParseStatement());
+  }
+}
+
+}  // namespace
+
+Status ParseTurtle(std::string_view document, Dictionary* dict,
+                   TripleStore* store) {
+  TurtleParser parser(document, dict, store);
+  return parser.Parse();
+}
+
+Status ReadTurtle(std::istream& in, Dictionary* dict, TripleStore* store) {
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (!in && !in.eof()) return Status::IOError("failed reading stream");
+  return ParseTurtle(buffer.str(), dict, store);
+}
+
+}  // namespace alex::rdf

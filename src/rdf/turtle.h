@@ -1,0 +1,35 @@
+#ifndef ALEX_RDF_TURTLE_H_
+#define ALEX_RDF_TURTLE_H_
+
+#include <istream>
+#include <string_view>
+
+#include "common/status.h"
+#include "rdf/dictionary.h"
+#include "rdf/triple_store.h"
+
+namespace alex::rdf {
+
+/// Parser for the Turtle subset that covers the bulk of published LOD
+/// dumps:
+///
+///   - `@prefix ns: <iri> .` and SPARQL-style `PREFIX ns: <iri>`
+///   - `@base <iri> .` (relative IRIs are resolved by concatenation)
+///   - prefixed names (`ns:local`) and the `a` keyword (rdf:type)
+///   - predicate lists (`;`) and object lists (`,`)
+///   - literals with escapes, language tags, `^^` datatypes, and the
+///     numeric (`42`, `3.14`) and boolean (`true`, `false`) shorthands
+///   - blank node labels (`_:b`)
+///   - `#` comments
+///
+/// Not supported (rejected with ParseError): anonymous blank nodes `[...]`,
+/// collections `(...)`, and multiline `"""` literals.
+Status ReadTurtle(std::istream& in, Dictionary* dict, TripleStore* store);
+
+/// Parses a complete Turtle document held in memory.
+Status ParseTurtle(std::string_view document, Dictionary* dict,
+                   TripleStore* store);
+
+}  // namespace alex::rdf
+
+#endif  // ALEX_RDF_TURTLE_H_

@@ -1,0 +1,48 @@
+#include "similarity/similarity.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "common/string_util.h"
+#include "similarity/string_metrics.h"
+
+namespace alex::sim {
+
+double NumericSimilarity(double a, double b) {
+  if (a == b) return 1.0;
+  const double denom = std::max({std::fabs(a), std::fabs(b), 1.0});
+  const double rel = std::fabs(a - b) / denom;
+  return std::max(0.0, 1.0 - 20.0 * rel);
+}
+
+double DateSimilarity(int32_t days_a, int32_t days_b) {
+  constexpr double kHorizonDays = 547.0;  // Eighteen months.
+  const double diff = std::fabs(static_cast<double>(days_a) -
+                                static_cast<double>(days_b));
+  return std::max(0.0, 1.0 - diff / kHorizonDays);
+}
+
+double StringSimilarity(std::string_view a, std::string_view b) {
+  const std::string la = ToLowerAscii(a);
+  const std::string lb = ToLowerAscii(b);
+  if (la == lb) return 1.0;
+  return std::max(TrigramDiceSimilarity(la, lb),
+                  TokenJaccardSimilarity(la, lb));
+}
+
+double ValueSimilarity(const TypedValue& a, const TypedValue& b) {
+  if (a.is_numeric() && b.is_numeric()) {
+    return NumericSimilarity(a.real, b.real);
+  }
+  if (a.kind == ValueKind::kDate && b.kind == ValueKind::kDate) {
+    return DateSimilarity(a.date_days, b.date_days);
+  }
+  return StringSimilarity(a.text, b.text);
+}
+
+double TermSimilarity(const rdf::Term& a, const rdf::Term& b) {
+  return ValueSimilarity(ParseValue(a), ParseValue(b));
+}
+
+}  // namespace alex::sim

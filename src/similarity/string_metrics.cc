@@ -1,0 +1,134 @@
+#include "similarity/string_metrics.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace alex::sim {
+
+size_t LevenshteinDistance(std::string_view a, std::string_view b) {
+  if (a.size() > b.size()) std::swap(a, b);
+  const size_t n = a.size();
+  const size_t m = b.size();
+  if (n == 0) return m;
+  std::vector<size_t> prev(n + 1);
+  std::vector<size_t> cur(n + 1);
+  for (size_t i = 0; i <= n; ++i) prev[i] = i;
+  for (size_t j = 1; j <= m; ++j) {
+    cur[0] = j;
+    for (size_t i = 1; i <= n; ++i) {
+      size_t sub = prev[i - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      cur[i] = std::min({prev[i] + 1, cur[i - 1] + 1, sub});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[n];
+}
+
+double LevenshteinSimilarity(std::string_view a, std::string_view b) {
+  const size_t longest = std::max(a.size(), b.size());
+  if (longest == 0) return 1.0;
+  return 1.0 - static_cast<double>(LevenshteinDistance(a, b)) /
+                   static_cast<double>(longest);
+}
+
+double JaroSimilarity(std::string_view a, std::string_view b) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  const size_t n = a.size();
+  const size_t m = b.size();
+  const size_t window =
+      std::max<size_t>(1, std::max(n, m) / 2) - (std::max(n, m) >= 2 ? 1 : 0);
+  std::vector<bool> a_matched(n, false);
+  std::vector<bool> b_matched(m, false);
+  size_t matches = 0;
+  for (size_t i = 0; i < n; ++i) {
+    size_t lo = i > window ? i - window : 0;
+    size_t hi = std::min(m, i + window + 1);
+    for (size_t j = lo; j < hi; ++j) {
+      if (b_matched[j] || a[i] != b[j]) continue;
+      a_matched[i] = true;
+      b_matched[j] = true;
+      ++matches;
+      break;
+    }
+  }
+  if (matches == 0) return 0.0;
+  size_t transpositions = 0;
+  size_t k = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (!a_matched[i]) continue;
+    while (!b_matched[k]) ++k;
+    if (a[i] != b[k]) ++transpositions;
+    ++k;
+  }
+  const double mf = static_cast<double>(matches);
+  return (mf / n + mf / m + (mf - transpositions / 2.0) / mf) / 3.0;
+}
+
+double JaroWinklerSimilarity(std::string_view a, std::string_view b) {
+  double jaro = JaroSimilarity(a, b);
+  size_t prefix = 0;
+  const size_t max_prefix = std::min<size_t>({4, a.size(), b.size()});
+  while (prefix < max_prefix && a[prefix] == b[prefix]) ++prefix;
+  return jaro + static_cast<double>(prefix) * 0.1 * (1.0 - jaro);
+}
+
+double TokenJaccardSimilarity(std::string_view a, std::string_view b) {
+  std::vector<std::string> ta = WordTokens(a);
+  std::vector<std::string> tb = WordTokens(b);
+  if (ta.empty() && tb.empty()) return 1.0;
+  if (ta.empty() || tb.empty()) return 0.0;
+  std::unordered_set<std::string> sa(ta.begin(), ta.end());
+  std::unordered_set<std::string> sb(tb.begin(), tb.end());
+  size_t inter = 0;
+  for (const auto& t : sa) {
+    if (sb.count(t)) ++inter;
+  }
+  const size_t uni = sa.size() + sb.size() - inter;
+  return static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+namespace {
+
+// Packs a character trigram into a 32-bit key.
+std::vector<uint32_t> Trigrams(std::string_view s) {
+  std::vector<uint32_t> grams;
+  if (s.size() < 3) return grams;
+  grams.reserve(s.size() - 2);
+  for (size_t i = 0; i + 3 <= s.size(); ++i) {
+    grams.push_back(static_cast<uint32_t>(static_cast<unsigned char>(s[i]))
+                        << 16 |
+                    static_cast<uint32_t>(static_cast<unsigned char>(s[i + 1]))
+                        << 8 |
+                    static_cast<uint32_t>(static_cast<unsigned char>(s[i + 2])));
+  }
+  return grams;
+}
+
+}  // namespace
+
+double TrigramDiceSimilarity(std::string_view a, std::string_view b) {
+  if (a.size() < 3 || b.size() < 3) return a == b ? 1.0 : 0.0;
+  std::vector<uint32_t> ga = Trigrams(a);
+  std::vector<uint32_t> gb = Trigrams(b);
+  std::unordered_map<uint32_t, size_t> counts;
+  for (uint32_t g : ga) ++counts[g];
+  size_t inter = 0;
+  for (uint32_t g : gb) {
+    auto it = counts.find(g);
+    if (it != counts.end() && it->second > 0) {
+      --it->second;
+      ++inter;
+    }
+  }
+  return 2.0 * static_cast<double>(inter) /
+         static_cast<double>(ga.size() + gb.size());
+}
+
+}  // namespace alex::sim

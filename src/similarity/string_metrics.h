@@ -1,0 +1,30 @@
+#ifndef ALEX_SIMILARITY_STRING_METRICS_H_
+#define ALEX_SIMILARITY_STRING_METRICS_H_
+
+#include <string_view>
+
+namespace alex::sim {
+
+/// Edit distance (insert/delete/substitute, unit costs).
+size_t LevenshteinDistance(std::string_view a, std::string_view b);
+
+/// 1 - distance / max(len); 1.0 for two empty strings.
+double LevenshteinSimilarity(std::string_view a, std::string_view b);
+
+/// Jaro similarity in [0, 1].
+double JaroSimilarity(std::string_view a, std::string_view b);
+
+/// Jaro-Winkler with standard prefix scale 0.1 and max prefix 4.
+double JaroWinklerSimilarity(std::string_view a, std::string_view b);
+
+/// Jaccard overlap of lowercase word-token sets.
+double TokenJaccardSimilarity(std::string_view a, std::string_view b);
+
+/// Dice coefficient over character trigram multisets (strings are padded
+/// conceptually by using all contiguous 3-grams; shorter strings fall back
+/// to whole-string equality).
+double TrigramDiceSimilarity(std::string_view a, std::string_view b);
+
+}  // namespace alex::sim
+
+#endif  // ALEX_SIMILARITY_STRING_METRICS_H_

@@ -1,0 +1,49 @@
+#include "simulation/query_workload.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "similarity/value.h"
+
+namespace alex::simulation {
+
+FederatedWorkload MakeFederatedWorkload(const datagen::GeneratedPair& pair,
+                                        size_t n, uint64_t seed) {
+  FederatedWorkload workload;
+  std::vector<feedback::PairKey> truth = pair.truth.AsVector();
+  std::sort(truth.begin(), truth.end());
+  Rng rng(seed);
+  rng.Shuffle(&truth);
+  if (truth.size() > n) truth.resize(n);
+
+  for (feedback::PairKey key : truth) {
+    const rdf::EntityId left = feedback::PairLeft(key);
+    const rdf::EntityId right = feedback::PairRight(key);
+    // Ask for the value of one right-side attribute of the left entity —
+    // answerable only by crossing a sameAs link.
+    const auto& attrs = pair.right.attributes(right);
+    if (attrs.empty()) continue;
+    const rdf::Attribute& attr =
+        attrs[static_cast<size_t>(rng.UniformInt(attrs.size()))];
+    const std::string pred_iri =
+        pair.right.dict().term(attr.predicate).value;
+    workload.queries.push_back("SELECT ?v WHERE { <" +
+                               pair.left.entity_iri(left) + "> <" + pred_iri +
+                               "> ?v . }");
+    workload.subjects.push_back(key);
+  }
+  return workload;
+}
+
+fed::LinkIndex LinksFromPairs(
+    const datagen::GeneratedPair& pair,
+    const std::vector<feedback::PairKey>& pair_keys) {
+  fed::LinkIndex index;
+  for (feedback::PairKey key : pair_keys) {
+    index.Add(pair.left.entity_iri(feedback::PairLeft(key)),
+              pair.right.entity_iri(feedback::PairRight(key)));
+  }
+  return index;
+}
+
+}  // namespace alex::simulation

@@ -1,0 +1,35 @@
+#ifndef ALEX_SIMULATION_QUERY_WORKLOAD_H_
+#define ALEX_SIMULATION_QUERY_WORKLOAD_H_
+
+#include <string>
+#include <vector>
+
+#include "datagen/generator.h"
+#include "federation/link_index.h"
+
+namespace alex::simulation {
+
+/// A FedBench-style workload of federated queries over a generated KB pair:
+/// each query asks for right-side attributes of a left-side entity, so it
+/// can only be answered through an owl:sameAs link — the query shape of the
+/// paper's motivating example ("NYT articles about the NBA MVP").
+struct FederatedWorkload {
+  /// Query texts, one per ground-truth entity sampled.
+  std::vector<std::string> queries;
+  /// Parallel to `queries`: the ground-truth pair each query is about.
+  std::vector<feedback::PairKey> subjects;
+};
+
+/// Samples `n` queries about distinct ground-truth entities (fewer if the
+/// ground truth is smaller). Deterministic for a given seed.
+FederatedWorkload MakeFederatedWorkload(const datagen::GeneratedPair& pair,
+                                        size_t n, uint64_t seed);
+
+/// Builds a LinkIndex (IRI-based) from a set of entity-pair keys.
+fed::LinkIndex LinksFromPairs(
+    const datagen::GeneratedPair& pair,
+    const std::vector<feedback::PairKey>& pair_keys);
+
+}  // namespace alex::simulation
+
+#endif  // ALEX_SIMULATION_QUERY_WORKLOAD_H_

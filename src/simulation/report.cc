@@ -1,0 +1,40 @@
+#include "simulation/report.h"
+
+#include <iomanip>
+
+namespace alex::simulation {
+
+void PrintEpisodeSeries(const RunResult& result, std::ostream& os) {
+  os << "# scenario: " << result.scenario_name << "\n";
+  os << std::setw(8) << "episode" << std::setw(11) << "precision"
+     << std::setw(9) << "recall" << std::setw(10) << "f-measure"
+     << std::setw(12) << "candidates" << std::setw(9) << "changed"
+     << std::setw(8) << "neg%" << "\n";
+  os << std::fixed << std::setprecision(3);
+  for (const EpisodeRecord& r : result.episodes) {
+    os << std::setw(8) << r.episode << std::setw(11) << r.metrics.precision
+       << std::setw(9) << r.metrics.recall << std::setw(10)
+       << r.metrics.f_measure << std::setw(12) << r.metrics.candidates
+       << std::setw(9) << r.links_changed << std::setw(8)
+       << r.NegativeFeedbackPercent() << "\n";
+  }
+  os.unsetf(std::ios::fixed);
+}
+
+void PrintRunSummary(const RunResult& result, std::ostream& os) {
+  const EpisodeRecord& last = result.final_episode();
+  os << "scenario=" << result.scenario_name
+     << " episodes=" << result.episodes.size() - 1
+     << " strict_convergence=" << result.converged_episode
+     << " relaxed_convergence=" << result.relaxed_episode
+     << " initial_links=" << result.initial_links
+     << " new_links_discovered=" << result.new_links_discovered
+     << " final_F=" << std::fixed << std::setprecision(3)
+     << last.metrics.f_measure << " final_P=" << last.metrics.precision
+     << " final_R=" << last.metrics.recall << std::setprecision(2)
+     << " build_max_s=" << result.build_seconds_max
+     << " total_s=" << result.total_seconds << "\n";
+  os.unsetf(std::ios::fixed);
+}
+
+}  // namespace alex::simulation

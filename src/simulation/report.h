@@ -1,0 +1,21 @@
+#ifndef ALEX_SIMULATION_REPORT_H_
+#define ALEX_SIMULATION_REPORT_H_
+
+#include <ostream>
+
+#include "simulation/simulation.h"
+
+namespace alex::simulation {
+
+/// Prints the per-episode precision/recall/F series of a run in the layout
+/// of the paper's quality figures (episode on the x-axis), plus the
+/// relaxed/strict convergence markers.
+void PrintEpisodeSeries(const RunResult& result, std::ostream& os);
+
+/// Prints the one-line run summary: convergence episodes, links discovered,
+/// and timing (Section 7.3 style).
+void PrintRunSummary(const RunResult& result, std::ostream& os);
+
+}  // namespace alex::simulation
+
+#endif  // ALEX_SIMULATION_REPORT_H_

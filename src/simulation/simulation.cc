@@ -1,0 +1,138 @@
+#include "simulation/simulation.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "feedback/oracle.h"
+
+namespace alex::simulation {
+namespace {
+
+using core::PartitionedAlex;
+using feedback::PairKey;
+
+size_t SymmetricDifferenceSize(const std::unordered_set<PairKey>& a,
+                               const std::unordered_set<PairKey>& b) {
+  size_t diff = 0;
+  for (PairKey k : a) {
+    if (!b.count(k)) ++diff;
+  }
+  for (PairKey k : b) {
+    if (!a.count(k)) ++diff;
+  }
+  return diff;
+}
+
+}  // namespace
+
+Simulation::Simulation(SimulationConfig config) : config_(std::move(config)) {}
+
+feedback::GroundTruth Simulation::PartitionTruth(
+    const feedback::GroundTruth& truth, const core::PartitionedAlex& alex,
+    size_t partition) {
+  feedback::GroundTruth out;
+  for (PairKey key : truth.pairs()) {
+    if (alex.PartitionOf(feedback::PairLeft(key)) == partition) {
+      out.Add(feedback::PairLeft(key), feedback::PairRight(key));
+    }
+  }
+  return out;
+}
+
+RunResult Simulation::Run() {
+  RunResult result;
+  result.scenario_name = config_.scenario.name;
+  Stopwatch total_watch;
+
+  // 1. Data and ground truth.
+  data_ = datagen::GenerateScenario(config_.scenario);
+
+  // 2. Initial candidate links from the automatic linker (PARIS).
+  paris::ParisLinker linker(&data_.left, &data_.right, config_.paris);
+  const std::vector<paris::ScoredLink> initial = linker.Run();
+  result.initial_links = initial.size();
+
+  // 3. Partitioned ALEX over the pair.
+  PartitionedAlex alex(&data_.left, &data_.right, config_.alex);
+  const std::vector<double> build_seconds = alex.Build();
+  for (double s : build_seconds) {
+    result.build_seconds_max = std::max(result.build_seconds_max, s);
+    result.build_seconds_avg += s;
+  }
+  if (!build_seconds.empty()) {
+    result.build_seconds_avg /= static_cast<double>(build_seconds.size());
+  }
+  result.space_stats = alex.AggregatedSpaceStats();
+  alex.InitializeCandidates(initial);
+
+  std::unordered_set<PairKey> initial_set;
+  for (const paris::ScoredLink& link : initial) {
+    initial_set.insert(feedback::PackPair(link.left, link.right));
+  }
+
+  // Episode 0: the automatic linker's quality.
+  std::unordered_set<PairKey> previous = alex.Candidates();
+  EpisodeRecord first;
+  first.episode = 0;
+  first.metrics = core::ComputeMetrics(previous, data_.truth);
+  result.episodes.push_back(first);
+
+  feedback::Oracle oracle(&data_.truth, config_.feedback_error_rate,
+                          config_.oracle_seed);
+
+  // 4. Policy evaluation / policy improvement iterations.
+  for (size_t episode = 1; episode <= config_.alex.max_episodes; ++episode) {
+    Stopwatch episode_watch;
+    for (size_t i = 0; i < config_.alex.episode_size; ++i) {
+      // The candidate set evolves within the episode (actions add links,
+      // negative feedback removes them), so re-sample from the live set:
+      // newly discovered links can receive feedback in the same episode.
+      const std::vector<PairKey> candidates = alex.CandidateVector();
+      auto item = oracle.SampleAndJudge(candidates);
+      if (!item.has_value()) break;
+      alex.ProcessFeedback(*item);
+    }
+    const core::EngineEpisodeStats stats = alex.EndEpisode();
+
+    const std::unordered_set<PairKey> current = alex.Candidates();
+    EpisodeRecord record;
+    record.episode = episode;
+    record.metrics = core::ComputeMetrics(current, data_.truth);
+    record.links_changed = SymmetricDifferenceSize(previous, current);
+    record.positive_feedback = stats.positive_items;
+    record.negative_feedback = stats.negative_items;
+    record.links_added = stats.links_added;
+    record.links_removed = stats.links_removed;
+    record.rollbacks = stats.rollbacks;
+    record.seconds = episode_watch.ElapsedSeconds();
+    result.episodes.push_back(record);
+
+    if (observer_) observer_(episode, alex);
+
+    if (result.relaxed_episode == 0 && !previous.empty() &&
+        static_cast<double>(record.links_changed) <
+            config_.alex.relaxed_fraction *
+                static_cast<double>(previous.size())) {
+      result.relaxed_episode = episode;
+    }
+    if (record.links_changed == 0) {
+      result.converged_episode = episode;
+      previous = current;
+      break;
+    }
+    previous = current;
+  }
+
+  // New correct links discovered: correct links in the final set that were
+  // not produced by the automatic linker.
+  for (PairKey key : previous) {
+    if (data_.truth.Contains(key) && !initial_set.count(key)) {
+      ++result.new_links_discovered;
+    }
+  }
+  result.total_seconds = total_watch.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace alex::simulation

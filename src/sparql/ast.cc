@@ -1,0 +1,31 @@
+#include "sparql/ast.h"
+
+#include <unordered_set>
+
+namespace alex::sparql {
+
+std::vector<std::string> SelectQuery::MentionedVariables() const {
+  std::vector<std::string> out;
+  std::unordered_set<std::string> seen;
+  auto add = [&](const TermOrVar& tv) {
+    if (IsVariable(tv)) {
+      const std::string& name = std::get<Variable>(tv).name;
+      if (seen.insert(name).second) out.push_back(name);
+    }
+  };
+  auto add_pattern = [&](const TriplePatternAst& tp) {
+    add(tp.subject);
+    add(tp.predicate);
+    add(tp.object);
+  };
+  for (const TriplePatternAst& tp : where) add_pattern(tp);
+  for (const OptionalBlock& block : optionals) {
+    for (const TriplePatternAst& tp : block.patterns) add_pattern(tp);
+  }
+  for (const auto& branch : union_branches) {
+    for (const TriplePatternAst& tp : branch) add_pattern(tp);
+  }
+  return out;
+}
+
+}  // namespace alex::sparql

@@ -1,0 +1,104 @@
+#ifndef ALEX_SPARQL_AST_H_
+#define ALEX_SPARQL_AST_H_
+
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "rdf/term.h"
+
+namespace alex::sparql {
+
+/// A SPARQL variable, stored without the leading '?'.
+struct Variable {
+  std::string name;
+
+  friend bool operator==(const Variable& a, const Variable& b) {
+    return a.name == b.name;
+  }
+};
+
+/// A triple-pattern component: a concrete RDF term or a variable.
+using TermOrVar = std::variant<rdf::Term, Variable>;
+
+inline bool IsVariable(const TermOrVar& tv) {
+  return std::holds_alternative<Variable>(tv);
+}
+
+/// One triple pattern inside a basic graph pattern.
+struct TriplePatternAst {
+  TermOrVar subject;
+  TermOrVar predicate;
+  TermOrVar object;
+};
+
+/// Comparison operators allowed inside FILTER expressions.
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+/// FILTER(?var <op> <constant>) — the subset this engine supports.
+struct FilterAst {
+  Variable var;
+  CompareOp op = CompareOp::kEq;
+  rdf::Term value;
+};
+
+/// ORDER BY ?var [ASC|DESC] — single sort key.
+struct OrderSpec {
+  Variable var;
+  bool descending = false;
+};
+
+/// SELECT [?group] (COUNT(?x | *) AS ?alias) ... GROUP BY ?group — the
+/// aggregation subset. Without GROUP BY the whole solution set is one group.
+struct AggregateSpec {
+  /// Grouping variable; empty for a global aggregate.
+  std::string group_var;
+  /// Variable counted; empty means COUNT(*) (all rows). A row where the
+  /// counted variable is unbound does not count.
+  std::string count_var;
+  /// Output column name (the AS alias).
+  std::string alias;
+};
+
+/// OPTIONAL { <bgp> [FILTER...] } — a left join against the base pattern.
+/// Filters inside the block apply to the optional extension only.
+struct OptionalBlock {
+  std::vector<TriplePatternAst> patterns;
+  std::vector<FilterAst> filters;
+};
+
+/// A parsed SELECT or ASK query:
+///   SELECT [DISTINCT] (?a ?b | *) WHERE { <group> }
+///     [ORDER BY [ASC|DESC] ?v] [LIMIT n]
+///   ASK [WHERE] { <group> }
+/// where <group> is either
+///   <bgp> [FILTER...]* [OPTIONAL { ... }]*        (join + left joins), or
+///   { <bgp> } UNION { <bgp> } [UNION { <bgp> }]*  (alternation).
+struct SelectQuery {
+  /// True for ASK queries: the result is row existence, projection empty.
+  bool is_ask = false;
+  bool distinct = false;
+  /// Projected variable names; empty means SELECT *.
+  std::vector<std::string> projection;
+  /// Base basic graph pattern. Empty when `union_branches` is used.
+  std::vector<TriplePatternAst> where;
+  std::vector<FilterAst> filters;
+  /// Left-join blocks evaluated against the base pattern, in order.
+  std::vector<OptionalBlock> optionals;
+  /// Non-empty for a UNION query: each branch is an independent BGP and
+  /// the result is the concatenation of all branches' solutions.
+  std::vector<std::vector<TriplePatternAst>> union_branches;
+  /// Set for COUNT queries; `projection` then holds [group_var,] alias.
+  std::optional<AggregateSpec> aggregate;
+  std::optional<OrderSpec> order_by;
+  std::optional<size_t> limit;
+
+  /// All variables mentioned anywhere in the WHERE clause (base pattern,
+  /// OPTIONAL blocks, UNION branches), in first-seen order.
+  std::vector<std::string> MentionedVariables() const;
+};
+
+}  // namespace alex::sparql
+
+#endif  // ALEX_SPARQL_AST_H_

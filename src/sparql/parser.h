@@ -1,0 +1,25 @@
+#ifndef ALEX_SPARQL_PARSER_H_
+#define ALEX_SPARQL_PARSER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "sparql/ast.h"
+
+namespace alex::sparql {
+
+/// Parses the SPARQL subset used by this library:
+///
+///   [PREFIX ns: <iri>]*
+///   SELECT [DISTINCT] (?v1 ?v2 ... | *)
+///   WHERE { tp1 . tp2 . ... [FILTER(?v op const)]* }
+///   [LIMIT n]
+///
+/// Triple-pattern components may be variables, IRIs, prefixed names,
+/// literals (with datatype or language tag), numbers, or the keyword `a`
+/// (rdf:type). Patterns are separated by '.'.
+Result<SelectQuery> ParseQuery(std::string_view query);
+
+}  // namespace alex::sparql
+
+#endif  // ALEX_SPARQL_PARSER_H_

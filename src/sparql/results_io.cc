@@ -1,0 +1,115 @@
+#include "sparql/results_io.h"
+
+#include <cstdio>
+
+namespace alex::sparql {
+namespace {
+
+/// True for the empty plain literal this engine uses as the unbound marker.
+bool IsUnbound(const rdf::Term& t) {
+  return t.is_literal() && t.value.empty() && t.datatype.empty() &&
+         t.language.empty();
+}
+
+void WriteTermJson(const rdf::Term& t, std::ostream& os) {
+  switch (t.kind) {
+    case rdf::TermKind::kIri:
+      os << R"({"type": "uri", "value": ")" << JsonEscape(t.value) << "\"}";
+      return;
+    case rdf::TermKind::kBlank:
+      os << R"({"type": "bnode", "value": ")" << JsonEscape(t.value) << "\"}";
+      return;
+    case rdf::TermKind::kLiteral:
+      os << R"({"type": "literal", "value": ")" << JsonEscape(t.value)
+         << '"';
+      if (!t.language.empty()) {
+        os << R"(, "xml:lang": ")" << JsonEscape(t.language) << '"';
+      } else if (!t.datatype.empty()) {
+        os << R"(, "datatype": ")" << JsonEscape(t.datatype) << '"';
+      }
+      os << '}';
+      return;
+  }
+}
+
+}  // namespace
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned char>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void WriteResultsJson(const QueryResult& result, std::ostream& os) {
+  os << "{\"head\": {\"vars\": [";
+  for (size_t i = 0; i < result.variables.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << '"' << JsonEscape(result.variables[i]) << '"';
+  }
+  os << "]}, \"results\": {\"bindings\": [";
+  for (size_t r = 0; r < result.rows.size(); ++r) {
+    if (r > 0) os << ", ";
+    os << '{';
+    bool first = true;
+    for (size_t c = 0; c < result.variables.size(); ++c) {
+      const rdf::Term& t = result.rows[r][c];
+      if (IsUnbound(t)) continue;  // Unbound vars are omitted per spec.
+      if (!first) os << ", ";
+      first = false;
+      os << '"' << JsonEscape(result.variables[c]) << "\": ";
+      WriteTermJson(t, os);
+    }
+    os << '}';
+  }
+  os << "]}}\n";
+}
+
+void WriteResultsTsv(const QueryResult& result, std::ostream& os) {
+  for (size_t i = 0; i < result.variables.size(); ++i) {
+    if (i > 0) os << '\t';
+    os << '?' << result.variables[i];
+  }
+  os << '\n';
+  for (const auto& row : result.rows) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) os << '\t';
+      if (!IsUnbound(row[c])) os << row[c].ToNTriples();
+    }
+    os << '\n';
+  }
+}
+
+void WriteAskJson(bool verdict, std::ostream& os) {
+  os << "{\"head\": {}, \"boolean\": " << (verdict ? "true" : "false")
+     << "}\n";
+}
+
+}  // namespace alex::sparql

@@ -1,0 +1,28 @@
+#ifndef ALEX_SPARQL_RESULTS_IO_H_
+#define ALEX_SPARQL_RESULTS_IO_H_
+
+#include <ostream>
+
+#include "sparql/evaluator.h"
+
+namespace alex::sparql {
+
+/// Serializes a solution table in the W3C "SPARQL 1.1 Query Results JSON
+/// Format": {"head": {"vars": [...]}, "results": {"bindings": [...]}}.
+/// Unbound cells (empty-literal placeholders) are omitted from their row's
+/// binding object, as the spec prescribes.
+void WriteResultsJson(const QueryResult& result, std::ostream& os);
+
+/// Serializes in the SPARQL TSV results format: a header row of
+/// '?'-prefixed variable names, then one N-Triples-encoded term per cell.
+void WriteResultsTsv(const QueryResult& result, std::ostream& os);
+
+/// Renders an ASK verdict in the JSON results format.
+void WriteAskJson(bool verdict, std::ostream& os);
+
+/// Escapes a string for a JSON string literal (quotes not included).
+std::string JsonEscape(std::string_view s);
+
+}  // namespace alex::sparql
+
+#endif  // ALEX_SPARQL_RESULTS_IO_H_

@@ -1,0 +1,217 @@
+#include "sparql/tokenizer.h"
+
+#include <cctype>
+#include <unordered_set>
+
+#include "common/string_util.h"
+
+namespace alex::sparql {
+namespace {
+
+const std::unordered_set<std::string>& Keywords() {
+  static const auto* kKeywords = new std::unordered_set<std::string>{
+      "SELECT", "WHERE", "FILTER", "DISTINCT", "LIMIT",    "PREFIX", "ASK",
+      "ORDER",  "BY",    "ASC",    "DESC",     "OPTIONAL", "UNION",  "COUNT",
+      "AS",     "GROUP",
+  };
+  return *kKeywords;
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsNameChar(char c) {
+  return IsIdentChar(c) || c == '-' || c == '.';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(std::string_view q) {
+  std::vector<Token> out;
+  size_t i = 0;
+  auto fail = [&](const std::string& msg) {
+    return Status::ParseError(msg + " at offset " + std::to_string(i));
+  };
+  while (i < q.size()) {
+    char c = q[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '#') {  // Comment to end of line.
+      while (i < q.size() && q[i] != '\n') ++i;
+      continue;
+    }
+    Token tok;
+    tok.offset = i;
+    if (c == '?' || c == '$') {
+      size_t start = ++i;
+      while (i < q.size() && IsIdentChar(q[i])) ++i;
+      if (i == start) return fail("empty variable name");
+      tok.kind = TokenKind::kVariable;
+      tok.text = std::string(q.substr(start, i - start));
+    } else if (c == '<') {
+      // '<' opens an IRI only when a '>' appears before any whitespace;
+      // otherwise it is the less-than operator (e.g. FILTER(?x < 5)).
+      size_t end = std::string_view::npos;
+      for (size_t j = i + 1; j < q.size(); ++j) {
+        if (q[j] == '>') {
+          end = j;
+          break;
+        }
+        if (std::isspace(static_cast<unsigned char>(q[j]))) break;
+      }
+      if (end == std::string_view::npos) {
+        tok.kind = TokenKind::kOp;
+        tok.text = "<";
+        ++i;
+        if (i < q.size() && q[i] == '=') {
+          tok.text += '=';
+          ++i;
+        }
+      } else {
+        tok.kind = TokenKind::kIri;
+        tok.text = std::string(q.substr(i + 1, end - i - 1));
+        i = end + 1;
+      }
+    } else if (c == '"') {
+      std::string body;
+      ++i;
+      bool closed = false;
+      while (i < q.size()) {
+        if (q[i] == '"') {
+          closed = true;
+          ++i;
+          break;
+        }
+        if (q[i] == '\\' && i + 1 < q.size()) {
+          char e = q[i + 1];
+          if (e == 'n') body += '\n';
+          else if (e == 't') body += '\t';
+          else if (e == 'r') body += '\r';
+          else if (e == '"') body += '"';
+          else if (e == '\\') body += '\\';
+          else return fail("unknown escape");
+          i += 2;
+          continue;
+        }
+        body += q[i++];
+      }
+      if (!closed) return fail("unterminated string");
+      tok.kind = TokenKind::kString;
+      tok.text = std::move(body);
+      if (i < q.size() && q[i] == '@') {
+        size_t start = ++i;
+        while (i < q.size() && (std::isalnum(static_cast<unsigned char>(q[i])) ||
+                                q[i] == '-')) {
+          ++i;
+        }
+        tok.language = std::string(q.substr(start, i - start));
+      } else if (i + 1 < q.size() && q[i] == '^' && q[i + 1] == '^') {
+        i += 2;
+        if (i >= q.size() || q[i] != '<') return fail("datatype must be IRI");
+        size_t end = q.find('>', i + 1);
+        if (end == std::string_view::npos) {
+          return fail("unterminated datatype IRI");
+        }
+        tok.datatype = std::string(q.substr(i + 1, end - i - 1));
+        i = end + 1;
+      }
+    } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+               ((c == '-' || c == '+') && i + 1 < q.size() &&
+                std::isdigit(static_cast<unsigned char>(q[i + 1])))) {
+      size_t start = i;
+      if (c == '-' || c == '+') ++i;
+      bool dot = false;
+      while (i < q.size() &&
+             (std::isdigit(static_cast<unsigned char>(q[i])) ||
+              (q[i] == '.' && !dot && i + 1 < q.size() &&
+               std::isdigit(static_cast<unsigned char>(q[i + 1]))))) {
+        if (q[i] == '.') dot = true;
+        ++i;
+      }
+      tok.kind = TokenKind::kNumber;
+      tok.text = std::string(q.substr(start, i - start));
+    } else if (c == '{' || c == '}' || c == '.' || c == '(' || c == ')' ||
+               c == ',' || c == ';' || c == '*') {
+      tok.kind = TokenKind::kPunct;
+      tok.text = std::string(1, c);
+      ++i;
+    } else if (c == '=' ) {
+      tok.kind = TokenKind::kOp;
+      tok.text = "=";
+      ++i;
+    } else if (c == '!' && i + 1 < q.size() && q[i + 1] == '=') {
+      tok.kind = TokenKind::kOp;
+      tok.text = "!=";
+      i += 2;
+    } else if (c == '<' || c == '>') {
+      // '<' as operator is handled above via IRI; only '>' reaches here.
+      tok.kind = TokenKind::kOp;
+      tok.text = std::string(1, c);
+      ++i;
+      if (i < q.size() && q[i] == '=') {
+        tok.text += '=';
+        ++i;
+      }
+    } else if (std::isalpha(static_cast<unsigned char>(c))) {
+      size_t start = i;
+      while (i < q.size() && IsNameChar(q[i])) ++i;
+      // Trailing dots belong to triple terminators, not the name.
+      size_t len = i - start;
+      while (len > 0 && q[start + len - 1] == '.') {
+        --len;
+        --i;
+      }
+      std::string word(q.substr(start, len));
+      // Prefixed name? (contains ':').
+      if (i < q.size() && q[i] == ':') {
+        ++i;
+        size_t lstart = i;
+        while (i < q.size() && IsNameChar(q[i])) ++i;
+        size_t llen = i - lstart;
+        while (llen > 0 && q[lstart + llen - 1] == '.') {
+          --llen;
+          --i;
+        }
+        tok.kind = TokenKind::kPrefixedName;
+        tok.text = word + ":" + std::string(q.substr(lstart, llen));
+      } else if (word == "a") {
+        tok.kind = TokenKind::kA;
+        tok.text = "a";
+      } else {
+        std::string upper = ToLowerAscii(word);
+        for (char& ch : upper) ch = static_cast<char>(std::toupper(
+            static_cast<unsigned char>(ch)));
+        if (!Keywords().count(upper)) {
+          return fail("unknown keyword '" + word + "'");
+        }
+        tok.kind = TokenKind::kKeyword;
+        tok.text = upper;
+      }
+    } else if (c == ':') {
+      // Prefixed name with empty prefix, e.g. ":local".
+      ++i;
+      size_t lstart = i;
+      while (i < q.size() && IsNameChar(q[i])) ++i;
+      size_t llen = i - lstart;
+      while (llen > 0 && q[lstart + llen - 1] == '.') {
+        --llen;
+        --i;
+      }
+      tok.kind = TokenKind::kPrefixedName;
+      tok.text = ":" + std::string(q.substr(lstart, llen));
+    } else {
+      return fail(std::string("unexpected character '") + c + "'");
+    }
+    out.push_back(std::move(tok));
+  }
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.offset = q.size();
+  out.push_back(std::move(end));
+  return out;
+}
+
+}  // namespace alex::sparql

@@ -1,0 +1,39 @@
+#ifndef ALEX_SPARQL_TOKENIZER_H_
+#define ALEX_SPARQL_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace alex::sparql {
+
+enum class TokenKind {
+  kKeyword,     // SELECT, WHERE, FILTER, ... (uppercased in `text`)
+  kVariable,    // ?x (text holds "x")
+  kIri,         // <...> (text holds the IRI)
+  kPrefixedName,// ns:local (text holds the raw form)
+  kString,      // "..." (text holds the unescaped body; datatype/lang too)
+  kNumber,      // 42 or 3.14 (text holds lexical form)
+  kPunct,       // { } . ( ) , ;
+  kOp,          // = != < <= > >=
+  kA,           // the 'a' keyword (rdf:type)
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;
+  std::string datatype;  // For kString with ^^<dt>.
+  std::string language;  // For kString with @lang.
+  size_t offset = 0;     // Byte offset in the input, for error messages.
+};
+
+/// Splits a SPARQL query string into tokens. Keywords are case-insensitive
+/// and normalized to uppercase. The final token is always kEnd.
+Result<std::vector<Token>> Tokenize(std::string_view query);
+
+}  // namespace alex::sparql
+
+#endif  // ALEX_SPARQL_TOKENIZER_H_

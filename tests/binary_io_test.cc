@@ -1,0 +1,140 @@
+#include "rdf/binary_io.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "datagen/generator.h"
+#include "rdf/ntriples.h"
+
+namespace alex::rdf {
+namespace {
+
+TEST(BinaryIoTest, EmptyRoundTrip) {
+  Dictionary dict;
+  TripleStore store;
+  std::ostringstream out;
+  ASSERT_TRUE(WriteBinaryDataset(dict, store, out).ok());
+  Dictionary dict2;
+  TripleStore store2;
+  std::istringstream in(out.str());
+  ASSERT_TRUE(ReadBinaryDataset(in, &dict2, &store2).ok());
+  EXPECT_EQ(dict2.size(), 0u);
+  EXPECT_EQ(store2.size(), 0u);
+}
+
+TEST(BinaryIoTest, RoundTripPreservesEverything) {
+  Dictionary dict;
+  TripleStore store;
+  const TermId s = dict.InternIri("http://s");
+  const TermId p = dict.InternIri("http://p");
+  const TermId plain = dict.Intern(Term::Literal("plain \"text\"\nwith\tstuff"));
+  const TermId typed = dict.Intern(Term::TypedLiteral("5", "http://dt"));
+  const TermId lang = dict.Intern(Term::LangLiteral("bonjour", "fr"));
+  const TermId blank = dict.Intern(Term::Blank("b0"));
+  store.Add(s, p, plain);
+  store.Add(s, p, typed);
+  store.Add(s, p, lang);
+  store.Add(blank, p, s);
+
+  std::ostringstream out;
+  ASSERT_TRUE(WriteBinaryDataset(dict, store, out).ok());
+
+  Dictionary dict2;
+  TripleStore store2;
+  std::istringstream in(out.str());
+  ASSERT_TRUE(ReadBinaryDataset(in, &dict2, &store2).ok());
+  ASSERT_EQ(dict2.size(), dict.size());
+  for (TermId id = 0; id < dict.size(); ++id) {
+    EXPECT_EQ(dict2.term(id), dict.term(id)) << id;
+  }
+  EXPECT_EQ(store2.size(), store.size());
+  store.ForEachMatch(TriplePattern{}, [&](const Triple& t) {
+    EXPECT_TRUE(store2.Contains(t));
+    return true;
+  });
+}
+
+TEST(BinaryIoTest, GeneratedDatasetRoundTrip) {
+  datagen::ScenarioConfig config;
+  config.seed = 2718;
+  config.num_shared = 50;
+  config.num_left_only = 30;
+  config.num_right_only = 20;
+  config.domains = {"person", "drug"};
+  datagen::GeneratedPair pair = datagen::GenerateScenario(config);
+
+  std::ostringstream out;
+  ASSERT_TRUE(
+      WriteBinaryDataset(pair.left.dict(), pair.left.store(), out).ok());
+  Dictionary dict2;
+  TripleStore store2;
+  std::istringstream in(out.str());
+  ASSERT_TRUE(ReadBinaryDataset(in, &dict2, &store2).ok());
+  EXPECT_EQ(store2.size(), pair.left.store().size());
+
+  // Logical equality via the text serialization.
+  std::ostringstream nt1, nt2;
+  ASSERT_TRUE(WriteNTriples(pair.left.store(), pair.left.dict(), nt1).ok());
+  ASSERT_TRUE(WriteNTriples(store2, dict2, nt2).ok());
+  EXPECT_EQ(nt1.str(), nt2.str());
+}
+
+TEST(BinaryIoTest, RejectsNonEmptyTargets) {
+  Dictionary dict;
+  TripleStore store;
+  std::ostringstream out;
+  ASSERT_TRUE(WriteBinaryDataset(dict, store, out).ok());
+  Dictionary nonempty;
+  nonempty.InternIri("http://x");
+  TripleStore empty_store;
+  std::istringstream in(out.str());
+  EXPECT_EQ(ReadBinaryDataset(in, &nonempty, &empty_store).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(BinaryIoTest, RejectsBadMagic) {
+  Dictionary dict;
+  TripleStore store;
+  std::istringstream in("NOTMAGIC00000000");
+  EXPECT_EQ(ReadBinaryDataset(in, &dict, &store).code(),
+            StatusCode::kParseError);
+}
+
+TEST(BinaryIoTest, RejectsTruncation) {
+  Dictionary dict;
+  TripleStore store;
+  dict.InternIri("http://s");
+  std::ostringstream out;
+  ASSERT_TRUE(WriteBinaryDataset(dict, store, out).ok());
+  const std::string full = out.str();
+  // Every strict prefix must fail cleanly.
+  for (size_t cut : {8u, 12u, 17u}) {
+    if (cut >= full.size()) continue;
+    Dictionary d2;
+    TripleStore s2;
+    std::istringstream in(full.substr(0, cut));
+    EXPECT_FALSE(ReadBinaryDataset(in, &d2, &s2).ok()) << "cut=" << cut;
+  }
+}
+
+TEST(BinaryIoTest, RejectsOutOfRangeTripleIds) {
+  // Hand-craft: magic + 1 term + 1 triple with id 7.
+  std::ostringstream out;
+  Dictionary dict;
+  TripleStore store;
+  dict.InternIri("http://only");
+  ASSERT_TRUE(WriteBinaryDataset(dict, store, out).ok());
+  std::string bytes = out.str();
+  // Patch triple count to 1 and append a bogus triple.
+  bytes[bytes.size() - 8] = 1;
+  bytes.append(12, '\x07');
+  Dictionary d2;
+  TripleStore s2;
+  std::istringstream in(bytes);
+  EXPECT_FALSE(ReadBinaryDataset(in, &d2, &s2).ok());
+}
+
+}  // namespace
+}  // namespace alex::rdf

@@ -1,0 +1,45 @@
+#include "core/config.h"
+
+#include <gtest/gtest.h>
+
+namespace alex::core {
+namespace {
+
+TEST(ConfigTest, PaperDefaults) {
+  AlexConfig config;
+  EXPECT_DOUBLE_EQ(config.theta, 0.3);
+  EXPECT_DOUBLE_EQ(config.step_size, 0.05);
+  EXPECT_EQ(config.episode_size, 1000u);
+  EXPECT_EQ(config.num_partitions, 27u);
+  EXPECT_EQ(config.max_episodes, 100u);
+  EXPECT_DOUBLE_EQ(config.relaxed_fraction, 0.05);
+  EXPECT_TRUE(config.use_blacklist);
+  EXPECT_TRUE(config.use_rollback);
+}
+
+TEST(ConfigTest, AdaptiveMaxLinksPerAction) {
+  AlexConfig config;
+  config.episode_size = 1000;
+  EXPECT_EQ(config.EffectiveMaxLinksPerAction(), 50u);  // episode/20.
+  config.episode_size = 10;
+  EXPECT_EQ(config.EffectiveMaxLinksPerAction(), 10u);  // Floor.
+  config.episode_size = 100000;
+  EXPECT_EQ(config.EffectiveMaxLinksPerAction(), 5000u);
+  config.max_links_per_action = 7;  // Explicit override wins.
+  EXPECT_EQ(config.EffectiveMaxLinksPerAction(), 7u);
+}
+
+TEST(ConfigTest, AdaptiveRollbackThreshold) {
+  AlexConfig config;
+  config.episode_size = 1000;
+  EXPECT_EQ(config.EffectiveRollbackThreshold(), 5u);
+  config.episode_size = 10;
+  EXPECT_EQ(config.EffectiveRollbackThreshold(), 2u);
+  config.episode_size = 200;
+  EXPECT_EQ(config.EffectiveRollbackThreshold(), 5u);  // Boundary.
+  config.rollback_threshold = 9;  // Explicit override wins.
+  EXPECT_EQ(config.EffectiveRollbackThreshold(), 9u);
+}
+
+}  // namespace
+}  // namespace alex::core

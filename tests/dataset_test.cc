@@ -1,0 +1,85 @@
+#include "rdf/dataset.h"
+
+#include <gtest/gtest.h>
+
+namespace alex::rdf {
+namespace {
+
+class DatasetTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ds_.AddLiteralTriple("http://x/e1", "http://x/name",
+                         Term::Literal("Alpha"));
+    ds_.AddLiteralTriple("http://x/e1", "http://x/age",
+                         Term::TypedLiteral("30", std::string(kXsdInteger)));
+    ds_.AddLiteralTriple("http://x/e2", "http://x/name",
+                         Term::Literal("Beta"));
+    ds_.AddIriTriple("http://x/e2", "http://x/knows", "http://x/e1");
+  }
+  Dataset ds_{"test"};
+};
+
+TEST_F(DatasetTest, NameAndCounts) {
+  EXPECT_EQ(ds_.name(), "test");
+  EXPECT_EQ(ds_.num_triples(), 4u);
+  EXPECT_EQ(ds_.num_entities(), 2u);
+}
+
+TEST_F(DatasetTest, EntityIrisAndLookup) {
+  auto e1 = ds_.FindEntityByIri("http://x/e1");
+  ASSERT_TRUE(e1.has_value());
+  EXPECT_EQ(ds_.entity_iri(*e1), "http://x/e1");
+  EXPECT_EQ(ds_.FindEntity(ds_.entity_term(*e1)), e1);
+  EXPECT_FALSE(ds_.FindEntityByIri("http://x/nope").has_value());
+}
+
+TEST_F(DatasetTest, AttributesOfEntity) {
+  auto e1 = ds_.FindEntityByIri("http://x/e1");
+  ASSERT_TRUE(e1.has_value());
+  const auto& attrs = ds_.attributes(*e1);
+  EXPECT_EQ(attrs.size(), 2u);
+  auto e2 = ds_.FindEntityByIri("http://x/e2");
+  ASSERT_TRUE(e2.has_value());
+  EXPECT_EQ(ds_.attributes(*e2).size(), 2u);  // name + knows.
+}
+
+TEST_F(DatasetTest, LiteralSubjectsAreNotEntities) {
+  // Only IRI subjects become entities; objects never do.
+  for (size_t e = 0; e < ds_.num_entities(); ++e) {
+    EXPECT_TRUE(ds_.dict().term(ds_.entity_term(e)).is_iri());
+  }
+}
+
+TEST_F(DatasetTest, IndexRebuildsAfterMutation) {
+  EXPECT_EQ(ds_.num_entities(), 2u);
+  ds_.AddLiteralTriple("http://x/e3", "http://x/name",
+                       Term::Literal("Gamma"));
+  EXPECT_EQ(ds_.num_entities(), 3u);
+  auto e3 = ds_.FindEntityByIri("http://x/e3");
+  ASSERT_TRUE(e3.has_value());
+  EXPECT_EQ(ds_.attributes(*e3).size(), 1u);
+}
+
+TEST_F(DatasetTest, ExplicitBuildEntityIndex) {
+  ds_.BuildEntityIndex();
+  EXPECT_EQ(ds_.num_entities(), 2u);
+}
+
+TEST(DatasetEmptyTest, EmptyDataset) {
+  Dataset ds("empty");
+  EXPECT_EQ(ds.num_entities(), 0u);
+  EXPECT_EQ(ds.num_triples(), 0u);
+  EXPECT_FALSE(ds.FindEntityByIri("http://x").has_value());
+}
+
+TEST(DatasetMultiValueTest, EntityWithRepeatedPredicate) {
+  Dataset ds("multi");
+  ds.AddLiteralTriple("http://x/e", "http://x/alias", Term::Literal("A"));
+  ds.AddLiteralTriple("http://x/e", "http://x/alias", Term::Literal("B"));
+  auto e = ds.FindEntityByIri("http://x/e");
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(ds.attributes(*e).size(), 2u);
+}
+
+}  // namespace
+}  // namespace alex::rdf

@@ -1,0 +1,71 @@
+#include "rdf/dictionary.h"
+
+#include <gtest/gtest.h>
+
+namespace alex::rdf {
+namespace {
+
+TEST(DictionaryTest, InternAssignsDenseIds) {
+  Dictionary dict;
+  EXPECT_EQ(dict.size(), 0u);
+  TermId a = dict.Intern(Term::Iri("http://a"));
+  TermId b = dict.Intern(Term::Iri("http://b"));
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 1u);
+  EXPECT_EQ(dict.size(), 2u);
+}
+
+TEST(DictionaryTest, InternIsIdempotent) {
+  Dictionary dict;
+  TermId a1 = dict.Intern(Term::Iri("http://a"));
+  TermId a2 = dict.Intern(Term::Iri("http://a"));
+  EXPECT_EQ(a1, a2);
+  EXPECT_EQ(dict.size(), 1u);
+}
+
+TEST(DictionaryTest, RoundTrip) {
+  Dictionary dict;
+  Term t = Term::TypedLiteral("3.14", std::string(kXsdDouble));
+  TermId id = dict.Intern(t);
+  EXPECT_EQ(dict.term(id), t);
+}
+
+TEST(DictionaryTest, LookupFindsOnlyInterned) {
+  Dictionary dict;
+  dict.Intern(Term::Literal("x"));
+  EXPECT_TRUE(dict.Lookup(Term::Literal("x")).has_value());
+  EXPECT_FALSE(dict.Lookup(Term::Literal("y")).has_value());
+  EXPECT_FALSE(dict.Lookup(Term::Iri("x")).has_value());
+}
+
+TEST(DictionaryTest, DistinguishesLiteralVariants) {
+  Dictionary dict;
+  TermId plain = dict.Intern(Term::Literal("v"));
+  TermId typed = dict.Intern(Term::TypedLiteral("v", "http://dt"));
+  TermId lang = dict.Intern(Term::LangLiteral("v", "en"));
+  EXPECT_NE(plain, typed);
+  EXPECT_NE(plain, lang);
+  EXPECT_NE(typed, lang);
+}
+
+TEST(DictionaryTest, ConvenienceInterners) {
+  Dictionary dict;
+  TermId iri = dict.InternIri("http://a");
+  TermId lit = dict.InternLiteral("a");
+  EXPECT_TRUE(dict.term(iri).is_iri());
+  EXPECT_TRUE(dict.term(lit).is_literal());
+}
+
+TEST(DictionaryTest, ManyTerms) {
+  Dictionary dict;
+  for (int i = 0; i < 1000; ++i) {
+    dict.InternIri("http://x/" + std::to_string(i));
+  }
+  EXPECT_EQ(dict.size(), 1000u);
+  auto id = dict.Lookup(Term::Iri("http://x/537"));
+  ASSERT_TRUE(id.has_value());
+  EXPECT_EQ(dict.term(*id).value, "http://x/537");
+}
+
+}  // namespace
+}  // namespace alex::rdf

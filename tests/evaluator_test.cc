@@ -1,0 +1,343 @@
+#include "sparql/evaluator.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "sparql/parser.h"
+
+namespace alex::sparql {
+namespace {
+
+using rdf::Term;
+
+class EvaluatorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ds_.AddLiteralTriple("http://x/alice", "http://x/name",
+                         Term::Literal("Alice"));
+    ds_.AddLiteralTriple("http://x/alice", "http://x/age",
+                         Term::TypedLiteral("30", std::string(rdf::kXsdInteger)));
+    ds_.AddLiteralTriple("http://x/bob", "http://x/name", Term::Literal("Bob"));
+    ds_.AddLiteralTriple("http://x/bob", "http://x/age",
+                         Term::TypedLiteral("25", std::string(rdf::kXsdInteger)));
+    ds_.AddIriTriple("http://x/alice", "http://x/knows", "http://x/bob");
+    ds_.AddIriTriple("http://x/bob", "http://x/knows", "http://x/carol");
+    ds_.AddLiteralTriple("http://x/carol", "http://x/name",
+                         Term::Literal("Carol"));
+    ds_.AddIriTriple("http://x/alice", std::string(rdf::kRdfType),
+                     "http://x/Person");
+    ds_.AddIriTriple("http://x/bob", std::string(rdf::kRdfType),
+                     "http://x/Person");
+  }
+
+  QueryResult Run(const std::string& q) {
+    auto r = EvaluateQuery(q, ds_);
+    EXPECT_TRUE(r.ok()) << r.status();
+    return r.ValueOr(QueryResult{});
+  }
+
+  rdf::Dataset ds_{"people"};
+};
+
+TEST_F(EvaluatorTest, SinglePattern) {
+  QueryResult r = Run("SELECT ?s WHERE { ?s <http://x/name> ?n . }");
+  EXPECT_EQ(r.NumRows(), 3u);
+}
+
+TEST_F(EvaluatorTest, ConstantObject) {
+  QueryResult r =
+      Run("SELECT ?s WHERE { ?s <http://x/name> \"Alice\" . }");
+  ASSERT_EQ(r.NumRows(), 1u);
+  EXPECT_EQ(r.rows[0][0], Term::Iri("http://x/alice"));
+}
+
+TEST_F(EvaluatorTest, JoinAcrossPatterns) {
+  QueryResult r = Run(
+      "SELECT ?n WHERE { <http://x/alice> <http://x/knows> ?f . "
+      "?f <http://x/name> ?n . }");
+  ASSERT_EQ(r.NumRows(), 1u);
+  EXPECT_EQ(r.rows[0][0], Term::Literal("Bob"));
+}
+
+TEST_F(EvaluatorTest, TwoHopJoin) {
+  QueryResult r = Run(
+      "SELECT ?n WHERE { ?a <http://x/knows> ?b . ?b <http://x/knows> ?c . "
+      "?c <http://x/name> ?n . }");
+  ASSERT_EQ(r.NumRows(), 1u);
+  EXPECT_EQ(r.rows[0][0], Term::Literal("Carol"));
+}
+
+TEST_F(EvaluatorTest, FilterNumericComparison) {
+  QueryResult r = Run(
+      "SELECT ?s WHERE { ?s <http://x/age> ?a . FILTER(?a > 26) }");
+  ASSERT_EQ(r.NumRows(), 1u);
+  EXPECT_EQ(r.rows[0][0], Term::Iri("http://x/alice"));
+}
+
+TEST_F(EvaluatorTest, FilterEqualityOnString) {
+  QueryResult r = Run(
+      "SELECT ?s WHERE { ?s <http://x/name> ?n . FILTER(?n = \"Bob\") }");
+  ASSERT_EQ(r.NumRows(), 1u);
+  EXPECT_EQ(r.rows[0][0], Term::Iri("http://x/bob"));
+}
+
+TEST_F(EvaluatorTest, FilterNotEqual) {
+  QueryResult r = Run(
+      "SELECT ?s WHERE { ?s <http://x/name> ?n . FILTER(?n != \"Bob\") }");
+  EXPECT_EQ(r.NumRows(), 2u);
+}
+
+TEST_F(EvaluatorTest, TypePatternWithA) {
+  QueryResult r = Run("SELECT ?s WHERE { ?s a <http://x/Person> . }");
+  EXPECT_EQ(r.NumRows(), 2u);
+}
+
+TEST_F(EvaluatorTest, SelectStarBindsAllVariables) {
+  QueryResult r = Run("SELECT * WHERE { ?s <http://x/age> ?a . }");
+  EXPECT_EQ(r.variables, (std::vector<std::string>{"s", "a"}));
+  EXPECT_EQ(r.NumRows(), 2u);
+}
+
+TEST_F(EvaluatorTest, Limit) {
+  QueryResult r = Run("SELECT ?s WHERE { ?s <http://x/name> ?n . } LIMIT 2");
+  EXPECT_EQ(r.NumRows(), 2u);
+}
+
+TEST_F(EvaluatorTest, Distinct) {
+  // ?s of both patterns; without DISTINCT alice yields one row per
+  // (name, knows) combination.
+  QueryResult with_distinct = Run(
+      "SELECT DISTINCT ?s WHERE { ?s <http://x/name> ?n . "
+      "?s <http://x/knows> ?f . }");
+  EXPECT_EQ(with_distinct.NumRows(), 2u);  // alice, bob.
+}
+
+TEST_F(EvaluatorTest, RepeatedVariableInPattern) {
+  // No triple has subject == object here.
+  QueryResult r = Run("SELECT ?s WHERE { ?s <http://x/knows> ?s . }");
+  EXPECT_EQ(r.NumRows(), 0u);
+  ds_.AddIriTriple("http://x/dave", "http://x/knows", "http://x/dave");
+  QueryResult r2 = Run("SELECT ?s WHERE { ?s <http://x/knows> ?s . }");
+  ASSERT_EQ(r2.NumRows(), 1u);
+  EXPECT_EQ(r2.rows[0][0], Term::Iri("http://x/dave"));
+}
+
+TEST_F(EvaluatorTest, UnknownConstantYieldsNoRows) {
+  QueryResult r = Run("SELECT ?s WHERE { ?s <http://x/missing> ?o . }");
+  EXPECT_EQ(r.NumRows(), 0u);
+}
+
+TEST_F(EvaluatorTest, ProjectionMustBeMentioned) {
+  auto r = EvaluateQuery("SELECT ?zz WHERE { ?s ?p ?o . }", ds_);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(EvaluatorTest, CartesianProductOfDisconnectedPatterns) {
+  QueryResult r = Run(
+      "SELECT ?a ?b WHERE { ?a <http://x/knows> ?x . "
+      "?b <http://x/age> ?y . }");
+  EXPECT_EQ(r.NumRows(), 4u);  // 2 knows-edges x 2 age-subjects.
+}
+
+TEST_F(EvaluatorTest, OrderByAscending) {
+  QueryResult r = Run(
+      "SELECT ?s ?a WHERE { ?s <http://x/age> ?a . } ORDER BY ?a");
+  ASSERT_EQ(r.NumRows(), 2u);
+  EXPECT_EQ(r.rows[0][0], Term::Iri("http://x/bob"));    // age 25.
+  EXPECT_EQ(r.rows[1][0], Term::Iri("http://x/alice"));  // age 30.
+}
+
+TEST_F(EvaluatorTest, OrderByDescendingWithLimit) {
+  QueryResult r = Run(
+      "SELECT ?s ?a WHERE { ?s <http://x/age> ?a . } ORDER BY DESC ?a "
+      "LIMIT 1");
+  ASSERT_EQ(r.NumRows(), 1u);
+  EXPECT_EQ(r.rows[0][0], Term::Iri("http://x/alice"));
+}
+
+TEST_F(EvaluatorTest, OrderByStringColumn) {
+  QueryResult r =
+      Run("SELECT ?n WHERE { ?s <http://x/name> ?n . } ORDER BY ?n");
+  ASSERT_EQ(r.NumRows(), 3u);
+  EXPECT_EQ(r.rows[0][0], Term::Literal("Alice"));
+  EXPECT_EQ(r.rows[2][0], Term::Literal("Carol"));
+}
+
+TEST_F(EvaluatorTest, OrderByUnprojectedVariableFails) {
+  auto r = EvaluateQuery(
+      "SELECT ?s WHERE { ?s <http://x/age> ?a . } ORDER BY ?zz", ds_);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(EvaluatorTest, AskQueries) {
+  auto yes = AskQuery("ASK { ?s <http://x/name> \"Alice\" . }", ds_);
+  ASSERT_TRUE(yes.ok()) << yes.status();
+  EXPECT_TRUE(*yes);
+  auto no = AskQuery("ASK WHERE { ?s <http://x/name> \"Zelda\" . }", ds_);
+  ASSERT_TRUE(no.ok());
+  EXPECT_FALSE(*no);
+  auto filtered =
+      AskQuery("ASK { ?s <http://x/age> ?a . FILTER(?a > 99) }", ds_);
+  ASSERT_TRUE(filtered.ok());
+  EXPECT_FALSE(*filtered);
+}
+
+TEST_F(EvaluatorTest, AskParsesViaIsAskFlag) {
+  auto q = ParseQuery("ASK { ?s ?p ?o . }");
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(q->is_ask);
+  EXPECT_TRUE(q->projection.empty());
+}
+
+TEST_F(EvaluatorTest, OptionalExtendsWhenPossible) {
+  QueryResult r = Run(
+      "SELECT ?s ?f WHERE { ?s <http://x/name> ?n . "
+      "OPTIONAL { ?s <http://x/knows> ?f . } } ORDER BY ?s");
+  ASSERT_EQ(r.NumRows(), 3u);
+  // alice and bob have friends; carol keeps an unbound (empty) ?f.
+  EXPECT_EQ(r.rows[0][0], Term::Iri("http://x/alice"));
+  EXPECT_EQ(r.rows[0][1], Term::Iri("http://x/bob"));
+  EXPECT_EQ(r.rows[1][0], Term::Iri("http://x/bob"));
+  EXPECT_EQ(r.rows[1][1], Term::Iri("http://x/carol"));
+  EXPECT_EQ(r.rows[2][0], Term::Iri("http://x/carol"));
+  EXPECT_EQ(r.rows[2][1], Term::Literal(""));
+}
+
+TEST_F(EvaluatorTest, OptionalFilterScopesToBlock) {
+  // The filter inside OPTIONAL rejects the extension, not the base row.
+  QueryResult r = Run(
+      "SELECT ?s ?a WHERE { ?s <http://x/name> ?n . "
+      "OPTIONAL { ?s <http://x/age> ?a . FILTER(?a > 28) } } ORDER BY ?s");
+  ASSERT_EQ(r.NumRows(), 3u);
+  EXPECT_EQ(r.rows[0][1],
+            Term::TypedLiteral("30", std::string(rdf::kXsdInteger)));
+  EXPECT_EQ(r.rows[1][1], Term::Literal(""));  // bob, age 25 filtered out.
+  EXPECT_EQ(r.rows[2][1], Term::Literal(""));  // carol has no age.
+}
+
+TEST_F(EvaluatorTest, ChainedOptionals) {
+  QueryResult r = Run(
+      "SELECT ?s ?a ?f WHERE { ?s <http://x/name> ?n . "
+      "OPTIONAL { ?s <http://x/age> ?a . } "
+      "OPTIONAL { ?s <http://x/knows> ?f . } }");
+  EXPECT_EQ(r.NumRows(), 3u);
+}
+
+TEST_F(EvaluatorTest, UnionConcatenatesBranches) {
+  QueryResult r = Run(
+      "SELECT ?s WHERE { { ?s <http://x/age> ?a . } UNION "
+      "{ ?s <http://x/knows> ?f . } }");
+  EXPECT_EQ(r.NumRows(), 4u);  // 2 age rows + 2 knows rows.
+}
+
+TEST_F(EvaluatorTest, UnionWithDistinctDeduplicates) {
+  QueryResult r = Run(
+      "SELECT DISTINCT ?s WHERE { { ?s <http://x/age> ?a . } UNION "
+      "{ ?s <http://x/name> ?n . } }");
+  EXPECT_EQ(r.NumRows(), 3u);  // alice, bob, carol.
+}
+
+TEST_F(EvaluatorTest, ThreeWayUnion) {
+  QueryResult r = Run(
+      "SELECT ?s WHERE { { ?s <http://x/age> ?a . } UNION "
+      "{ ?s <http://x/knows> ?f . } UNION { ?s a <http://x/Person> . } }");
+  EXPECT_EQ(r.NumRows(), 6u);
+}
+
+TEST_F(EvaluatorTest, UnionBranchVariablesAreIndependent) {
+  QueryResult r = Run(
+      "SELECT ?a ?f WHERE { { ?s <http://x/age> ?a . } UNION "
+      "{ ?s <http://x/knows> ?f . } }");
+  ASSERT_EQ(r.NumRows(), 4u);
+  // Rows from the age branch leave ?f unbound and vice versa.
+  size_t empty_cells = 0;
+  for (const auto& row : r.rows) {
+    for (const Term& t : row) {
+      if (t == Term::Literal("")) ++empty_cells;
+    }
+  }
+  EXPECT_EQ(empty_cells, 4u);
+}
+
+TEST_F(EvaluatorTest, CountAllRows) {
+  QueryResult r = Run("SELECT (COUNT(*) AS ?n) WHERE { ?s ?p ?o . }");
+  ASSERT_EQ(r.NumRows(), 1u);
+  EXPECT_EQ(r.variables, std::vector<std::string>{"n"});
+  EXPECT_EQ(r.rows[0][0],
+            Term::TypedLiteral("9", std::string(rdf::kXsdInteger)));
+}
+
+TEST_F(EvaluatorTest, CountVariableSkipsUnbound) {
+  // With OPTIONAL, carol has no ?f: COUNT(?f) counts 2 of the 3 rows.
+  QueryResult r = Run(
+      "SELECT (COUNT(?f) AS ?n) WHERE { ?s <http://x/name> ?x . "
+      "OPTIONAL { ?s <http://x/knows> ?f . } }");
+  ASSERT_EQ(r.NumRows(), 1u);
+  EXPECT_EQ(r.rows[0][0],
+            Term::TypedLiteral("2", std::string(rdf::kXsdInteger)));
+}
+
+TEST_F(EvaluatorTest, GroupByCountsPerGroup) {
+  ds_.AddIriTriple("http://x/alice", "http://x/knows", "http://x/carol");
+  QueryResult r = Run(
+      "SELECT ?s (COUNT(?f) AS ?n) WHERE { ?s <http://x/knows> ?f . } "
+      "GROUP BY ?s ORDER BY DESC ?n");
+  ASSERT_EQ(r.NumRows(), 2u);
+  EXPECT_EQ(r.variables, (std::vector<std::string>{"s", "n"}));
+  EXPECT_EQ(r.rows[0][0], Term::Iri("http://x/alice"));
+  EXPECT_EQ(r.rows[0][1],
+            Term::TypedLiteral("2", std::string(rdf::kXsdInteger)));
+  EXPECT_EQ(r.rows[1][1],
+            Term::TypedLiteral("1", std::string(rdf::kXsdInteger)));
+}
+
+TEST_F(EvaluatorTest, CountZeroOnEmptyMatch) {
+  QueryResult r =
+      Run("SELECT (COUNT(*) AS ?n) WHERE { ?s <http://x/missing> ?o . }");
+  ASSERT_EQ(r.NumRows(), 1u);
+  EXPECT_EQ(r.rows[0][0],
+            Term::TypedLiteral("0", std::string(rdf::kXsdInteger)));
+}
+
+TEST_F(EvaluatorTest, AggregateParseErrors) {
+  EXPECT_FALSE(
+      EvaluateQuery("SELECT (COUNT(?x AS ?n) WHERE { ?s ?p ?o . }", ds_).ok());
+  EXPECT_FALSE(
+      EvaluateQuery("SELECT (COUNT(?x) ?n) WHERE { ?s ?p ?o . }", ds_).ok());
+  // Grouping var projected but no GROUP BY.
+  EXPECT_FALSE(EvaluateQuery(
+                   "SELECT ?s (COUNT(*) AS ?n) WHERE { ?s ?p ?o . }", ds_)
+                   .ok());
+  // GROUP BY names a different variable.
+  EXPECT_FALSE(
+      EvaluateQuery("SELECT ?s (COUNT(*) AS ?n) WHERE { ?s ?p ?o . } "
+                    "GROUP BY ?p",
+                    ds_)
+          .ok());
+  // Counted variable not mentioned.
+  EXPECT_FALSE(
+      EvaluateQuery("SELECT (COUNT(?zz) AS ?n) WHERE { ?s ?p ?o . }", ds_)
+          .ok());
+}
+
+TEST(CompareTermsTest, NumericAndLexicographic) {
+  EXPECT_TRUE(CompareTerms(Term::Literal("9"), CompareOp::kLt,
+                           Term::Literal("10")));  // Numeric, not lexicographic.
+  EXPECT_TRUE(CompareTerms(Term::Literal("apple"), CompareOp::kLt,
+                           Term::Literal("banana")));
+  EXPECT_TRUE(CompareTerms(Term::Literal("2000-01-02"), CompareOp::kGt,
+                           Term::Literal("2000-01-01")));
+  EXPECT_TRUE(
+      CompareTerms(Term::Literal("x"), CompareOp::kEq, Term::Literal("x")));
+  EXPECT_TRUE(
+      CompareTerms(Term::Literal("x"), CompareOp::kNe, Term::Literal("y")));
+  EXPECT_TRUE(CompareTerms(Term::Literal("5"), CompareOp::kLe,
+                           Term::Literal("5.0")));
+  EXPECT_TRUE(CompareTerms(Term::Literal("5"), CompareOp::kGe,
+                           Term::Literal("5")));
+}
+
+}  // namespace
+}  // namespace alex::sparql

@@ -1,0 +1,161 @@
+#include "core/feature.h"
+
+#include <gtest/gtest.h>
+
+namespace alex::core {
+namespace {
+
+using rdf::Term;
+
+TEST(FeatureKeyTest, PackUnpack) {
+  const FeatureKey key = MakeFeatureKey(7, 9);
+  EXPECT_EQ(FeatureLeftPred(key), 7u);
+  EXPECT_EQ(FeatureRightPred(key), 9u);
+  EXPECT_NE(MakeFeatureKey(7, 9), MakeFeatureKey(9, 7));
+}
+
+class FeatureSetTest : public ::testing::Test {
+ protected:
+  rdf::EntityId AddEntity(rdf::Dataset* ds, const std::string& iri,
+                          const std::vector<std::pair<std::string, Term>>&
+                              attrs) {
+    for (const auto& [pred, value] : attrs) {
+      ds->AddLiteralTriple(iri, pred, value);
+    }
+    ds->BuildEntityIndex();
+    return *ds->FindEntityByIri(iri);
+  }
+
+  rdf::TermId Pred(const rdf::Dataset& ds, const std::string& iri) {
+    return *ds.dict().Lookup(Term::Iri(iri));
+  }
+
+  rdf::Dataset left_{"l"};
+  rdf::Dataset right_{"r"};
+};
+
+TEST_F(FeatureSetTest, MatchingAttributesProduceFeatures) {
+  auto le = AddEntity(&left_, "http://l/e",
+                      {{"http://l/name", Term::Literal("Alice Arden")},
+                       {"http://l/birth", Term::Literal("1980-01-01")}});
+  auto re = AddEntity(&right_, "http://r/e",
+                      {{"http://r/label", Term::Literal("Alice Arden")},
+                       {"http://r/dob", Term::Literal("1980-01-01")}});
+  FeatureSet fs = ComputeFeatureSet(left_, le, right_, re, 0.3);
+  ASSERT_EQ(fs.size(), 2u);
+  const FeatureKey name_key =
+      MakeFeatureKey(Pred(left_, "http://l/name"), Pred(right_, "http://r/label"));
+  const FeatureKey birth_key =
+      MakeFeatureKey(Pred(left_, "http://l/birth"), Pred(right_, "http://r/dob"));
+  bool saw_name = false, saw_birth = false;
+  for (const FeatureValue& f : fs) {
+    if (f.key == name_key) {
+      saw_name = true;
+      EXPECT_DOUBLE_EQ(f.score, 1.0);
+    }
+    if (f.key == birth_key) {
+      saw_birth = true;
+      EXPECT_DOUBLE_EQ(f.score, 1.0);
+    }
+  }
+  EXPECT_TRUE(saw_name);
+  EXPECT_TRUE(saw_birth);
+}
+
+TEST_F(FeatureSetTest, ThetaFilterDropsWeakFeatures) {
+  auto le = AddEntity(&left_, "http://l/e",
+                      {{"http://l/name", Term::Literal("Completely")}});
+  auto re = AddEntity(&right_, "http://r/e",
+                      {{"http://r/label", Term::Literal("Different")}});
+  EXPECT_TRUE(ComputeFeatureSet(left_, le, right_, re, 0.3).empty());
+  // With theta 0 even a zero-score max is dropped only if exactly 0;
+  // unrelated strings score ~0 so the set may be empty or tiny.
+  FeatureSet loose = ComputeFeatureSet(left_, le, right_, re, 0.0);
+  for (const FeatureValue& f : loose) EXPECT_GE(f.score, 0.0);
+}
+
+TEST_F(FeatureSetTest, ReducesAlongLargerSide) {
+  // Left has 3 attributes, right has 1: one feature per left attribute that
+  // clears theta, each paired with the single right attribute.
+  auto le = AddEntity(&left_, "http://l/e",
+                      {{"http://l/a", Term::Literal("alpha beta")},
+                       {"http://l/b", Term::Literal("alpha")},
+                       {"http://l/c", Term::Literal("unrelatedxyz")}});
+  auto re = AddEntity(&right_, "http://r/e",
+                      {{"http://r/x", Term::Literal("alpha beta")}});
+  FeatureSet fs = ComputeFeatureSet(left_, le, right_, re, 0.3);
+  // l/a matches 1.0; l/b matches 0.5 (token jaccard); l/c fails theta.
+  ASSERT_EQ(fs.size(), 2u);
+  for (const FeatureValue& f : fs) {
+    EXPECT_EQ(FeatureRightPred(f.key), Pred(right_, "http://r/x"));
+  }
+}
+
+TEST_F(FeatureSetTest, ReducesPerRightAttributeWhenRightLarger) {
+  auto le = AddEntity(&left_, "http://l/e",
+                      {{"http://l/a", Term::Literal("alpha beta")}});
+  auto re = AddEntity(&right_, "http://r/e",
+                      {{"http://r/x", Term::Literal("alpha beta")},
+                       {"http://r/y", Term::Literal("beta alpha")},
+                       {"http://r/z", Term::Literal("nomatchatall")}});
+  FeatureSet fs = ComputeFeatureSet(left_, le, right_, re, 0.3);
+  ASSERT_EQ(fs.size(), 2u);  // x and y match (reorder scores 1.0); z fails.
+  for (const FeatureValue& f : fs) {
+    EXPECT_EQ(FeatureLeftPred(f.key), Pred(left_, "http://l/a"));
+    EXPECT_DOUBLE_EQ(f.score, 1.0);
+  }
+}
+
+TEST_F(FeatureSetTest, DuplicatePredicatePairsKeepMaxScore) {
+  // Two values for the same predicate: the feature appears once with the
+  // best score.
+  auto le = AddEntity(&left_, "http://l/e",
+                      {{"http://l/alias", Term::Literal("alpha")},
+                       {"http://l/alias", Term::Literal("alpha beta")}});
+  auto re = AddEntity(&right_, "http://r/e",
+                      {{"http://r/name", Term::Literal("alpha beta")},
+                       {"http://r/other", Term::Literal("zzz qqq")}});
+  FeatureSet fs = ComputeFeatureSet(left_, le, right_, re, 0.3);
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_DOUBLE_EQ(fs[0].score, 1.0);
+}
+
+TEST_F(FeatureSetTest, EmptyEntitiesYieldEmptySet) {
+  auto le = AddEntity(&left_, "http://l/e",
+                      {{"http://l/a", Term::Literal("x")}});
+  rdf::Dataset empty{"empty"};
+  empty.AddLiteralTriple("http://e/only", "http://e/p", Term::Literal("y"));
+  empty.BuildEntityIndex();
+  // Feature set against an entity with dissimilar single attribute.
+  FeatureSet fs = ComputeFeatureSet(
+      left_, le, empty, *empty.FindEntityByIri("http://e/only"), 0.3);
+  EXPECT_TRUE(fs.empty());
+}
+
+TEST_F(FeatureSetTest, SortedByKey) {
+  auto le = AddEntity(&left_, "http://l/e",
+                      {{"http://l/a", Term::Literal("one two")},
+                       {"http://l/b", Term::Literal("three four")}});
+  auto re = AddEntity(&right_, "http://r/e",
+                      {{"http://r/x", Term::Literal("one two")},
+                       {"http://r/y", Term::Literal("three four")}});
+  FeatureSet fs = ComputeFeatureSet(left_, le, right_, re, 0.3);
+  for (size_t i = 1; i < fs.size(); ++i) {
+    EXPECT_LT(fs[i - 1].key, fs[i].key);
+  }
+}
+
+TEST_F(FeatureSetTest, FeatureNameRendersLocalNames) {
+  auto le = AddEntity(&left_, "http://l/ont/name",
+                      {{"http://l/ont/name", Term::Literal("v")}});
+  (void)le;
+  auto re = AddEntity(&right_, "http://r/ont/label",
+                      {{"http://r/ont/label", Term::Literal("v")}});
+  (void)re;
+  const FeatureKey key = MakeFeatureKey(Pred(left_, "http://l/ont/name"),
+                                        Pred(right_, "http://r/ont/label"));
+  EXPECT_EQ(FeatureName(left_, right_, key), "(name, label)");
+}
+
+}  // namespace
+}  // namespace alex::core

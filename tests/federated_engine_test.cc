@@ -1,0 +1,140 @@
+#include "federation/federated_engine.h"
+
+#include <gtest/gtest.h>
+
+namespace alex::fed {
+namespace {
+
+using rdf::Term;
+
+/// The paper's running example: find New York Times articles about the
+/// NBA MVP of 2013. "LeBron James" exists in both datasets; the owl:sameAs
+/// link bridges them.
+class FederatedEngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Left: DBpedia-like facts.
+    left_.AddLiteralTriple("http://dbp/LeBron_James", "http://dbp/award",
+                           Term::Literal("NBA MVP 2013"));
+    left_.AddLiteralTriple("http://dbp/LeBron_James", "http://dbp/name",
+                           Term::Literal("LeBron James"));
+    left_.AddLiteralTriple("http://dbp/Kevin_Durant", "http://dbp/award",
+                           Term::Literal("NBA MVP 2014"));
+
+    // Right: NYTimes-like articles.
+    right_.AddIriTriple("http://nyt/article1", "http://nyt/about",
+                        "http://nyt/lebron-james");
+    right_.AddLiteralTriple("http://nyt/article1", "http://nyt/headline",
+                            Term::Literal("King James does it again"));
+    right_.AddIriTriple("http://nyt/article2", "http://nyt/about",
+                        "http://nyt/someone-else");
+    right_.AddLiteralTriple("http://nyt/article2", "http://nyt/headline",
+                            Term::Literal("Unrelated news"));
+
+    links_.Add("http://dbp/LeBron_James", "http://nyt/lebron-james");
+
+    left_ep_ = std::make_unique<Endpoint>(&left_);
+    right_ep_ = std::make_unique<Endpoint>(&right_);
+    engine_ = std::make_unique<FederatedEngine>(left_ep_.get(),
+                                                right_ep_.get(), &links_);
+  }
+
+  rdf::Dataset left_{"dbpedia"};
+  rdf::Dataset right_{"nytimes"};
+  LinkIndex links_;
+  std::unique_ptr<Endpoint> left_ep_;
+  std::unique_ptr<Endpoint> right_ep_;
+  std::unique_ptr<FederatedEngine> engine_;
+};
+
+TEST_F(FederatedEngineTest, CrossDatasetJoinViaSameAs) {
+  auto r = engine_->ExecuteText(
+      "SELECT ?headline WHERE { "
+      "?player <http://dbp/award> \"NBA MVP 2013\" . "
+      "?article <http://nyt/about> ?player . "
+      "?article <http://nyt/headline> ?headline . }");
+  ASSERT_TRUE(r.ok()) << r.status();
+  ASSERT_EQ(r->NumRows(), 1u);
+  EXPECT_EQ(r->rows[0].values[0],
+            Term::Literal("King James does it again"));
+}
+
+TEST_F(FederatedEngineTest, ProvenanceRecordsLinksUsed) {
+  auto r = engine_->ExecuteText(
+      "SELECT ?headline WHERE { "
+      "?player <http://dbp/award> \"NBA MVP 2013\" . "
+      "?article <http://nyt/about> ?player . "
+      "?article <http://nyt/headline> ?headline . }");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->NumRows(), 1u);
+  ASSERT_EQ(r->rows[0].links_used.size(), 1u);
+  EXPECT_EQ(r->rows[0].links_used[0],
+            (SameAsLink{"http://dbp/LeBron_James", "http://nyt/lebron-james"}));
+}
+
+TEST_F(FederatedEngineTest, NoLinkNoAnswer) {
+  links_.Remove("http://dbp/LeBron_James", "http://nyt/lebron-james");
+  auto r = engine_->ExecuteText(
+      "SELECT ?headline WHERE { "
+      "?player <http://dbp/award> \"NBA MVP 2013\" . "
+      "?article <http://nyt/about> ?player . "
+      "?article <http://nyt/headline> ?headline . }");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->NumRows(), 0u);
+}
+
+TEST_F(FederatedEngineTest, WrongLinkProducesWrongAnswerWithProvenance) {
+  // An incorrect link (the situation ALEX repairs): Durant linked to the
+  // LeBron article entity.
+  links_.Add("http://dbp/Kevin_Durant", "http://nyt/lebron-james");
+  auto r = engine_->ExecuteText(
+      "SELECT ?headline WHERE { "
+      "?player <http://dbp/award> \"NBA MVP 2014\" . "
+      "?article <http://nyt/about> ?player . "
+      "?article <http://nyt/headline> ?headline . }");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->NumRows(), 1u);
+  // The user would reject this answer; the provenance tells ALEX which link
+  // to blame.
+  EXPECT_EQ(r->rows[0].links_used[0],
+            (SameAsLink{"http://dbp/Kevin_Durant", "http://nyt/lebron-james"}));
+}
+
+TEST_F(FederatedEngineTest, SingleDatasetQueriesStillWork) {
+  auto r = engine_->ExecuteText(
+      "SELECT ?p WHERE { ?p <http://dbp/award> \"NBA MVP 2014\" . }");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->NumRows(), 1u);
+  EXPECT_EQ(r->rows[0].values[0], Term::Iri("http://dbp/Kevin_Durant"));
+  EXPECT_TRUE(r->rows[0].links_used.empty());
+}
+
+TEST_F(FederatedEngineTest, MultipleLinksYieldMultipleRows) {
+  links_.Add("http://dbp/LeBron_James", "http://nyt/someone-else");
+  auto r = engine_->ExecuteText(
+      "SELECT ?headline WHERE { "
+      "?player <http://dbp/award> \"NBA MVP 2013\" . "
+      "?article <http://nyt/about> ?player . "
+      "?article <http://nyt/headline> ?headline . }");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->NumRows(), 2u);
+}
+
+TEST_F(FederatedEngineTest, DistinctAndLimitApply) {
+  auto r = engine_->ExecuteText(
+      "SELECT DISTINCT ?article WHERE { ?article <http://nyt/headline> ?h . } "
+      "LIMIT 1");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->NumRows(), 1u);
+}
+
+TEST_F(FederatedEngineTest, FiltersApply) {
+  auto r = engine_->ExecuteText(
+      "SELECT ?h WHERE { ?a <http://nyt/headline> ?h . "
+      "FILTER(?h = \"Unrelated news\") }");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->NumRows(), 1u);
+}
+
+}  // namespace
+}  // namespace alex::fed

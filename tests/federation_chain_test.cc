@@ -1,0 +1,112 @@
+// Federation behaviours beyond the basic cross-join: multi-hop chains,
+// variable predicates across endpoints, and query shapes where only one
+// endpoint can answer.
+
+#include <gtest/gtest.h>
+
+#include "federation/federated_engine.h"
+
+namespace alex::fed {
+namespace {
+
+using rdf::Term;
+
+class FederationChainTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Left: people with employers (IRIs inside the left KB).
+    left_.AddIriTriple("http://l/alice", "http://l/worksFor", "http://l/acme");
+    left_.AddLiteralTriple("http://l/acme", "http://l/name",
+                           Term::Literal("Acme"));
+    left_.AddLiteralTriple("http://l/alice", "http://l/name",
+                           Term::Literal("Alice"));
+    // Right: company headquarters.
+    right_.AddLiteralTriple("http://r/acme-corp", "http://r/hq",
+                            Term::Literal("Belcaster"));
+    right_.AddLiteralTriple("http://r/acme-corp", "http://r/label",
+                            Term::Literal("Acme Corporation"));
+    links_.Add("http://l/acme", "http://r/acme-corp");
+    left_ep_ = std::make_unique<Endpoint>(&left_);
+    right_ep_ = std::make_unique<Endpoint>(&right_);
+    engine_ = std::make_unique<FederatedEngine>(left_ep_.get(),
+                                                right_ep_.get(), &links_);
+  }
+
+  rdf::Dataset left_{"hr"};
+  rdf::Dataset right_{"companies"};
+  LinkIndex links_;
+  std::unique_ptr<Endpoint> left_ep_;
+  std::unique_ptr<Endpoint> right_ep_;
+  std::unique_ptr<FederatedEngine> engine_;
+};
+
+TEST_F(FederationChainTest, TwoHopAcrossDatasets) {
+  // Alice -> employer (left) -> headquarters (right, via sameAs).
+  auto r = engine_->ExecuteText(
+      "SELECT ?hq WHERE { "
+      "<http://l/alice> <http://l/worksFor> ?c . "
+      "?c <http://r/hq> ?hq . }");
+  ASSERT_TRUE(r.ok()) << r.status();
+  ASSERT_EQ(r->NumRows(), 1u);
+  EXPECT_EQ(r->rows[0].values[0], Term::Literal("Belcaster"));
+  ASSERT_EQ(r->rows[0].links_used.size(), 1u);
+  EXPECT_EQ(r->rows[0].links_used[0].left_iri, "http://l/acme");
+}
+
+TEST_F(FederationChainTest, VariablePredicateSpansBothEndpoints) {
+  auto r = engine_->ExecuteText(
+      "SELECT ?p ?o WHERE { <http://l/acme> ?p ?o . }");
+  ASSERT_TRUE(r.ok());
+  // Left facts (name) plus right facts via the sameAs link (hq, label).
+  EXPECT_EQ(r->NumRows(), 3u);
+}
+
+TEST_F(FederationChainTest, RightOnlyQueryNeedsNoLinks) {
+  auto r = engine_->ExecuteText(
+      "SELECT ?c WHERE { ?c <http://r/hq> \"Belcaster\" . }");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->NumRows(), 1u);
+  EXPECT_TRUE(r->rows[0].links_used.empty());
+}
+
+TEST_F(FederationChainTest, UnknownPredicateAnswersNothing) {
+  auto r = engine_->ExecuteText(
+      "SELECT ?o WHERE { <http://l/alice> <http://nowhere/p> ?o . }");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->NumRows(), 0u);
+}
+
+TEST_F(FederationChainTest, ParseErrorsPropagate) {
+  auto r = engine_->ExecuteText("SELECT WHERE {}");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+TEST_F(FederationChainTest, LinkRemovalSeversTheChain) {
+  links_.Remove("http://l/acme", "http://r/acme-corp");
+  auto r = engine_->ExecuteText(
+      "SELECT ?hq WHERE { "
+      "<http://l/alice> <http://l/worksFor> ?c . "
+      "?c <http://r/hq> ?hq . }");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->NumRows(), 0u);
+}
+
+TEST_F(FederationChainTest, MultipleCoReferentsMultiplyAnswers) {
+  right_.AddLiteralTriple("http://r/acme-inc", "http://r/hq",
+                          Term::Literal("Gildern"));
+  // Rebuild endpoints after mutating the dataset (predicate sets cached).
+  right_ep_ = std::make_unique<Endpoint>(&right_);
+  engine_ = std::make_unique<FederatedEngine>(left_ep_.get(), right_ep_.get(),
+                                              &links_);
+  links_.Add("http://l/acme", "http://r/acme-inc");
+  auto r = engine_->ExecuteText(
+      "SELECT ?hq WHERE { "
+      "<http://l/alice> <http://l/worksFor> ?c . "
+      "?c <http://r/hq> ?hq . }");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->NumRows(), 2u);
+}
+
+}  // namespace
+}  // namespace alex::fed

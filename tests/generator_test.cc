@@ -1,0 +1,153 @@
+#include "datagen/generator.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "datagen/scenarios.h"
+#include "rdf/ntriples.h"
+
+namespace alex::datagen {
+namespace {
+
+ScenarioConfig SmallConfig() {
+  ScenarioConfig c;
+  c.name = "small";
+  c.seed = 5;
+  c.num_shared = 40;
+  c.num_left_only = 20;
+  c.num_right_only = 10;
+  c.domains = {"person", "organization"};
+  c.value_noise = 0.3;
+  c.drop_attr_prob = 0.1;
+  c.predicate_rename_prob = 0.3;
+  c.ambiguity = 0.5;
+  return c;
+}
+
+TEST(GeneratorTest, EntityCounts) {
+  GeneratedPair pair = GenerateScenario(SmallConfig());
+  EXPECT_EQ(pair.left.num_entities(), 60u);   // shared + left_only.
+  // Right: shared + right_only + decoys (~0.5 per shared entity).
+  EXPECT_GE(pair.right.num_entities(), 50u);
+  EXPECT_LE(pair.right.num_entities(), 50u + 40u);
+  EXPECT_EQ(pair.truth.size(), 40u);
+}
+
+TEST(GeneratorTest, DeterministicForSameSeed) {
+  GeneratedPair a = GenerateScenario(SmallConfig());
+  GeneratedPair b = GenerateScenario(SmallConfig());
+  ASSERT_EQ(a.left.num_triples(), b.left.num_triples());
+  ASSERT_EQ(a.right.num_triples(), b.right.num_triples());
+  // Byte-identical N-Triples serializations.
+  std::ostringstream sa, sb;
+  ASSERT_TRUE(rdf::WriteNTriples(a.left.store(), a.left.dict(), sa).ok());
+  ASSERT_TRUE(rdf::WriteNTriples(b.left.store(), b.left.dict(), sb).ok());
+  EXPECT_EQ(sa.str(), sb.str());
+}
+
+TEST(GeneratorTest, DifferentSeedsDiffer) {
+  ScenarioConfig c1 = SmallConfig();
+  ScenarioConfig c2 = SmallConfig();
+  c2.seed = 6;
+  std::ostringstream s1, s2;
+  GeneratedPair a = GenerateScenario(c1);
+  GeneratedPair b = GenerateScenario(c2);
+  ASSERT_TRUE(rdf::WriteNTriples(a.left.store(), a.left.dict(), s1).ok());
+  ASSERT_TRUE(rdf::WriteNTriples(b.left.store(), b.left.dict(), s2).ok());
+  EXPECT_NE(s1.str(), s2.str());
+}
+
+TEST(GeneratorTest, GroundTruthRefersToValidEntities) {
+  GeneratedPair pair = GenerateScenario(SmallConfig());
+  for (feedback::PairKey key : pair.truth.pairs()) {
+    EXPECT_LT(feedback::PairLeft(key), pair.left.num_entities());
+    EXPECT_LT(feedback::PairRight(key), pair.right.num_entities());
+  }
+}
+
+TEST(GeneratorTest, EntitiesHaveTypeTriples) {
+  GeneratedPair pair = GenerateScenario(SmallConfig());
+  auto type_id = pair.left.dict().Lookup(
+      rdf::Term::Iri(std::string(rdf::kRdfType)));
+  ASSERT_TRUE(type_id.has_value());
+  size_t typed = pair.left.store().CountMatches(
+      rdf::TriplePattern{rdf::kInvalidTermId, *type_id, rdf::kInvalidTermId});
+  EXPECT_EQ(typed, pair.left.num_entities());
+}
+
+TEST(GeneratorTest, ZeroNoiseMakesSharedEntitiesIdentical) {
+  ScenarioConfig c = SmallConfig();
+  c.value_noise = 0.0;
+  c.drop_attr_prob = 0.0;
+  c.predicate_rename_prob = 0.0;
+  c.ambiguity = 0.0;
+  GeneratedPair pair = GenerateScenario(c);
+  // Every ground-truth pair must share all attribute values verbatim.
+  for (feedback::PairKey key : pair.truth.pairs()) {
+    const auto& la = pair.left.attributes(feedback::PairLeft(key));
+    const auto& ra = pair.right.attributes(feedback::PairRight(key));
+    ASSERT_EQ(la.size(), ra.size());
+    size_t matched = 0;
+    for (const rdf::Attribute& l : la) {
+      const rdf::Term& lv = pair.left.dict().term(l.object);
+      for (const rdf::Attribute& r : ra) {
+        if (pair.right.dict().term(r.object).value == lv.value) {
+          ++matched;
+          break;
+        }
+      }
+    }
+    // rdf:type objects use per-KB class IRIs whose values differ, so allow
+    // one mismatch.
+    EXPECT_GE(matched + 1, la.size());
+  }
+}
+
+TEST(GeneratorTest, HeavyAmbiguityCreatesDecoys) {
+  ScenarioConfig c = SmallConfig();
+  c.ambiguity = 2.0;
+  GeneratedPair pair = GenerateScenario(c);
+  // 2 decoys per shared entity.
+  EXPECT_EQ(pair.right.num_entities(), 50u + 80u);
+}
+
+TEST(GeneratorTest, DomainNamesNonEmpty) {
+  auto names = DomainNames();
+  EXPECT_EQ(names.size(), 6u);
+}
+
+TEST(ScenariosTest, AllPresetsGenerate) {
+  for (const ScenarioConfig& c : AllScenarios()) {
+    EXPECT_FALSE(c.name.empty());
+    // Generate a scaled-down copy so the test stays fast.
+    ScenarioConfig small = c;
+    small.num_shared = std::min<size_t>(small.num_shared, 30);
+    small.num_left_only = std::min<size_t>(small.num_left_only, 30);
+    small.num_right_only = std::min<size_t>(small.num_right_only, 20);
+    GeneratedPair pair = GenerateScenario(small);
+    EXPECT_EQ(pair.truth.size(), small.num_shared) << c.name;
+    EXPECT_GT(pair.left.num_triples(), 0u) << c.name;
+    EXPECT_GT(pair.right.num_triples(), 0u) << c.name;
+  }
+}
+
+TEST(ScenariosTest, LookupByName) {
+  EXPECT_EQ(ScenarioByName("dbpedia_nytimes").name, "dbpedia_nytimes");
+  EXPECT_EQ(ScenarioByName("dbpedia_opencyc").name, "dbpedia_opencyc");
+  EXPECT_TRUE(ScenarioByName("no_such_scenario").name.empty());
+}
+
+TEST(ScenariosTest, PresetsAreDistinctlySeeded) {
+  auto all = AllScenarios();
+  for (size_t i = 0; i < all.size(); ++i) {
+    for (size_t j = i + 1; j < all.size(); ++j) {
+      EXPECT_NE(all[i].seed, all[j].seed)
+          << all[i].name << " vs " << all[j].name;
+      EXPECT_NE(all[i].name, all[j].name);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace alex::datagen

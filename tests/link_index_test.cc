@@ -1,0 +1,69 @@
+#include "federation/link_index.h"
+
+#include <gtest/gtest.h>
+
+namespace alex::fed {
+namespace {
+
+TEST(LinkIndexTest, AddAndContains) {
+  LinkIndex index;
+  EXPECT_TRUE(index.Add("http://a/1", "http://b/1"));
+  EXPECT_TRUE(index.Contains("http://a/1", "http://b/1"));
+  EXPECT_FALSE(index.Contains("http://b/1", "http://a/1"));  // Directional.
+  EXPECT_EQ(index.size(), 1u);
+}
+
+TEST(LinkIndexTest, DuplicateAddIgnored) {
+  LinkIndex index;
+  EXPECT_TRUE(index.Add("a", "b"));
+  EXPECT_FALSE(index.Add("a", "b"));
+  EXPECT_EQ(index.size(), 1u);
+}
+
+TEST(LinkIndexTest, BidirectionalLookup) {
+  LinkIndex index;
+  index.Add("a1", "b1");
+  index.Add("a1", "b2");
+  index.Add("a2", "b1");
+  EXPECT_EQ(index.RightsFor("a1"), (std::vector<std::string>{"b1", "b2"}));
+  EXPECT_EQ(index.LeftsFor("b1"), (std::vector<std::string>{"a1", "a2"}));
+  EXPECT_TRUE(index.RightsFor("zz").empty());
+  EXPECT_TRUE(index.LeftsFor("zz").empty());
+}
+
+TEST(LinkIndexTest, Remove) {
+  LinkIndex index;
+  index.Add("a", "b");
+  index.Add("a", "c");
+  EXPECT_TRUE(index.Remove("a", "b"));
+  EXPECT_FALSE(index.Contains("a", "b"));
+  EXPECT_TRUE(index.Contains("a", "c"));
+  EXPECT_EQ(index.size(), 1u);
+  EXPECT_TRUE(index.LeftsFor("b").empty());
+  EXPECT_FALSE(index.Remove("a", "b"));  // Already gone.
+  EXPECT_FALSE(index.Remove("zz", "b"));
+}
+
+TEST(LinkIndexTest, RemoveLastCleansBothDirections) {
+  LinkIndex index;
+  index.Add("a", "b");
+  index.Remove("a", "b");
+  EXPECT_EQ(index.size(), 0u);
+  EXPECT_TRUE(index.RightsFor("a").empty());
+  EXPECT_TRUE(index.AllLinks().empty());
+}
+
+TEST(LinkIndexTest, AllLinksSorted) {
+  LinkIndex index;
+  index.Add("b", "y");
+  index.Add("a", "z");
+  index.Add("a", "x");
+  auto links = index.AllLinks();
+  ASSERT_EQ(links.size(), 3u);
+  EXPECT_EQ(links[0], (SameAsLink{"a", "x"}));
+  EXPECT_EQ(links[1], (SameAsLink{"a", "z"}));
+  EXPECT_EQ(links[2], (SameAsLink{"b", "y"}));
+}
+
+}  // namespace
+}  // namespace alex::fed

@@ -1,0 +1,200 @@
+#include "core/link_space.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "datagen/generator.h"
+
+namespace alex::core {
+namespace {
+
+using feedback::PackPair;
+using rdf::Term;
+
+class LinkSpaceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    for (int i = 0; i < 8; ++i) {
+      const std::string name = "Entity Number" + std::to_string(i);
+      left_.AddLiteralTriple("http://l/e" + std::to_string(i),
+                             "http://l/name", Term::Literal(name));
+      right_.AddLiteralTriple("http://r/e" + std::to_string(i),
+                              "http://r/label", Term::Literal(name));
+    }
+    // A right entity with no counterpart.
+    right_.AddLiteralTriple("http://r/odd", "http://r/label",
+                            Term::Literal("Totally Unique Zorp"));
+    left_.BuildEntityIndex();
+    right_.BuildEntityIndex();
+    all_left_.clear();
+    for (rdf::EntityId e = 0; e < left_.num_entities(); ++e) {
+      all_left_.push_back(e);
+    }
+  }
+
+  rdf::Dataset left_{"l"};
+  rdf::Dataset right_{"r"};
+  std::vector<rdf::EntityId> all_left_;
+};
+
+TEST_F(LinkSpaceTest, ContainsMatchingPairs) {
+  LinkSpace space;
+  space.Build(left_, right_, all_left_, 0.3, 20000);
+  for (int i = 0; i < 8; ++i) {
+    auto l = left_.FindEntityByIri("http://l/e" + std::to_string(i));
+    auto r = right_.FindEntityByIri("http://r/e" + std::to_string(i));
+    ASSERT_TRUE(l && r);
+    EXPECT_TRUE(space.Contains(PackPair(*l, *r))) << i;
+  }
+}
+
+TEST_F(LinkSpaceTest, FeatureSetAccessible) {
+  LinkSpace space;
+  space.Build(left_, right_, all_left_, 0.3, 20000);
+  auto l = left_.FindEntityByIri("http://l/e0");
+  auto r = right_.FindEntityByIri("http://r/e0");
+  const FeatureSet* fs = space.FeaturesOf(PackPair(*l, *r));
+  ASSERT_NE(fs, nullptr);
+  ASSERT_EQ(fs->size(), 1u);
+  EXPECT_DOUBLE_EQ((*fs)[0].score, 1.0);
+  EXPECT_EQ(space.FeaturesOf(PackPair(999, 999)), nullptr);
+}
+
+TEST_F(LinkSpaceTest, BandQueryReturnsPairsInRange) {
+  LinkSpace space;
+  space.Build(left_, right_, all_left_, 0.3, 20000);
+  auto l = left_.FindEntityByIri("http://l/e0");
+  auto r = right_.FindEntityByIri("http://r/e0");
+  const FeatureSet* fs = space.FeaturesOf(PackPair(*l, *r));
+  ASSERT_NE(fs, nullptr);
+  const FeatureKey feature = (*fs)[0].key;
+
+  std::vector<feedback::PairKey> found;
+  space.BandQuery(feature, 0.95, 1.0, &found);
+  // All 8 exact-name pairs have score 1.0 on (name, label); cross pairs
+  // ("Entity Number1" vs "Entity Number2") share the token "entity"
+  // and "number?" prefixes, scoring below 0.95.
+  EXPECT_EQ(found.size(), 8u);
+
+  found.clear();
+  space.BandQuery(feature, 0.0, 1.0, &found);
+  const size_t all_on_feature = found.size();
+  EXPECT_GE(all_on_feature, 8u);
+
+  found.clear();
+  space.BandQuery(feature, 1.1, 2.0, &found);
+  EXPECT_TRUE(found.empty());
+
+  found.clear();
+  space.BandQuery(0xdeadbeefULL, 0.0, 1.0, &found);  // Unknown feature.
+  EXPECT_TRUE(found.empty());
+}
+
+TEST_F(LinkSpaceTest, BandQueryMatchesBruteForce) {
+  LinkSpace space;
+  space.Build(left_, right_, all_left_, 0.3, 20000);
+  auto l = left_.FindEntityByIri("http://l/e0");
+  auto r = right_.FindEntityByIri("http://r/e0");
+  const FeatureKey feature =
+      (*space.FeaturesOf(PackPair(*l, *r)))[0].key;
+  for (double lo : {0.0, 0.3, 0.5, 0.9, 0.99}) {
+    const double hi = lo + 0.3;
+    std::vector<feedback::PairKey> banded;
+    space.BandQuery(feature, lo, hi, &banded);
+    std::vector<feedback::PairKey> brute;
+    for (feedback::PairKey pair : space.pairs()) {
+      const FeatureSet* fs = space.FeaturesOf(pair);
+      for (const FeatureValue& f : *fs) {
+        if (f.key == feature && static_cast<float>(f.score) >= lo &&
+            static_cast<float>(f.score) <= hi) {
+          brute.push_back(pair);
+        }
+      }
+    }
+    std::sort(banded.begin(), banded.end());
+    std::sort(brute.begin(), brute.end());
+    EXPECT_EQ(banded, brute) << "lo=" << lo;
+  }
+}
+
+TEST_F(LinkSpaceTest, StatsAreConsistent) {
+  LinkSpace space;
+  space.Build(left_, right_, all_left_, 0.3, 20000);
+  const LinkSpace::BuildStats& stats = space.stats();
+  EXPECT_EQ(stats.total_possible, 8u * 9u);
+  EXPECT_EQ(stats.kept_pairs, space.size());
+  EXPECT_LE(stats.kept_pairs, stats.candidate_pairs);
+  EXPECT_LE(stats.candidate_pairs, stats.total_possible);
+  EXPECT_GT(stats.features_indexed, 0u);
+}
+
+TEST_F(LinkSpaceTest, PartitionSubsetRestrictsLeftSide) {
+  auto l3 = left_.FindEntityByIri("http://l/e3");
+  LinkSpace space;
+  space.Build(left_, right_, {*l3}, 0.3, 20000);
+  auto r3 = right_.FindEntityByIri("http://r/e3");
+  EXPECT_TRUE(space.Contains(PackPair(*l3, *r3)));
+  auto l0 = left_.FindEntityByIri("http://l/e0");
+  auto r0 = right_.FindEntityByIri("http://r/e0");
+  EXPECT_FALSE(space.Contains(PackPair(*l0, *r0)));
+}
+
+TEST_F(LinkSpaceTest, BlockCapSkipsStopValues) {
+  // With a tiny cap, the shared tokens ("entity", "number") exceed the cap
+  // and the exact full-value blocks (1x1 pairs) still qualify.
+  LinkSpace space;
+  space.Build(left_, right_, all_left_, 0.3, 1);
+  for (int i = 0; i < 8; ++i) {
+    auto l = left_.FindEntityByIri("http://l/e" + std::to_string(i));
+    auto r = right_.FindEntityByIri("http://r/e" + std::to_string(i));
+    EXPECT_TRUE(space.Contains(PackPair(*l, *r))) << i;
+  }
+  // Cross pairs proposed only by shared-token blocks are now absent.
+  LinkSpace full;
+  full.Build(left_, right_, all_left_, 0.3, 20000);
+  EXPECT_LT(space.stats().candidate_pairs, full.stats().candidate_pairs);
+}
+
+TEST_F(LinkSpaceTest, FeatureCountAndMax) {
+  LinkSpace space;
+  space.Build(left_, right_, all_left_, 0.3, 20000);
+  auto l = left_.FindEntityByIri("http://l/e0");
+  auto r = right_.FindEntityByIri("http://r/e0");
+  const FeatureKey feature = (*space.FeaturesOf(PackPair(*l, *r)))[0].key;
+  EXPECT_GE(space.FeatureCount(feature), 8u);
+  EXPECT_EQ(space.FeatureCount(0xdeadbeefULL), 0u);
+  EXPECT_GE(space.MaxFeatureCount(), space.FeatureCount(feature));
+}
+
+TEST(LinkSpaceScenarioTest, CoversMostGroundTruth) {
+  datagen::ScenarioConfig config;
+  config.seed = 77;
+  config.num_shared = 80;
+  config.num_left_only = 80;
+  config.num_right_only = 40;
+  config.domains = {"person"};
+  config.value_noise = 0.5;
+  datagen::GeneratedPair pair = datagen::GenerateScenario(config);
+  std::vector<rdf::EntityId> lefts;
+  for (rdf::EntityId e = 0; e < pair.left.num_entities(); ++e) {
+    lefts.push_back(e);
+  }
+  LinkSpace space;
+  space.Build(pair.left, pair.right, lefts, 0.3, 20000);
+  size_t covered = 0;
+  for (feedback::PairKey key : pair.truth.pairs()) {
+    if (space.Contains(key)) ++covered;
+  }
+  // The space is ALEX's recall ceiling; blocking must retain nearly all
+  // ground-truth pairs.
+  EXPECT_GE(static_cast<double>(covered) / pair.truth.size(), 0.9);
+  // And the theta filter must remove the vast majority of the cross
+  // product (Figure 5a).
+  EXPECT_LT(static_cast<double>(space.size()) /
+                static_cast<double>(space.stats().total_possible),
+            0.2);
+}
+
+}  // namespace
+}  // namespace alex::core

@@ -1,0 +1,164 @@
+#include "paris/link_spec.h"
+
+#include <gtest/gtest.h>
+
+namespace alex::paris {
+namespace {
+
+using rdf::Term;
+
+TEST(LinkSpecParseTest, FullSpec) {
+  auto spec = ParseLinkSpec(
+      "# people linking rules\n"
+      "compare http://l/name http://r/label using jaro_winkler weight 2\n"
+      "compare http://l/birth http://r/dob using date\n"
+      "\n"
+      "aggregate average\n"
+      "threshold 0.9\n");
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  ASSERT_EQ(spec->comparisons.size(), 2u);
+  EXPECT_EQ(spec->comparisons[0].left_predicate, "http://l/name");
+  EXPECT_EQ(spec->comparisons[0].metric, Metric::kJaroWinkler);
+  EXPECT_DOUBLE_EQ(spec->comparisons[0].weight, 2.0);
+  EXPECT_EQ(spec->comparisons[1].metric, Metric::kDateProximity);
+  EXPECT_DOUBLE_EQ(spec->comparisons[1].weight, 1.0);
+  EXPECT_EQ(spec->aggregation, Aggregation::kAverage);
+  EXPECT_DOUBLE_EQ(spec->threshold, 0.9);
+}
+
+TEST(LinkSpecParseTest, AllMetricsAndAggregations) {
+  for (const char* metric : {"exact", "levenshtein", "jaro_winkler",
+                             "token_jaccard", "trigram_dice", "numeric",
+                             "date"}) {
+    auto spec = ParseLinkSpec(std::string("compare http://a http://b using ") +
+                              metric + "\n");
+    EXPECT_TRUE(spec.ok()) << metric;
+  }
+  for (const char* agg : {"average", "min", "max"}) {
+    auto spec = ParseLinkSpec(
+        std::string("compare http://a http://b using exact\naggregate ") +
+        agg + "\n");
+    EXPECT_TRUE(spec.ok()) << agg;
+  }
+}
+
+TEST(LinkSpecParseTest, Errors) {
+  EXPECT_FALSE(ParseLinkSpec("").ok());  // No comparisons.
+  EXPECT_FALSE(ParseLinkSpec("compare a b using nope\n").ok());
+  EXPECT_FALSE(ParseLinkSpec("compare a b\n").ok());
+  EXPECT_FALSE(ParseLinkSpec("compare a b using exact trailing\n").ok());
+  EXPECT_FALSE(ParseLinkSpec("compare a b using exact weight -1\n").ok());
+  EXPECT_FALSE(
+      ParseLinkSpec("compare a b using exact\naggregate median\n").ok());
+  EXPECT_FALSE(
+      ParseLinkSpec("compare a b using exact\nthreshold 2.0\n").ok());
+  EXPECT_FALSE(ParseLinkSpec("frobnicate\n").ok());
+  auto err = ParseLinkSpec("compare a b using exact\nbogus\n");
+  EXPECT_NE(err.status().message().find("line 2"), std::string::npos);
+}
+
+class LinkSpecRunTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Add(&left_, "http://l", 0, "Alice Arden", "1980-02-03");
+    Add(&left_, "http://l", 1, "Bob Belcar", "1975-07-12");
+    Add(&left_, "http://l", 2, "Carol Corva", "1990-11-30");
+    Add(&right_, "http://r", 0, "Alice Arden", "1980-02-03");
+    // Typo'd name, same birth date.
+    Add(&right_, "http://r", 1, "Bob Belcra", "1975-07-12");
+    // Unrelated person.
+    Add(&right_, "http://r", 9, "Zed Zorva", "1966-06-06");
+    left_.BuildEntityIndex();
+    right_.BuildEntityIndex();
+  }
+
+  void Add(rdf::Dataset* ds, const std::string& prefix, int id,
+           const std::string& name, const std::string& birth) {
+    const std::string iri = prefix + "/p" + std::to_string(id);
+    ds->AddLiteralTriple(iri, prefix + "/name", Term::Literal(name));
+    ds->AddLiteralTriple(
+        iri, prefix + "/birth",
+        Term::TypedLiteral(birth, std::string(rdf::kXsdDate)));
+  }
+
+  rdf::EntityId L(int id) {
+    return *left_.FindEntityByIri("http://l/p" + std::to_string(id));
+  }
+  rdf::EntityId R(int id) {
+    return *right_.FindEntityByIri("http://r/p" + std::to_string(id));
+  }
+
+  bool HasLink(const std::vector<ScoredLink>& links, rdf::EntityId l,
+               rdf::EntityId r) {
+    for (const ScoredLink& link : links) {
+      if (link.left == l && link.right == r) return true;
+    }
+    return false;
+  }
+
+  rdf::Dataset left_{"l"};
+  rdf::Dataset right_{"r"};
+};
+
+TEST_F(LinkSpecRunTest, ExactNameRule) {
+  LinkSpec spec = *ParseLinkSpec(
+      "compare http://l/name http://r/name using exact\nthreshold 1.0\n");
+  auto links = RunLinkSpec(left_, right_, spec);
+  ASSERT_EQ(links.size(), 1u);
+  EXPECT_TRUE(HasLink(links, L(0), R(0)));
+}
+
+TEST_F(LinkSpecRunTest, FuzzyRuleTolleratesTypos) {
+  LinkSpec spec = *ParseLinkSpec(
+      "compare http://l/name http://r/name using jaro_winkler weight 1\n"
+      "compare http://l/birth http://r/birth using date weight 2\n"
+      "aggregate average\nthreshold 0.9\n");
+  auto links = RunLinkSpec(left_, right_, spec);
+  EXPECT_TRUE(HasLink(links, L(0), R(0)));
+  EXPECT_TRUE(HasLink(links, L(1), R(1)));  // Typo'd Bob still matches.
+  EXPECT_FALSE(HasLink(links, L(2), R(9)));
+}
+
+TEST_F(LinkSpecRunTest, MinAggregationDemandsAllRules) {
+  LinkSpec spec = *ParseLinkSpec(
+      "compare http://l/name http://r/name using exact\n"
+      "compare http://l/birth http://r/birth using date\n"
+      "aggregate min\nthreshold 0.99\n");
+  auto links = RunLinkSpec(left_, right_, spec);
+  ASSERT_EQ(links.size(), 1u);  // Only Alice matches both rules exactly.
+  EXPECT_TRUE(HasLink(links, L(0), R(0)));
+}
+
+TEST_F(LinkSpecRunTest, MaxAggregationAcceptsAnyRule) {
+  LinkSpec spec = *ParseLinkSpec(
+      "compare http://l/name http://r/name using exact\n"
+      "compare http://l/birth http://r/birth using date\n"
+      "aggregate max\nthreshold 0.99\n");
+  auto links = RunLinkSpec(left_, right_, spec);
+  EXPECT_TRUE(HasLink(links, L(0), R(0)));
+  EXPECT_TRUE(HasLink(links, L(1), R(1)));  // Birth date alone suffices.
+}
+
+TEST_F(LinkSpecRunTest, UnknownPredicatesYieldNothing) {
+  LinkSpec spec = *ParseLinkSpec(
+      "compare http://l/nope http://r/nada using exact\nthreshold 0.5\n");
+  EXPECT_TRUE(RunLinkSpec(left_, right_, spec).empty());
+}
+
+TEST_F(LinkSpecRunTest, ScoresAreBoundedAndSorted) {
+  LinkSpec spec = *ParseLinkSpec(
+      "compare http://l/name http://r/name using trigram_dice\n"
+      "threshold 0.3\n");
+  auto links = RunLinkSpec(left_, right_, spec);
+  for (size_t i = 0; i < links.size(); ++i) {
+    EXPECT_GE(links[i].score, 0.3);
+    EXPECT_LE(links[i].score, 1.0);
+    if (i > 0) {
+      EXPECT_TRUE(std::tie(links[i - 1].left, links[i - 1].right) <
+                  std::tie(links[i].left, links[i].right));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace alex::paris

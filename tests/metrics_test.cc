@@ -1,0 +1,77 @@
+#include "core/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace alex::core {
+namespace {
+
+using feedback::GroundTruth;
+using feedback::PackPair;
+
+TEST(MetricsTest, PerfectCandidates) {
+  GroundTruth truth;
+  truth.Add(1, 1);
+  truth.Add(2, 2);
+  std::unordered_set<feedback::PairKey> candidates = {PackPair(1, 1),
+                                                      PackPair(2, 2)};
+  LinkSetMetrics m = ComputeMetrics(candidates, truth);
+  EXPECT_DOUBLE_EQ(m.precision, 1.0);
+  EXPECT_DOUBLE_EQ(m.recall, 1.0);
+  EXPECT_DOUBLE_EQ(m.f_measure, 1.0);
+  EXPECT_EQ(m.correct, 2u);
+}
+
+TEST(MetricsTest, PartialOverlap) {
+  GroundTruth truth;
+  truth.Add(1, 1);
+  truth.Add(2, 2);
+  truth.Add(3, 3);
+  truth.Add(4, 4);
+  // 2 correct of 4 candidates; 2 of 4 truth covered.
+  std::unordered_set<feedback::PairKey> candidates = {
+      PackPair(1, 1), PackPair(2, 2), PackPair(9, 9), PackPair(8, 8)};
+  LinkSetMetrics m = ComputeMetrics(candidates, truth);
+  EXPECT_DOUBLE_EQ(m.precision, 0.5);
+  EXPECT_DOUBLE_EQ(m.recall, 0.5);
+  EXPECT_DOUBLE_EQ(m.f_measure, 0.5);
+}
+
+TEST(MetricsTest, AsymmetricPrecisionRecall) {
+  GroundTruth truth;
+  for (uint32_t i = 0; i < 10; ++i) truth.Add(i, i);
+  std::unordered_set<feedback::PairKey> candidates = {PackPair(0, 0),
+                                                      PackPair(1, 1)};
+  LinkSetMetrics m = ComputeMetrics(candidates, truth);
+  EXPECT_DOUBLE_EQ(m.precision, 1.0);
+  EXPECT_DOUBLE_EQ(m.recall, 0.2);
+  EXPECT_NEAR(m.f_measure, 2 * 1.0 * 0.2 / 1.2, 1e-12);
+}
+
+TEST(MetricsTest, EmptyCandidates) {
+  GroundTruth truth;
+  truth.Add(1, 1);
+  LinkSetMetrics m = ComputeMetrics({}, truth);
+  EXPECT_DOUBLE_EQ(m.precision, 0.0);
+  EXPECT_DOUBLE_EQ(m.recall, 0.0);
+  EXPECT_DOUBLE_EQ(m.f_measure, 0.0);
+}
+
+TEST(MetricsTest, EmptyTruth) {
+  GroundTruth truth;
+  std::unordered_set<feedback::PairKey> candidates = {PackPair(1, 1)};
+  LinkSetMetrics m = ComputeMetrics(candidates, truth);
+  EXPECT_DOUBLE_EQ(m.precision, 0.0);
+  EXPECT_DOUBLE_EQ(m.recall, 0.0);
+  EXPECT_DOUBLE_EQ(m.f_measure, 0.0);
+}
+
+TEST(MetricsTest, DirectionMatters) {
+  GroundTruth truth;
+  truth.Add(1, 2);
+  std::unordered_set<feedback::PairKey> candidates = {PackPair(2, 1)};
+  LinkSetMetrics m = ComputeMetrics(candidates, truth);
+  EXPECT_EQ(m.correct, 0u);
+}
+
+}  // namespace
+}  // namespace alex::core

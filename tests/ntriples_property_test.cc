@@ -1,0 +1,95 @@
+// Property tests: any term the library can construct serializes to
+// N-Triples and parses back to an identical term; whole stores round-trip
+// losslessly through the text format.
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "rdf/ntriples.h"
+
+namespace alex::rdf {
+namespace {
+
+std::string RandomText(Rng* rng, bool nasty) {
+  const std::string alphabet =
+      nasty ? std::string("ab\"\\\n\t\r xyz09") : std::string("abcdxyz 09-_");
+  std::string out;
+  const size_t len = rng->UniformInt(20);
+  for (size_t i = 0; i < len; ++i) {
+    out += alphabet[rng->UniformInt(alphabet.size())];
+  }
+  return out;
+}
+
+Term RandomTerm(Rng* rng, bool allow_blank) {
+  switch (rng->UniformInt(allow_blank ? 5 : 4)) {
+    case 0:
+      return Term::Iri("http://example.org/" +
+                       std::to_string(rng->UniformInt(1000)));
+    case 1:
+      return Term::Literal(RandomText(rng, true));
+    case 2:
+      return Term::TypedLiteral(RandomText(rng, true),
+                                "http://dt.example.org/t" +
+                                    std::to_string(rng->UniformInt(5)));
+    case 3:
+      return Term::LangLiteral(RandomText(rng, true),
+                               rng->Bernoulli(0.5) ? "en" : "de-DE");
+    default:
+      return Term::Blank("b" + std::to_string(rng->UniformInt(100)));
+  }
+}
+
+class NtriplesRoundTrip : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(NtriplesRoundTrip, SingleTermRoundTrip) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 300; ++i) {
+    const Term term = RandomTerm(&rng, /*allow_blank=*/true);
+    const std::string serialized = term.ToNTriples();
+    size_t pos = 0;
+    auto parsed = ParseNTriplesTerm(serialized, &pos);
+    ASSERT_TRUE(parsed.ok()) << serialized << ": " << parsed.status();
+    EXPECT_EQ(*parsed, term) << serialized;
+    EXPECT_EQ(pos, serialized.size());
+  }
+}
+
+TEST_P(NtriplesRoundTrip, StoreRoundTrip) {
+  Rng rng(GetParam() ^ 0x1234);
+  Dictionary dict;
+  TripleStore store;
+  for (int i = 0; i < 150; ++i) {
+    const TermId s = dict.Intern(
+        Term::Iri("http://s.example.org/" +
+                  std::to_string(rng.UniformInt(30))));
+    const TermId p = dict.Intern(
+        Term::Iri("http://p.example.org/" + std::to_string(rng.UniformInt(8))));
+    const TermId o = dict.Intern(RandomTerm(&rng, /*allow_blank=*/false));
+    store.Add(s, p, o);
+  }
+
+  std::ostringstream out;
+  ASSERT_TRUE(WriteNTriples(store, dict, out).ok());
+  Dictionary dict2;
+  TripleStore store2;
+  std::istringstream in(out.str());
+  ASSERT_TRUE(ReadNTriples(in, &dict2, &store2).ok());
+  ASSERT_EQ(store2.size(), store.size());
+  store.ForEachMatch(TriplePattern{}, [&](const Triple& t) {
+    auto s = dict2.Lookup(dict.term(t.subject));
+    auto p = dict2.Lookup(dict.term(t.predicate));
+    auto o = dict2.Lookup(dict.term(t.object));
+    EXPECT_TRUE(s && p && o);
+    if (s && p && o) EXPECT_TRUE(store2.Contains(Triple{*s, *p, *o}));
+    return true;
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NtriplesRoundTrip,
+                         ::testing::Values(11, 222, 3333, 44444));
+
+}  // namespace
+}  // namespace alex::rdf

@@ -1,0 +1,148 @@
+#include "rdf/ntriples.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace alex::rdf {
+namespace {
+
+TEST(ParseTermTest, Iri) {
+  size_t pos = 0;
+  auto r = ParseNTriplesTerm("<http://x/a> rest", &pos);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, Term::Iri("http://x/a"));
+  EXPECT_EQ(pos, 13u);  // Past IRI and the following space.
+}
+
+TEST(ParseTermTest, PlainLiteral) {
+  size_t pos = 0;
+  auto r = ParseNTriplesTerm("\"hello world\"", &pos);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, Term::Literal("hello world"));
+}
+
+TEST(ParseTermTest, LiteralEscapes) {
+  size_t pos = 0;
+  auto r = ParseNTriplesTerm(R"("a\"b\\c\nd\te\rf")", &pos);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->value, "a\"b\\c\nd\te\rf");
+}
+
+TEST(ParseTermTest, TypedLiteral) {
+  size_t pos = 0;
+  auto r = ParseNTriplesTerm("\"3\"^^<http://dt>", &pos);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->datatype, "http://dt");
+}
+
+TEST(ParseTermTest, LangLiteral) {
+  size_t pos = 0;
+  auto r = ParseNTriplesTerm("\"hi\"@en-US", &pos);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->language, "en-US");
+}
+
+TEST(ParseTermTest, BlankNode) {
+  size_t pos = 0;
+  auto r = ParseNTriplesTerm("_:b42 .", &pos);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, Term::Blank("b42"));
+}
+
+TEST(ParseTermTest, Errors) {
+  size_t pos = 0;
+  EXPECT_FALSE(ParseNTriplesTerm("<unterminated", &pos).ok());
+  pos = 0;
+  EXPECT_FALSE(ParseNTriplesTerm("\"unterminated", &pos).ok());
+  pos = 0;
+  EXPECT_FALSE(ParseNTriplesTerm("\"bad\\escape\\q\"", &pos).ok());
+  pos = 0;
+  EXPECT_FALSE(ParseNTriplesTerm("", &pos).ok());
+  pos = 0;
+  EXPECT_FALSE(ParseNTriplesTerm("%", &pos).ok());
+}
+
+TEST(ParseLineTest, FullTriple) {
+  auto r = ParseNTriplesLine("<http://s> <http://p> \"o\" .");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->subject, Term::Iri("http://s"));
+  EXPECT_EQ(r->predicate, Term::Iri("http://p"));
+  EXPECT_EQ(r->object, Term::Literal("o"));
+}
+
+TEST(ParseLineTest, CommentAndBlankAreSkipMarkers) {
+  EXPECT_EQ(ParseNTriplesLine("# a comment").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(ParseNTriplesLine("   ").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(ParseNTriplesLine("").status().code(), StatusCode::kNotFound);
+}
+
+TEST(ParseLineTest, MissingDotFails) {
+  EXPECT_FALSE(ParseNTriplesLine("<http://s> <http://p> \"o\"").ok());
+}
+
+TEST(ParseLineTest, LiteralPredicateFails) {
+  EXPECT_FALSE(ParseNTriplesLine("<http://s> \"p\" \"o\" .").ok());
+}
+
+TEST(ReadWriteTest, RoundTrip) {
+  const char* doc =
+      "<http://s1> <http://p> \"v1\" .\n"
+      "# comment\n"
+      "<http://s1> <http://p> \"3\"^^<http://www.w3.org/2001/XMLSchema#integer> .\n"
+      "<http://s2> <http://q> <http://s1> .\n"
+      "_:b <http://p> \"x\"@en .\n";
+  Dictionary dict;
+  TripleStore store;
+  std::istringstream in(doc);
+  ASSERT_TRUE(ReadNTriples(in, &dict, &store).ok());
+  EXPECT_EQ(store.size(), 4u);
+
+  std::ostringstream out;
+  ASSERT_TRUE(WriteNTriples(store, dict, out).ok());
+
+  Dictionary dict2;
+  TripleStore store2;
+  std::istringstream in2(out.str());
+  ASSERT_TRUE(ReadNTriples(in2, &dict2, &store2).ok());
+  EXPECT_EQ(store2.size(), 4u);
+
+  // Same logical content: every triple of the first store exists in the
+  // second (compare as term triples).
+  store.ForEachMatch(TriplePattern{}, [&](const Triple& t) {
+    auto s = dict2.Lookup(dict.term(t.subject));
+    auto p = dict2.Lookup(dict.term(t.predicate));
+    auto o = dict2.Lookup(dict.term(t.object));
+    EXPECT_TRUE(s && p && o);
+    if (s && p && o) EXPECT_TRUE(store2.Contains(Triple{*s, *p, *o}));
+    return true;
+  });
+}
+
+TEST(ReadWriteTest, MalformedLineReportsLineNumber) {
+  Dictionary dict;
+  TripleStore store;
+  std::istringstream in("<http://s> <http://p> \"ok\" .\nbogus line\n");
+  Status s = ReadNTriples(in, &dict, &store);
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("line 2"), std::string::npos);
+}
+
+TEST(ReadWriteTest, EscapeRoundTrip) {
+  Dictionary dict;
+  TripleStore store;
+  store.Add(dict.InternIri("http://s"), dict.InternIri("http://p"),
+            dict.Intern(Term::Literal("line1\nline2\t\"quoted\"\\")));
+  std::ostringstream out;
+  ASSERT_TRUE(WriteNTriples(store, dict, out).ok());
+  Dictionary dict2;
+  TripleStore store2;
+  std::istringstream in(out.str());
+  ASSERT_TRUE(ReadNTriples(in, &dict2, &store2).ok());
+  EXPECT_TRUE(
+      dict2.Lookup(Term::Literal("line1\nline2\t\"quoted\"\\")).has_value());
+}
+
+}  // namespace
+}  // namespace alex::rdf

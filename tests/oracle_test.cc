@@ -1,0 +1,102 @@
+#include "feedback/oracle.h"
+
+#include <gtest/gtest.h>
+
+namespace alex::feedback {
+namespace {
+
+TEST(PairKeyTest, PackUnpackRoundTrip) {
+  const PairKey key = PackPair(123456, 789012);
+  EXPECT_EQ(PairLeft(key), 123456u);
+  EXPECT_EQ(PairRight(key), 789012u);
+  EXPECT_EQ(PairLeft(PackPair(0, 0)), 0u);
+  EXPECT_EQ(PairRight(PackPair(UINT32_MAX - 1, UINT32_MAX - 1)),
+            UINT32_MAX - 1);
+}
+
+TEST(GroundTruthTest, AddContainsSize) {
+  GroundTruth truth;
+  EXPECT_TRUE(truth.empty());
+  truth.Add(1, 2);
+  truth.Add(1, 2);  // Duplicate.
+  truth.Add(3, 4);
+  EXPECT_EQ(truth.size(), 2u);
+  EXPECT_TRUE(truth.Contains(1, 2));
+  EXPECT_TRUE(truth.Contains(PackPair(3, 4)));
+  EXPECT_FALSE(truth.Contains(2, 1));
+  EXPECT_EQ(truth.AsVector().size(), 2u);
+}
+
+TEST(OracleTest, PerfectOracleJudgesAgainstTruth) {
+  GroundTruth truth;
+  truth.Add(1, 2);
+  Oracle oracle(&truth, 0.0, 42);
+  EXPECT_TRUE(oracle.Judge(1, 2).positive);
+  EXPECT_FALSE(oracle.Judge(1, 3).positive);
+  EXPECT_FALSE(oracle.Judge(2, 1).positive);
+}
+
+TEST(OracleTest, FeedbackItemCarriesPair) {
+  GroundTruth truth;
+  truth.Add(5, 6);
+  Oracle oracle(&truth, 0.0, 1);
+  FeedbackItem item = oracle.Judge(5, 6);
+  EXPECT_EQ(item.left, 5u);
+  EXPECT_EQ(item.right, 6u);
+  EXPECT_EQ(item.key(), PackPair(5, 6));
+}
+
+TEST(OracleTest, ErrorRateFlipsApproximatelyThatFraction) {
+  GroundTruth truth;
+  truth.Add(1, 1);
+  Oracle oracle(&truth, 0.1, 7);
+  int wrong = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    if (!oracle.Judge(1, 1).positive) ++wrong;  // Should be positive.
+  }
+  EXPECT_NEAR(static_cast<double>(wrong) / n, 0.1, 0.02);
+}
+
+TEST(OracleTest, FullErrorRateAlwaysFlips) {
+  GroundTruth truth;
+  truth.Add(1, 1);
+  Oracle oracle(&truth, 1.0, 7);
+  EXPECT_FALSE(oracle.Judge(1, 1).positive);
+  EXPECT_TRUE(oracle.Judge(1, 2).positive);
+}
+
+TEST(OracleTest, SampleAndJudgeEmptyReturnsNullopt) {
+  GroundTruth truth;
+  Oracle oracle(&truth, 0.0, 3);
+  EXPECT_FALSE(oracle.SampleAndJudge({}).has_value());
+}
+
+TEST(OracleTest, SampleAndJudgeDrawsFromCandidates) {
+  GroundTruth truth;
+  truth.Add(1, 1);
+  Oracle oracle(&truth, 0.0, 11);
+  std::vector<PairKey> candidates = {PackPair(1, 1), PackPair(2, 2)};
+  int positives = 0;
+  for (int i = 0; i < 1000; ++i) {
+    auto item = oracle.SampleAndJudge(candidates);
+    ASSERT_TRUE(item.has_value());
+    const PairKey key = item->key();
+    EXPECT_TRUE(key == candidates[0] || key == candidates[1]);
+    if (item->positive) ++positives;
+  }
+  EXPECT_NEAR(positives, 500, 80);  // Uniform sampling over two candidates.
+}
+
+TEST(OracleTest, DeterministicForSameSeed) {
+  GroundTruth truth;
+  truth.Add(1, 1);
+  Oracle a(&truth, 0.5, 99);
+  Oracle b(&truth, 0.5, 99);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Judge(1, 1).positive, b.Judge(1, 1).positive);
+  }
+}
+
+}  // namespace
+}  // namespace alex::feedback

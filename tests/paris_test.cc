@@ -1,0 +1,194 @@
+#include "paris/paris.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/scenarios.h"
+#include "feedback/ground_truth.h"
+
+namespace alex::paris {
+namespace {
+
+using rdf::Term;
+
+void AddPerson(rdf::Dataset* ds, const std::string& prefix, int id,
+               const std::string& name, const std::string& birth,
+               const std::string& city) {
+  const std::string iri = prefix + "/p" + std::to_string(id);
+  ds->AddLiteralTriple(iri, prefix + "/name", Term::Literal(name));
+  ds->AddLiteralTriple(iri, prefix + "/birth",
+                       Term::TypedLiteral(birth, std::string(rdf::kXsdDate)));
+  ds->AddLiteralTriple(iri, prefix + "/city", Term::Literal(city));
+}
+
+class ParisTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    AddPerson(&left_, "http://l", 0, "Alice Arden", "1980-02-03", "Gildern");
+    AddPerson(&left_, "http://l", 1, "Bob Belcar", "1975-07-12", "Mardale");
+    AddPerson(&left_, "http://l", 2, "Carol Corva", "1990-11-30", "Rostova");
+    AddPerson(&left_, "http://l", 3, "Dan Dreston", "1983-01-20", "Gildern");
+
+    // Right: same people 0-2 with renamed predicates, plus one stranger.
+    AddPerson(&right_, "http://r", 0, "Alice Arden", "1980-02-03", "Gildern");
+    AddPerson(&right_, "http://r", 1, "Bob Belcar", "1975-07-12", "Mardale");
+    AddPerson(&right_, "http://r", 2, "Carol Corva", "1990-11-30", "Rostova");
+    AddPerson(&right_, "http://r", 9, "Zed Zorva", "1966-06-06", "Pelagos");
+    left_.BuildEntityIndex();
+    right_.BuildEntityIndex();
+  }
+
+  rdf::EntityId L(int id) {
+    return *left_.FindEntityByIri("http://l/p" + std::to_string(id));
+  }
+  rdf::EntityId R(int id) {
+    return *right_.FindEntityByIri("http://r/p" + std::to_string(id));
+  }
+
+  bool HasLink(const std::vector<ScoredLink>& links, rdf::EntityId l,
+               rdf::EntityId r) {
+    for (const ScoredLink& link : links) {
+      if (link.left == l && link.right == r) return true;
+    }
+    return false;
+  }
+
+  rdf::Dataset left_{"left"};
+  rdf::Dataset right_{"right"};
+};
+
+TEST_F(ParisTest, LinksCleanDuplicates) {
+  ParisLinker linker(&left_, &right_);
+  auto links = linker.Run();
+  EXPECT_TRUE(HasLink(links, L(0), R(0)));
+  EXPECT_TRUE(HasLink(links, L(1), R(1)));
+  EXPECT_TRUE(HasLink(links, L(2), R(2)));
+}
+
+TEST_F(ParisTest, DoesNotLinkStrangers) {
+  ParisLinker linker(&left_, &right_);
+  auto links = linker.Run();
+  EXPECT_FALSE(HasLink(links, L(3), R(9)));
+  for (const ScoredLink& link : links) {
+    EXPECT_NE(link.right, R(9));
+  }
+}
+
+TEST_F(ParisTest, ScoresWithinThresholdAndOne) {
+  ParisConfig config;
+  ParisLinker linker(&left_, &right_, config);
+  for (const ScoredLink& link : linker.Run()) {
+    EXPECT_GE(link.score, config.link_threshold);
+    EXPECT_LE(link.score, 1.0);
+  }
+}
+
+TEST_F(ParisTest, HigherThresholdYieldsSubset) {
+  ParisConfig loose;
+  loose.link_threshold = 0.3;
+  ParisConfig strict;
+  strict.link_threshold = 0.95;
+  auto many = ParisLinker(&left_, &right_, loose).Run();
+  auto few = ParisLinker(&left_, &right_, strict).Run();
+  EXPECT_GE(many.size(), few.size());
+  for (const ScoredLink& link : few) {
+    EXPECT_TRUE(HasLink(many, link.left, link.right));
+  }
+}
+
+TEST_F(ParisTest, OutputSortedByPair) {
+  auto links = ParisLinker(&left_, &right_).Run();
+  for (size_t i = 1; i < links.size(); ++i) {
+    EXPECT_TRUE(std::tie(links[i - 1].left, links[i - 1].right) <
+                std::tie(links[i].left, links[i].right));
+  }
+}
+
+TEST_F(ParisTest, AmbiguousNamesConfusePrecision) {
+  // A decoy wearing Alice's name and city: PARIS should link it too (the
+  // imperfection ALEX later repairs).
+  AddPerson(&right_, "http://r", 100, "Alice Arden", "1958-09-09", "Gildern");
+  right_.BuildEntityIndex();
+  auto links = ParisLinker(&left_, &right_).Run();
+  EXPECT_TRUE(HasLink(links, L(0), R(0)));
+  EXPECT_TRUE(HasLink(links, L(0), R(100)));
+}
+
+TEST_F(ParisTest, RelationAlignmentsExposeSchemaMapping) {
+  ParisLinker linker(&left_, &right_);
+  linker.Run();
+  const auto& alignments = linker.relation_alignments();
+  ASSERT_FALSE(alignments.empty());
+  // Sorted descending.
+  for (size_t i = 1; i < alignments.size(); ++i) {
+    EXPECT_GE(alignments[i - 1].score, alignments[i].score);
+  }
+  // The (l/name, r/name) pair must be among the aligned relations with a
+  // high score: every equivalent pair shares the name value.
+  const rdf::TermId lname = *left_.dict().Lookup(Term::Iri("http://l/name"));
+  const rdf::TermId rname = *right_.dict().Lookup(Term::Iri("http://r/name"));
+  bool found = false;
+  for (const auto& a : alignments) {
+    if (a.left_pred == lname && a.right_pred == rname) {
+      found = true;
+      EXPECT_GT(a.score, 0.6);
+    }
+    EXPECT_GE(a.score, 0.0);
+    EXPECT_LE(a.score, 1.0);
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(ParisTest, AlignmentsEmptyBeforeRun) {
+  ParisLinker linker(&left_, &right_);
+  EXPECT_TRUE(linker.relation_alignments().empty());
+}
+
+TEST(ParisEmptyTest, EmptyDatasetsYieldNoLinks) {
+  rdf::Dataset l{"l"};
+  rdf::Dataset r{"r"};
+  auto links = ParisLinker(&l, &r).Run();
+  EXPECT_TRUE(links.empty());
+}
+
+TEST(NaiveLinkerTest, LinksOnExactSharedValues) {
+  rdf::Dataset l{"l"};
+  rdf::Dataset r{"r"};
+  AddPerson(&l, "http://l", 0, "Alice Arden", "1980-02-03", "Gildern");
+  AddPerson(&r, "http://r", 0, "Alice Arden", "1980-02-03", "Gildern");
+  AddPerson(&r, "http://r", 1, "Someone Else", "1999-01-01", "Pelagos");
+  l.BuildEntityIndex();
+  r.BuildEntityIndex();
+  auto links = NaiveLabelLinker(l, r, 0.6);
+  ASSERT_EQ(links.size(), 1u);
+  EXPECT_EQ(links[0].left, *l.FindEntityByIri("http://l/p0"));
+  EXPECT_EQ(links[0].right, *r.FindEntityByIri("http://r/p0"));
+}
+
+TEST(NaiveLinkerTest, ThresholdFilters) {
+  rdf::Dataset l{"l"};
+  rdf::Dataset r{"r"};
+  AddPerson(&l, "http://l", 0, "Alice Arden", "1980-02-03", "Gildern");
+  // Shares only the city (1 of 3 attributes).
+  AddPerson(&r, "http://r", 0, "Different Name", "1999-01-01", "Gildern");
+  l.BuildEntityIndex();
+  r.BuildEntityIndex();
+  EXPECT_TRUE(NaiveLabelLinker(l, r, 0.5).empty());
+  EXPECT_EQ(NaiveLabelLinker(l, r, 0.2).size(), 1u);
+}
+
+TEST(ParisScenarioTest, ReproducesInitialProfiles) {
+  // The Drugbank profile: low precision, high recall (paper Fig 2b's start).
+  auto pair = datagen::GenerateScenario(datagen::DbpediaDrugbank());
+  auto links = ParisLinker(&pair.left, &pair.right).Run();
+  size_t correct = 0;
+  for (const ScoredLink& link : links) {
+    if (pair.truth.Contains(link.left, link.right)) ++correct;
+  }
+  const double precision = static_cast<double>(correct) / links.size();
+  const double recall = static_cast<double>(correct) / pair.truth.size();
+  EXPECT_LT(precision, 0.5);
+  EXPECT_GT(recall, 0.9);
+}
+
+}  // namespace
+}  // namespace alex::paris

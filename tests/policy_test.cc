@@ -1,0 +1,187 @@
+#include "core/policy.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace alex::core {
+namespace {
+
+FeatureSet Actions(std::initializer_list<std::pair<FeatureKey, double>> fs) {
+  FeatureSet out;
+  for (const auto& [key, score] : fs) out.push_back(FeatureValue{key, score});
+  return out;
+}
+
+TEST(PolicyTest, EmptyActionsReturnsNullopt) {
+  EpsilonGreedyPolicy policy(0.1, 1);
+  EXPECT_FALSE(policy.ChooseAction(1, {}).has_value());
+}
+
+TEST(PolicyTest, SingleActionAlwaysChosen) {
+  EpsilonGreedyPolicy policy(0.5, 2);
+  FeatureSet actions = Actions({{10, 0.9}});
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(policy.ChooseAction(7, actions), std::optional<FeatureKey>(10));
+  }
+}
+
+TEST(PolicyTest, RecordReturnUpdatesQ) {
+  EpsilonGreedyPolicy policy(0.0, 3);
+  StateAction sa{5, 10};
+  EXPECT_FALSE(policy.Q(sa).has_value());
+  policy.RecordReturn(sa, 1.0);
+  EXPECT_DOUBLE_EQ(*policy.Q(sa), 1.0);
+  policy.RecordReturn(sa, -1.0);
+  EXPECT_DOUBLE_EQ(*policy.Q(sa), 0.0);  // Average of {1, -1}.
+  policy.RecordReturn(sa, -1.0);
+  EXPECT_NEAR(*policy.Q(sa), -1.0 / 3, 1e-12);
+}
+
+TEST(PolicyTest, GlobalQAggregatesAcrossStates) {
+  EpsilonGreedyPolicy policy(0.0, 4);
+  policy.RecordReturn(StateAction{1, 10}, 1.0);
+  policy.RecordReturn(StateAction{2, 10}, -1.0);
+  EXPECT_DOUBLE_EQ(*policy.GlobalQ(10), 0.0);
+  EXPECT_FALSE(policy.GlobalQ(11).has_value());
+}
+
+TEST(PolicyTest, GreedyChoosesBestStateQ) {
+  EpsilonGreedyPolicy policy(0.0, 5);  // epsilon 0: always greedy.
+  policy.RecordReturn(StateAction{1, 10}, -1.0);
+  policy.RecordReturn(StateAction{1, 20}, 1.0);
+  FeatureSet actions = Actions({{10, 0.9}, {20, 0.8}});
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(policy.ChooseAction(1, actions), std::optional<FeatureKey>(20));
+  }
+}
+
+TEST(PolicyTest, GlobalPriorUsedForUnvisitedStates) {
+  EpsilonGreedyPolicy policy(0.0, 6);
+  // Feature 10 is globally bad, 20 globally good — learned at other states.
+  policy.RecordReturn(StateAction{99, 10}, -1.0);
+  policy.RecordReturn(StateAction{98, 20}, 1.0);
+  FeatureSet actions = Actions({{10, 0.9}, {20, 0.8}});
+  // State 1 never seen: falls back to global knowledge.
+  EXPECT_EQ(policy.ChooseAction(1, actions), std::optional<FeatureKey>(20));
+}
+
+TEST(PolicyTest, ActionPriorOrdersColdStart) {
+  EpsilonGreedyPolicy policy(0.0, 7);
+  FeatureSet actions = Actions({{10, 0.9}, {20, 0.8}, {30, 0.7}});
+  auto prior = [](FeatureKey key) {
+    return key == 20 ? 0.4 : 0.1;  // Feature 20 is most selective.
+  };
+  EXPECT_EQ(policy.ChooseAction(1, actions, prior),
+            std::optional<FeatureKey>(20));
+}
+
+TEST(PolicyTest, LearnedNegativeBeatsUnknownOnlyWhenPriorLower) {
+  EpsilonGreedyPolicy policy(0.0, 8);
+  policy.RecordReturn(StateAction{50, 10}, -1.0);  // Global: 10 is bad.
+  FeatureSet actions = Actions({{10, 0.9}, {20, 0.8}});
+  auto prior = [](FeatureKey) { return 0.25; };
+  // Unknown 20 (prior 0.25) beats known-bad 10 (-1).
+  EXPECT_EQ(policy.ChooseAction(1, actions, prior),
+            std::optional<FeatureKey>(20));
+}
+
+TEST(PolicyTest, EpsilonOneIsUniformlyRandom) {
+  EpsilonGreedyPolicy policy(1.0, 9);
+  policy.RecordReturn(StateAction{1, 10}, 1.0);  // Greedy would pick 10.
+  FeatureSet actions = Actions({{10, 0.9}, {20, 0.8}, {30, 0.7}});
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 3000; ++i) {
+    FeatureKey a = *policy.ChooseAction(1, actions);
+    ++counts[(a / 10) - 1];
+  }
+  for (int c : counts) EXPECT_NEAR(c, 1000, 150);
+}
+
+TEST(PolicyTest, ImproveRecordsGreedyAction) {
+  EpsilonGreedyPolicy policy(0.0, 10);
+  policy.RecordReturn(StateAction{1, 10}, -1.0);
+  policy.RecordReturn(StateAction{1, 20}, 1.0);
+  EXPECT_FALSE(policy.GreedyAction(1).has_value());
+  policy.Improve({1});
+  EXPECT_EQ(policy.GreedyAction(1), std::optional<FeatureKey>(20));
+  EXPECT_EQ(policy.num_states(), 1u);
+}
+
+TEST(PolicyTest, ImproveOnlyTouchesEpisodeStates) {
+  EpsilonGreedyPolicy policy(0.0, 11);
+  policy.RecordReturn(StateAction{1, 10}, 1.0);
+  policy.RecordReturn(StateAction{2, 20}, 1.0);
+  policy.Improve({1});
+  EXPECT_TRUE(policy.GreedyAction(1).has_value());
+  EXPECT_FALSE(policy.GreedyAction(2).has_value());
+}
+
+TEST(PolicyTest, GreedyActionPersistsAcrossEpisodesUntilReimproved) {
+  EpsilonGreedyPolicy policy(0.0, 12);
+  policy.RecordReturn(StateAction{1, 10}, 1.0);
+  policy.Improve({1});
+  EXPECT_EQ(policy.GreedyAction(1), std::optional<FeatureKey>(10));
+  // New evidence flips the preference after the next improvement.
+  policy.RecordReturn(StateAction{1, 10}, -1.0);
+  policy.RecordReturn(StateAction{1, 10}, -1.0);
+  policy.RecordReturn(StateAction{1, 20}, 1.0);
+  policy.Improve({1});
+  EXPECT_EQ(policy.GreedyAction(1), std::optional<FeatureKey>(20));
+}
+
+TEST(PolicyTest, RecordedGreedyActionWinsOverScores) {
+  EpsilonGreedyPolicy policy(0.0, 13);
+  policy.RecordReturn(StateAction{1, 10}, 1.0);
+  policy.Improve({1});
+  // Even with a tempting prior elsewhere, the improved policy is followed.
+  FeatureSet actions = Actions({{10, 0.9}, {20, 0.8}});
+  auto prior = [](FeatureKey) { return 0.5; };
+  EXPECT_EQ(policy.ChooseAction(1, actions, prior),
+            std::optional<FeatureKey>(10));
+}
+
+TEST(PolicyTest, TieBreakingExploresAllEqualActions) {
+  EpsilonGreedyPolicy policy(0.0, 14);
+  FeatureSet actions = Actions({{10, 0.9}, {20, 0.8}, {30, 0.7}});
+  std::set<FeatureKey> chosen;
+  for (int i = 0; i < 200; ++i) {
+    chosen.insert(*policy.ChooseAction(1, actions));
+  }
+  EXPECT_EQ(chosen.size(), 3u);  // All zero-prior actions get drawn.
+}
+
+TEST(PolicyTest, GlobalActionValuesSortedDescending) {
+  EpsilonGreedyPolicy policy(0.0, 16);
+  policy.RecordReturn(StateAction{1, 10}, -1.0);
+  policy.RecordReturn(StateAction{2, 20}, 1.0);
+  policy.RecordReturn(StateAction{3, 30}, 1.0);
+  policy.RecordReturn(StateAction{4, 30}, -1.0);
+  auto values = policy.GlobalActionValues();
+  ASSERT_EQ(values.size(), 3u);
+  EXPECT_EQ(values[0].first, 20u);
+  EXPECT_DOUBLE_EQ(values[0].second, 1.0);
+  EXPECT_EQ(values[1].first, 30u);
+  EXPECT_DOUBLE_EQ(values[1].second, 0.0);
+  EXPECT_EQ(values[2].first, 10u);
+  EXPECT_DOUBLE_EQ(values[2].second, -1.0);
+}
+
+TEST(PolicyTest, GlobalActionValuesEmptyInitially) {
+  EpsilonGreedyPolicy policy(0.0, 17);
+  EXPECT_TRUE(policy.GlobalActionValues().empty());
+}
+
+TEST(PolicyTest, SetEpsilonTakesEffect) {
+  EpsilonGreedyPolicy policy(1.0, 15);
+  policy.RecordReturn(StateAction{1, 10}, 1.0);
+  policy.set_epsilon(0.0);
+  EXPECT_DOUBLE_EQ(policy.epsilon(), 0.0);
+  FeatureSet actions = Actions({{10, 0.9}, {20, 0.8}});
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(policy.ChooseAction(1, actions), std::optional<FeatureKey>(10));
+  }
+}
+
+}  // namespace
+}  // namespace alex::core

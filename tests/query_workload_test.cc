@@ -1,0 +1,85 @@
+#include "simulation/query_workload.h"
+
+#include <gtest/gtest.h>
+
+#include "federation/federated_engine.h"
+#include "sparql/parser.h"
+
+namespace alex::simulation {
+namespace {
+
+datagen::GeneratedPair MakePair() {
+  datagen::ScenarioConfig config;
+  config.seed = 808;
+  config.num_shared = 30;
+  config.num_left_only = 10;
+  config.num_right_only = 5;
+  config.domains = {"person"};
+  config.value_noise = 0.2;
+  return datagen::GenerateScenario(config);
+}
+
+TEST(QueryWorkloadTest, GeneratesParseableQueries) {
+  datagen::GeneratedPair pair = MakePair();
+  FederatedWorkload workload = MakeFederatedWorkload(pair, 20, 7);
+  EXPECT_EQ(workload.queries.size(), 20u);
+  EXPECT_EQ(workload.subjects.size(), workload.queries.size());
+  for (const std::string& q : workload.queries) {
+    EXPECT_TRUE(sparql::ParseQuery(q).ok()) << q;
+  }
+}
+
+TEST(QueryWorkloadTest, CappedByGroundTruthSize) {
+  datagen::GeneratedPair pair = MakePair();
+  FederatedWorkload workload = MakeFederatedWorkload(pair, 1000, 7);
+  EXPECT_LE(workload.queries.size(), pair.truth.size());
+  EXPECT_GT(workload.queries.size(), 0u);
+}
+
+TEST(QueryWorkloadTest, DeterministicForSeed) {
+  datagen::GeneratedPair pair = MakePair();
+  FederatedWorkload a = MakeFederatedWorkload(pair, 10, 42);
+  FederatedWorkload b = MakeFederatedWorkload(pair, 10, 42);
+  EXPECT_EQ(a.queries, b.queries);
+  FederatedWorkload c = MakeFederatedWorkload(pair, 10, 43);
+  EXPECT_NE(a.queries, c.queries);
+}
+
+TEST(QueryWorkloadTest, QueriesNeedLinksToAnswer) {
+  datagen::GeneratedPair pair = MakePair();
+  FederatedWorkload workload = MakeFederatedWorkload(pair, 10, 7);
+
+  fed::Endpoint left(&pair.left);
+  fed::Endpoint right(&pair.right);
+
+  fed::LinkIndex no_links;
+  fed::FederatedEngine unlinked(&left, &right, &no_links);
+  fed::LinkIndex all_links = LinksFromPairs(pair, pair.truth.AsVector());
+  fed::FederatedEngine linked(&left, &right, &all_links);
+
+  size_t answered_without = 0;
+  size_t answered_with = 0;
+  for (const std::string& q : workload.queries) {
+    auto a = unlinked.ExecuteText(q);
+    auto b = linked.ExecuteText(q);
+    ASSERT_TRUE(a.ok() && b.ok());
+    if (a->NumRows() > 0) ++answered_without;
+    if (b->NumRows() > 0) ++answered_with;
+  }
+  EXPECT_EQ(answered_without, 0u);  // No links, no cross-dataset answers.
+  EXPECT_EQ(answered_with, workload.queries.size());
+}
+
+TEST(LinksFromPairsTest, BuildsIriIndex) {
+  datagen::GeneratedPair pair = MakePair();
+  auto keys = pair.truth.AsVector();
+  fed::LinkIndex index = LinksFromPairs(pair, keys);
+  EXPECT_EQ(index.size(), keys.size());
+  const feedback::PairKey key = keys.front();
+  EXPECT_TRUE(index.Contains(
+      pair.left.entity_iri(feedback::PairLeft(key)),
+      pair.right.entity_iri(feedback::PairRight(key))));
+}
+
+}  // namespace
+}  // namespace alex::simulation

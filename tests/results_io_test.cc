@@ -1,0 +1,96 @@
+#include "sparql/results_io.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace alex::sparql {
+namespace {
+
+using rdf::Term;
+
+QueryResult SampleResult() {
+  QueryResult r;
+  r.variables = {"s", "v"};
+  r.rows.push_back({Term::Iri("http://x/a"), Term::Literal("hello")});
+  r.rows.push_back({Term::Blank("b0"),
+                    Term::TypedLiteral("5", std::string(rdf::kXsdInteger))});
+  r.rows.push_back({Term::Iri("http://x/c"), Term::LangLiteral("salut", "fr")});
+  r.rows.push_back({Term::Iri("http://x/d"), Term::Literal("")});  // Unbound.
+  return r;
+}
+
+TEST(ResultsJsonTest, StructureAndTypes) {
+  std::ostringstream os;
+  WriteResultsJson(SampleResult(), os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"vars\": [\"s\", \"v\"]"), std::string::npos);
+  EXPECT_NE(json.find("\"type\": \"uri\", \"value\": \"http://x/a\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"type\": \"bnode\", \"value\": \"b0\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"datatype\": \"http://www.w3.org/2001/"
+                      "XMLSchema#integer\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"xml:lang\": \"fr\""), std::string::npos);
+}
+
+TEST(ResultsJsonTest, UnboundCellsOmitted) {
+  std::ostringstream os;
+  WriteResultsJson(SampleResult(), os);
+  const std::string json = os.str();
+  // The fourth row binds only ?s.
+  EXPECT_NE(json.find("{\"s\": {\"type\": \"uri\", \"value\": "
+                      "\"http://x/d\"}}"),
+            std::string::npos);
+}
+
+TEST(ResultsJsonTest, EmptyResult) {
+  QueryResult r;
+  r.variables = {"x"};
+  std::ostringstream os;
+  WriteResultsJson(r, os);
+  EXPECT_EQ(os.str(),
+            "{\"head\": {\"vars\": [\"x\"]}, \"results\": {\"bindings\": "
+            "[]}}\n");
+}
+
+TEST(ResultsJsonTest, EscapingInValues) {
+  QueryResult r;
+  r.variables = {"v"};
+  r.rows.push_back({Term::Literal("a\"b\\c\nd\x01")});
+  std::ostringstream os;
+  WriteResultsJson(r, os);
+  EXPECT_NE(os.str().find(R"(a\"b\\c\nd)"), std::string::npos);
+}
+
+TEST(JsonEscapeTest, Basics) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("q\"q"), "q\\\"q");
+  EXPECT_EQ(JsonEscape("tab\there"), "tab\\there");
+  EXPECT_EQ(JsonEscape(""), "");
+}
+
+TEST(ResultsTsvTest, HeaderAndRows) {
+  std::ostringstream os;
+  WriteResultsTsv(SampleResult(), os);
+  const std::string tsv = os.str();
+  EXPECT_EQ(tsv.substr(0, 6), "?s\t?v\n");
+  EXPECT_NE(tsv.find("<http://x/a>\t\"hello\""), std::string::npos);
+  EXPECT_NE(tsv.find("_:b0\t\"5\"^^<http://www.w3.org/2001/XMLSchema#integer>"),
+            std::string::npos);
+  EXPECT_NE(tsv.find("\"salut\"@fr"), std::string::npos);
+  // Unbound cell renders empty.
+  EXPECT_NE(tsv.find("<http://x/d>\t\n"), std::string::npos);
+}
+
+TEST(AskJsonTest, Verdicts) {
+  std::ostringstream yes, no;
+  WriteAskJson(true, yes);
+  WriteAskJson(false, no);
+  EXPECT_EQ(yes.str(), "{\"head\": {}, \"boolean\": true}\n");
+  EXPECT_EQ(no.str(), "{\"head\": {}, \"boolean\": false}\n");
+}
+
+}  // namespace
+}  // namespace alex::sparql

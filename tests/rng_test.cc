@@ -1,0 +1,179 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace alex {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int differing = 0;
+  for (int i = 0; i < 20; ++i) {
+    if (a.Next() != b.Next()) ++differing;
+  }
+  EXPECT_GT(differing, 15);
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, UniformDoubleRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.UniformDouble(-2.5, 3.5);
+    EXPECT_GE(v, -2.5);
+    EXPECT_LT(v, 3.5);
+  }
+}
+
+TEST(RngTest, UniformIntBounds) {
+  Rng rng(9);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t v = rng.UniformInt(10);
+    EXPECT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);  // All values reachable.
+}
+
+TEST(RngTest, UniformIntOne) {
+  Rng rng(9);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.UniformInt(1), 0u);
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(11);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+    EXPECT_FALSE(rng.Bernoulli(-0.5));
+    EXPECT_TRUE(rng.Bernoulli(1.5));
+  }
+}
+
+TEST(RngTest, BernoulliApproximatesProbability) {
+  Rng rng(13);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(RngTest, SampleWeightedRespectsWeights) {
+  Rng rng(17);
+  std::vector<double> weights = {0.0, 1.0, 3.0};
+  std::vector<int> counts(3, 0);
+  const int n = 30000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[rng.SampleWeighted(weights)];
+  }
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_NEAR(static_cast<double>(counts[1]) / n, 0.25, 0.02);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.75, 0.02);
+}
+
+TEST(RngTest, SampleWeightedAllZeroFallsBackToUniform) {
+  Rng rng(19);
+  std::vector<double> weights = {0.0, 0.0, 0.0};
+  std::set<size_t> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(rng.SampleWeighted(weights));
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(23);
+  std::vector<int> v(50);
+  std::iota(v.begin(), v.end(), 0);
+  std::vector<int> original = v;
+  rng.Shuffle(&v);
+  EXPECT_NE(v, original);  // Astronomically unlikely to be identity.
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(RngTest, ShuffleEmptyAndSingle) {
+  Rng rng(29);
+  std::vector<int> empty;
+  rng.Shuffle(&empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one = {42};
+  rng.Shuffle(&one);
+  EXPECT_EQ(one, std::vector<int>{42});
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(31);
+  Rng child = parent.Fork();
+  // Child differs from a fresh copy of the parent's continued stream.
+  bool differs = false;
+  Rng parent2(31);
+  parent2.Next();  // Fork consumed one draw.
+  for (int i = 0; i < 10; ++i) {
+    if (child.Next() != parent2.Next()) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(RngTest, GaussianRoughMoments) {
+  Rng rng(37);
+  double sum = 0.0;
+  double sumsq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double g = rng.Gaussian();
+    sum += g;
+    sumsq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sumsq / n, 1.0, 0.05);
+}
+
+class RngSeedSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RngSeedSweep, UniformDoubleMeanNearHalf) {
+  Rng rng(GetParam());
+  double sum = 0.0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) sum += rng.UniformDouble();
+  EXPECT_NEAR(sum / n, 0.5, 0.03);
+}
+
+TEST_P(RngSeedSweep, UniformIntUnbiasedOverSmallModulus) {
+  Rng rng(GetParam());
+  std::vector<int> counts(7, 0);
+  const int n = 14000;
+  for (int i = 0; i < n; ++i) ++counts[rng.UniformInt(7)];
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / n, 1.0 / 7, 0.02);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngSeedSweep,
+                         ::testing::Values(0, 1, 42, 12345, 987654321,
+                                           0xdeadbeefULL));
+
+}  // namespace
+}  // namespace alex

@@ -1,0 +1,109 @@
+#include "similarity/similarity.h"
+
+#include <gtest/gtest.h>
+
+namespace alex::sim {
+namespace {
+
+using rdf::Term;
+
+TEST(NumericSimilarityTest, EqualIsOne) {
+  EXPECT_DOUBLE_EQ(NumericSimilarity(5.0, 5.0), 1.0);
+  EXPECT_DOUBLE_EQ(NumericSimilarity(0.0, 0.0), 1.0);
+}
+
+TEST(NumericSimilarityTest, SteepDecay) {
+  // 1% relative difference -> ~0.8; 5%+ -> 0.
+  EXPECT_NEAR(NumericSimilarity(100.0, 101.0), 1.0 - 20.0 / 101.0, 1e-9);
+  EXPECT_DOUBLE_EQ(NumericSimilarity(100.0, 111.2), 0.0);
+  EXPECT_DOUBLE_EQ(NumericSimilarity(1.0, 2.0), 0.0);
+}
+
+TEST(NumericSimilarityTest, SymmetricAndBounded) {
+  EXPECT_DOUBLE_EQ(NumericSimilarity(3.0, 4.0), NumericSimilarity(4.0, 3.0));
+  EXPECT_GE(NumericSimilarity(-5.0, 5.0), 0.0);
+}
+
+TEST(NumericSimilarityTest, SmallMagnitudesUseFloorDenominator) {
+  // Denominator floors at 1 so near-zero values don't explode.
+  EXPECT_NEAR(NumericSimilarity(0.01, 0.02), 1.0 - 20.0 * 0.01, 1e-9);
+}
+
+TEST(DateSimilarityTest, Decay) {
+  EXPECT_DOUBLE_EQ(DateSimilarity(100, 100), 1.0);
+  EXPECT_NEAR(DateSimilarity(0, 73), 1.0 - 73.0 / 547.0, 1e-9);
+  EXPECT_DOUBLE_EQ(DateSimilarity(0, 547), 0.0);     // Eighteen months.
+  EXPECT_DOUBLE_EQ(DateSimilarity(0, 10000), 0.0);
+  EXPECT_DOUBLE_EQ(DateSimilarity(0, -73), DateSimilarity(0, 73));
+}
+
+TEST(StringSimilarityTest, SharpOnUnrelatedStrings) {
+  EXPECT_DOUBLE_EQ(StringSimilarity("Belcaster", "Quillian"), 0.0);
+  EXPECT_LT(StringSimilarity("Tasopra Elkonomi", "Norvek Durrenba"), 0.3);
+}
+
+TEST(StringSimilarityTest, CaseInsensitiveExactIsOne) {
+  EXPECT_DOUBLE_EQ(StringSimilarity("LeBron James", "lebron JAMES"), 1.0);
+}
+
+TEST(StringSimilarityTest, TokenReorderIsOne) {
+  EXPECT_DOUBLE_EQ(StringSimilarity("LeBron James", "James, LeBron"), 1.0);
+}
+
+TEST(StringSimilarityTest, TypoScoresHigh) {
+  const double sim = StringSimilarity("Tasopra Elkonomi", "Tasopra Elkonmi");
+  EXPECT_GT(sim, 0.6);
+  EXPECT_LT(sim, 1.0);
+}
+
+TEST(ValueSimilarityTest, DispatchesNumeric) {
+  TypedValue a = ParseValue(Term::Literal("100"));
+  TypedValue b = ParseValue(Term::Literal("100.0"));
+  EXPECT_DOUBLE_EQ(ValueSimilarity(a, b), 1.0);  // Integer vs double: numeric.
+}
+
+TEST(ValueSimilarityTest, DispatchesDates) {
+  TypedValue a = ParseValue(Term::Literal("1990-01-01"));
+  TypedValue b = ParseValue(Term::Literal("1990-01-01"));
+  EXPECT_DOUBLE_EQ(ValueSimilarity(a, b), 1.0);
+}
+
+TEST(ValueSimilarityTest, MixedTypesFallBackToStrings) {
+  TypedValue num = ParseValue(Term::Literal("1990"));
+  TypedValue str = ParseValue(Term::Literal("1990-ish"));
+  const double sim = ValueSimilarity(num, str);
+  EXPECT_GE(sim, 0.0);
+  EXPECT_LE(sim, 1.0);
+}
+
+TEST(TermSimilarityTest, EndToEnd) {
+  EXPECT_DOUBLE_EQ(
+      TermSimilarity(Term::Literal("Alpha Beta"), Term::Literal("Beta Alpha")),
+      1.0);
+  EXPECT_DOUBLE_EQ(TermSimilarity(Term::Iri("http://x/class/Person"),
+                                  Term::Iri("http://y/type#Person")),
+                   1.0);
+  EXPECT_DOUBLE_EQ(
+      TermSimilarity(
+          Term::TypedLiteral("10", std::string(rdf::kXsdInteger)),
+          Term::TypedLiteral("20", std::string(rdf::kXsdInteger))),
+      0.0);
+}
+
+TEST(TermSimilarityTest, RangeInvariant) {
+  const Term terms[] = {
+      Term::Literal("abc"), Term::Literal("12"), Term::Literal("1.5"),
+      Term::Literal("2001-05-06"), Term::Iri("http://x/Name"),
+      Term::Literal("")};
+  for (const Term& a : terms) {
+    for (const Term& b : terms) {
+      const double s = TermSimilarity(a, b);
+      EXPECT_GE(s, 0.0);
+      EXPECT_LE(s, 1.0);
+      EXPECT_DOUBLE_EQ(s, TermSimilarity(b, a));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace alex::sim

@@ -1,0 +1,140 @@
+#include "simulation/simulation.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "datagen/scenarios.h"
+#include "simulation/report.h"
+
+namespace alex::simulation {
+namespace {
+
+SimulationConfig SmallConfig() {
+  SimulationConfig config;
+  config.scenario.name = "unit";
+  config.scenario.seed = 33;
+  config.scenario.num_shared = 40;
+  config.scenario.num_left_only = 30;
+  config.scenario.num_right_only = 15;
+  config.scenario.domains = {"person"};
+  config.scenario.value_noise = 0.4;
+  config.scenario.ambiguity = 0.2;
+  config.alex.episode_size = 50;
+  config.alex.num_partitions = 3;
+  config.alex.num_threads = 2;
+  config.alex.max_episodes = 30;
+  return config;
+}
+
+TEST(SimulationTest, RunProducesEpisodeSeries) {
+  Simulation sim(SmallConfig());
+  RunResult result = sim.Run();
+  ASSERT_GE(result.episodes.size(), 2u);
+  EXPECT_EQ(result.episodes[0].episode, 0u);  // Initial PARIS state.
+  EXPECT_EQ(result.episodes[1].episode, 1u);
+  EXPECT_EQ(result.scenario_name, "unit");
+  EXPECT_GT(result.initial_links, 0u);
+  EXPECT_GT(result.total_seconds, 0.0);
+}
+
+TEST(SimulationTest, QualityImproves) {
+  Simulation sim(SmallConfig());
+  RunResult result = sim.Run();
+  const double initial_f = result.episodes.front().metrics.f_measure;
+  const double final_f = result.final_episode().metrics.f_measure;
+  EXPECT_GT(final_f, initial_f);
+  EXPECT_GT(final_f, 0.7);
+}
+
+TEST(SimulationTest, DiscoversNewLinks) {
+  Simulation sim(SmallConfig());
+  RunResult result = sim.Run();
+  EXPECT_GT(result.new_links_discovered, 0u);
+}
+
+TEST(SimulationTest, DeterministicForSameConfig) {
+  RunResult a = Simulation(SmallConfig()).Run();
+  RunResult b = Simulation(SmallConfig()).Run();
+  ASSERT_EQ(a.episodes.size(), b.episodes.size());
+  for (size_t i = 0; i < a.episodes.size(); ++i) {
+    EXPECT_EQ(a.episodes[i].metrics.candidates,
+              b.episodes[i].metrics.candidates);
+    EXPECT_DOUBLE_EQ(a.episodes[i].metrics.f_measure,
+                     b.episodes[i].metrics.f_measure);
+  }
+  EXPECT_EQ(a.converged_episode, b.converged_episode);
+}
+
+TEST(SimulationTest, ObserverSeesEveryEpisode) {
+  Simulation sim(SmallConfig());
+  size_t calls = 0;
+  sim.set_observer([&calls](size_t episode, const core::PartitionedAlex&) {
+    ++calls;
+    EXPECT_GT(episode, 0u);
+  });
+  RunResult result = sim.Run();
+  EXPECT_EQ(calls, result.episodes.size() - 1);
+}
+
+TEST(SimulationTest, PartitionTruthSplitsGroundTruth) {
+  SimulationConfig config = SmallConfig();
+  Simulation sim(config);
+  sim.Run();
+  core::PartitionedAlex alex(&sim.data().left, &sim.data().right, config.alex);
+  size_t total = 0;
+  for (size_t p = 0; p < alex.num_partitions(); ++p) {
+    total += Simulation::PartitionTruth(sim.data().truth, alex, p).size();
+  }
+  EXPECT_EQ(total, sim.data().truth.size());
+}
+
+TEST(SimulationTest, IncorrectFeedbackDegradesGracefully) {
+  SimulationConfig clean = SmallConfig();
+  clean.alex.max_episodes = 10;
+  SimulationConfig noisy = clean;
+  noisy.feedback_error_rate = 0.10;
+  // A correct link must survive one mistaken rejection (Appendix C setup).
+  noisy.alex.blacklist_threshold = 3;
+  RunResult a = Simulation(clean).Run();
+  RunResult b = Simulation(noisy).Run();
+  // Appendix C: quality with 10% incorrect feedback stays close to clean.
+  EXPECT_GT(b.final_episode().metrics.f_measure, 0.5);
+  EXPECT_GE(a.final_episode().metrics.f_measure,
+            b.final_episode().metrics.f_measure - 0.2);
+}
+
+TEST(SimulationTest, ConvergenceEpisodeConsistentWithSeries) {
+  RunResult result = Simulation(SmallConfig()).Run();
+  if (result.converged_episode > 0) {
+    EXPECT_EQ(result.final_episode().links_changed, 0u);
+    EXPECT_EQ(result.final_episode().episode, result.converged_episode);
+  }
+  if (result.relaxed_episode > 0 && result.converged_episode > 0) {
+    EXPECT_LE(result.relaxed_episode, result.converged_episode);
+  }
+}
+
+TEST(ReportTest, PrintEpisodeSeriesFormats) {
+  RunResult result = Simulation(SmallConfig()).Run();
+  std::ostringstream os;
+  PrintEpisodeSeries(result, os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("precision"), std::string::npos);
+  EXPECT_NE(text.find("unit"), std::string::npos);
+  std::ostringstream summary;
+  PrintRunSummary(result, summary);
+  EXPECT_NE(summary.str().find("scenario=unit"), std::string::npos);
+  EXPECT_NE(summary.str().find("final_F="), std::string::npos);
+}
+
+TEST(EpisodeRecordTest, NegativeFeedbackPercent) {
+  EpisodeRecord r;
+  EXPECT_DOUBLE_EQ(r.NegativeFeedbackPercent(), 0.0);
+  r.positive_feedback = 7;
+  r.negative_feedback = 3;
+  EXPECT_DOUBLE_EQ(r.NegativeFeedbackPercent(), 30.0);
+}
+
+}  // namespace
+}  // namespace alex::simulation

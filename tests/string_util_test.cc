@@ -1,0 +1,70 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace alex {
+namespace {
+
+TEST(StringUtilTest, ToLowerAscii) {
+  EXPECT_EQ(ToLowerAscii("MiXeD Case 42!"), "mixed case 42!");
+  EXPECT_EQ(ToLowerAscii(""), "");
+}
+
+TEST(StringUtilTest, TrimAscii) {
+  EXPECT_EQ(TrimAscii("  hi  "), "hi");
+  EXPECT_EQ(TrimAscii("\t\nhi"), "hi");
+  EXPECT_EQ(TrimAscii("hi"), "hi");
+  EXPECT_EQ(TrimAscii("   "), "");
+  EXPECT_EQ(TrimAscii(""), "");
+}
+
+TEST(StringUtilTest, SplitKeepsEmptyFields) {
+  EXPECT_EQ(Split("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split("abc", ','), (std::vector<std::string>{"abc"}));
+  EXPECT_EQ(Split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(StringUtilTest, SplitWhitespaceDropsEmptyTokens) {
+  EXPECT_EQ(SplitWhitespace("  a \t b\nc  "),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(SplitWhitespace("   ").empty());
+  EXPECT_TRUE(SplitWhitespace("").empty());
+}
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+}
+
+TEST(StringUtilTest, ReplaceAll) {
+  EXPECT_EQ(ReplaceAll("aaa", "a", "bb"), "bbbbbb");
+  EXPECT_EQ(ReplaceAll("no match", "xyz", "!"), "no match");
+  EXPECT_EQ(ReplaceAll("abcabc", "bc", "-"), "a-a-");
+  EXPECT_EQ(ReplaceAll("x", "", "!"), "x");  // Empty pattern: no-op.
+}
+
+TEST(StringUtilTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("http://x", "http://"));
+  EXPECT_FALSE(StartsWith("ftp://x", "http://"));
+  EXPECT_TRUE(StartsWith("abc", ""));
+  EXPECT_FALSE(StartsWith("ab", "abc"));
+  EXPECT_TRUE(EndsWith("file.nt", ".nt"));
+  EXPECT_FALSE(EndsWith("file.ttl", ".nt"));
+  EXPECT_TRUE(EndsWith("x", ""));
+}
+
+TEST(StringUtilTest, WordTokensLowercasesAndSplitsOnNonAlnum) {
+  EXPECT_EQ(WordTokens("LeBron James"),
+            (std::vector<std::string>{"lebron", "james"}));
+  EXPECT_EQ(WordTokens("James, LeBron"),
+            (std::vector<std::string>{"james", "lebron"}));
+  EXPECT_EQ(WordTokens("a-b_c3"), (std::vector<std::string>{"a", "b", "c3"}));
+  EXPECT_TRUE(WordTokens("...").empty());
+  EXPECT_TRUE(WordTokens("").empty());
+}
+
+}  // namespace
+}  // namespace alex

@@ -1,0 +1,89 @@
+#include "rdf/term.h"
+
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+namespace alex::rdf {
+namespace {
+
+TEST(TermTest, Factories) {
+  Term iri = Term::Iri("http://x/a");
+  EXPECT_TRUE(iri.is_iri());
+  EXPECT_FALSE(iri.is_literal());
+  EXPECT_EQ(iri.value, "http://x/a");
+
+  Term lit = Term::Literal("hello");
+  EXPECT_TRUE(lit.is_literal());
+  EXPECT_TRUE(lit.datatype.empty());
+  EXPECT_TRUE(lit.language.empty());
+
+  Term typed = Term::TypedLiteral("3", std::string(kXsdInteger));
+  EXPECT_TRUE(typed.is_literal());
+  EXPECT_EQ(typed.datatype, kXsdInteger);
+
+  Term lang = Term::LangLiteral("bonjour", "fr");
+  EXPECT_EQ(lang.language, "fr");
+
+  Term blank = Term::Blank("b0");
+  EXPECT_TRUE(blank.is_blank());
+}
+
+TEST(TermTest, ToNTriplesFormats) {
+  EXPECT_EQ(Term::Iri("http://x/a").ToNTriples(), "<http://x/a>");
+  EXPECT_EQ(Term::Literal("hi").ToNTriples(), "\"hi\"");
+  EXPECT_EQ(Term::TypedLiteral("3", "http://dt").ToNTriples(),
+            "\"3\"^^<http://dt>");
+  EXPECT_EQ(Term::LangLiteral("hi", "en").ToNTriples(), "\"hi\"@en");
+  EXPECT_EQ(Term::Blank("b0").ToNTriples(), "_:b0");
+}
+
+TEST(TermTest, EscapingInLiterals) {
+  EXPECT_EQ(Term::Literal("a\"b").ToNTriples(), "\"a\\\"b\"");
+  EXPECT_EQ(Term::Literal("a\\b").ToNTriples(), "\"a\\\\b\"");
+  EXPECT_EQ(Term::Literal("a\nb").ToNTriples(), "\"a\\nb\"");
+  EXPECT_EQ(Term::Literal("a\tb").ToNTriples(), "\"a\\tb\"");
+  EXPECT_EQ(Term::Literal("a\rb").ToNTriples(), "\"a\\rb\"");
+}
+
+TEST(TermTest, EqualityIsComponentWise) {
+  EXPECT_EQ(Term::Iri("http://x"), Term::Iri("http://x"));
+  EXPECT_NE(Term::Iri("http://x"), Term::Literal("http://x"));
+  EXPECT_NE(Term::Literal("v"), Term::TypedLiteral("v", "http://dt"));
+  EXPECT_NE(Term::LangLiteral("v", "en"), Term::LangLiteral("v", "fr"));
+}
+
+TEST(TermTest, OrderingIsTotal) {
+  Term a = Term::Iri("a");
+  Term b = Term::Iri("b");
+  EXPECT_TRUE(a < b);
+  EXPECT_FALSE(b < a);
+  EXPECT_FALSE(a < a);
+  // Kind dominates: IRIs order before literals.
+  EXPECT_TRUE(Term::Iri("z") < Term::Literal("a"));
+}
+
+TEST(TermTest, HashDistinguishesComponents) {
+  TermHash h;
+  EXPECT_EQ(h(Term::Iri("x")), h(Term::Iri("x")));
+  EXPECT_NE(h(Term::Iri("x")), h(Term::Literal("x")));
+  EXPECT_NE(h(Term::Literal("v")), h(Term::TypedLiteral("v", "dt")));
+  EXPECT_NE(h(Term::LangLiteral("v", "en")), h(Term::LangLiteral("v", "fr")));
+}
+
+TEST(TermTest, HashWorksInUnorderedSet) {
+  std::unordered_set<Term, TermHash> set;
+  set.insert(Term::Iri("a"));
+  set.insert(Term::Iri("a"));
+  set.insert(Term::Literal("a"));
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(TermTest, EscapeNTriplesString) {
+  EXPECT_EQ(EscapeNTriplesString("plain"), "plain");
+  EXPECT_EQ(EscapeNTriplesString("q\"q"), "q\\\"q");
+  EXPECT_EQ(EscapeNTriplesString(""), "");
+}
+
+}  // namespace
+}  // namespace alex::rdf

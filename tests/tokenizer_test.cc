@@ -1,0 +1,118 @@
+#include "sparql/tokenizer.h"
+
+#include <gtest/gtest.h>
+
+namespace alex::sparql {
+namespace {
+
+std::vector<Token> MustTokenize(std::string_view q) {
+  auto r = Tokenize(q);
+  EXPECT_TRUE(r.ok()) << r.status();
+  return r.ValueOr({});
+}
+
+TEST(TokenizerTest, KeywordsCaseInsensitive) {
+  auto toks = MustTokenize("select Where FILTER distinct LIMIT prefix ask");
+  ASSERT_EQ(toks.size(), 8u);  // 7 keywords + end.
+  for (int i = 0; i < 7; ++i) EXPECT_EQ(toks[i].kind, TokenKind::kKeyword);
+  EXPECT_EQ(toks[0].text, "SELECT");
+  EXPECT_EQ(toks[1].text, "WHERE");
+  EXPECT_EQ(toks[5].text, "PREFIX");
+}
+
+TEST(TokenizerTest, Variables) {
+  auto toks = MustTokenize("?x $y ?long_name1");
+  EXPECT_EQ(toks[0].kind, TokenKind::kVariable);
+  EXPECT_EQ(toks[0].text, "x");
+  EXPECT_EQ(toks[1].text, "y");
+  EXPECT_EQ(toks[2].text, "long_name1");
+}
+
+TEST(TokenizerTest, Iri) {
+  auto toks = MustTokenize("<http://example.org/a>");
+  EXPECT_EQ(toks[0].kind, TokenKind::kIri);
+  EXPECT_EQ(toks[0].text, "http://example.org/a");
+}
+
+TEST(TokenizerTest, LessThanVersusIri) {
+  // '<' followed by whitespace before any '>' is the comparison operator.
+  auto toks = MustTokenize("?x < 5");
+  ASSERT_GE(toks.size(), 3u);
+  EXPECT_EQ(toks[1].kind, TokenKind::kOp);
+  EXPECT_EQ(toks[1].text, "<");
+  auto toks2 = MustTokenize("?x <= 5");
+  EXPECT_EQ(toks2[1].text, "<=");
+}
+
+TEST(TokenizerTest, Operators) {
+  auto toks = MustTokenize("= != > >=");
+  EXPECT_EQ(toks[0].text, "=");
+  EXPECT_EQ(toks[1].text, "!=");
+  EXPECT_EQ(toks[2].text, ">");
+  EXPECT_EQ(toks[3].text, ">=");
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(toks[i].kind, TokenKind::kOp);
+}
+
+TEST(TokenizerTest, StringsWithEscapesLangAndDatatype) {
+  auto toks = MustTokenize(R"("a\"b" "hi"@en "3"^^<http://dt>)");
+  EXPECT_EQ(toks[0].kind, TokenKind::kString);
+  EXPECT_EQ(toks[0].text, "a\"b");
+  EXPECT_EQ(toks[1].language, "en");
+  EXPECT_EQ(toks[2].datatype, "http://dt");
+}
+
+TEST(TokenizerTest, Numbers) {
+  auto toks = MustTokenize("42 3.14 -7 +2");
+  EXPECT_EQ(toks[0].kind, TokenKind::kNumber);
+  EXPECT_EQ(toks[0].text, "42");
+  EXPECT_EQ(toks[1].text, "3.14");
+  EXPECT_EQ(toks[2].text, "-7");
+  EXPECT_EQ(toks[3].text, "+2");
+}
+
+TEST(TokenizerTest, PrefixedNames) {
+  auto toks = MustTokenize("foaf:name :local rdf:type");
+  EXPECT_EQ(toks[0].kind, TokenKind::kPrefixedName);
+  EXPECT_EQ(toks[0].text, "foaf:name");
+  EXPECT_EQ(toks[1].text, ":local");
+  EXPECT_EQ(toks[2].text, "rdf:type");
+}
+
+TEST(TokenizerTest, AKeyword) {
+  auto toks = MustTokenize("?s a ?t");
+  EXPECT_EQ(toks[1].kind, TokenKind::kA);
+}
+
+TEST(TokenizerTest, PunctuationAndDotTermination) {
+  auto toks = MustTokenize("{ } . ( ) *");
+  for (int i = 0; i < 6; ++i) EXPECT_EQ(toks[i].kind, TokenKind::kPunct);
+}
+
+TEST(TokenizerTest, CommentsIgnored) {
+  auto toks = MustTokenize("?x # comment here\n?y");
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[0].text, "x");
+  EXPECT_EQ(toks[1].text, "y");
+}
+
+TEST(TokenizerTest, EndTokenAlwaysPresent) {
+  auto toks = MustTokenize("");
+  ASSERT_EQ(toks.size(), 1u);
+  EXPECT_EQ(toks[0].kind, TokenKind::kEnd);
+}
+
+TEST(TokenizerTest, Errors) {
+  EXPECT_FALSE(Tokenize("?").ok());                // Empty variable.
+  EXPECT_FALSE(Tokenize("\"unterminated").ok());   // Unterminated string.
+  EXPECT_FALSE(Tokenize("notakeyword").ok());      // Unknown bare word.
+  EXPECT_FALSE(Tokenize("@").ok());                // Stray character.
+}
+
+TEST(TokenizerTest, OffsetsPointIntoInput) {
+  auto toks = MustTokenize("?x ?y");
+  EXPECT_EQ(toks[0].offset, 0u);
+  EXPECT_EQ(toks[1].offset, 3u);
+}
+
+}  // namespace
+}  // namespace alex::sparql

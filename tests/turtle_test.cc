@@ -1,0 +1,166 @@
+#include "rdf/turtle.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace alex::rdf {
+namespace {
+
+struct Parsed {
+  Dictionary dict;
+  TripleStore store;
+};
+
+Parsed MustParse(std::string_view doc) {
+  Parsed out;
+  Status s = ParseTurtle(doc, &out.dict, &out.store);
+  EXPECT_TRUE(s.ok()) << s;
+  return out;
+}
+
+bool Has(const Parsed& p, const Term& s, const Term& pr, const Term& o) {
+  auto si = p.dict.Lookup(s);
+  auto pi = p.dict.Lookup(pr);
+  auto oi = p.dict.Lookup(o);
+  if (!si || !pi || !oi) return false;
+  return p.store.Contains(Triple{*si, *pi, *oi});
+}
+
+TEST(TurtleTest, SimpleTriple) {
+  Parsed p = MustParse("<http://s> <http://p> <http://o> .");
+  EXPECT_EQ(p.store.size(), 1u);
+  EXPECT_TRUE(Has(p, Term::Iri("http://s"), Term::Iri("http://p"),
+                  Term::Iri("http://o")));
+}
+
+TEST(TurtleTest, PrefixDirectives) {
+  Parsed p = MustParse(
+      "@prefix ex: <http://example.org/> .\n"
+      "PREFIX foo: <http://foo.org/>\n"
+      "ex:a foo:b ex:c .");
+  EXPECT_TRUE(Has(p, Term::Iri("http://example.org/a"),
+                  Term::Iri("http://foo.org/b"),
+                  Term::Iri("http://example.org/c")));
+}
+
+TEST(TurtleTest, BaseResolvesRelativeIris) {
+  Parsed p = MustParse(
+      "@base <http://base.org/> .\n"
+      "<s> <p> <o> .");
+  EXPECT_TRUE(Has(p, Term::Iri("http://base.org/s"),
+                  Term::Iri("http://base.org/p"),
+                  Term::Iri("http://base.org/o")));
+}
+
+TEST(TurtleTest, PredicateAndObjectLists) {
+  Parsed p = MustParse(
+      "@prefix ex: <http://x/> .\n"
+      "ex:s ex:p1 \"a\", \"b\" ;\n"
+      "     ex:p2 \"c\" ;\n"
+      "     .");
+  EXPECT_EQ(p.store.size(), 3u);
+  EXPECT_TRUE(Has(p, Term::Iri("http://x/s"), Term::Iri("http://x/p1"),
+                  Term::Literal("a")));
+  EXPECT_TRUE(Has(p, Term::Iri("http://x/s"), Term::Iri("http://x/p1"),
+                  Term::Literal("b")));
+  EXPECT_TRUE(Has(p, Term::Iri("http://x/s"), Term::Iri("http://x/p2"),
+                  Term::Literal("c")));
+}
+
+TEST(TurtleTest, AKeyword) {
+  Parsed p = MustParse(
+      "@prefix ex: <http://x/> .\n"
+      "ex:s a ex:Person .");
+  EXPECT_TRUE(Has(p, Term::Iri("http://x/s"),
+                  Term::Iri(std::string(kRdfType)),
+                  Term::Iri("http://x/Person")));
+}
+
+TEST(TurtleTest, LiteralVariants) {
+  Parsed p = MustParse(
+      "@prefix ex: <http://x/> .\n"
+      "@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .\n"
+      "ex:s ex:str \"hi\\nthere\" ;\n"
+      "     ex:lang \"bonjour\"@fr ;\n"
+      "     ex:typed \"5\"^^xsd:integer ;\n"
+      "     ex:typed2 \"x\"^^<http://dt> ;\n"
+      "     ex:int 42 ;\n"
+      "     ex:neg -7 ;\n"
+      "     ex:dbl 3.25 ;\n"
+      "     ex:flag true ;\n"
+      "     ex:flag2 false .");
+  EXPECT_EQ(p.store.size(), 9u);
+  EXPECT_TRUE(Has(p, Term::Iri("http://x/s"), Term::Iri("http://x/str"),
+                  Term::Literal("hi\nthere")));
+  EXPECT_TRUE(Has(p, Term::Iri("http://x/s"), Term::Iri("http://x/lang"),
+                  Term::LangLiteral("bonjour", "fr")));
+  EXPECT_TRUE(Has(p, Term::Iri("http://x/s"), Term::Iri("http://x/typed"),
+                  Term::TypedLiteral("5", std::string(kXsdInteger))));
+  EXPECT_TRUE(Has(p, Term::Iri("http://x/s"), Term::Iri("http://x/int"),
+                  Term::TypedLiteral("42", std::string(kXsdInteger))));
+  EXPECT_TRUE(Has(p, Term::Iri("http://x/s"), Term::Iri("http://x/neg"),
+                  Term::TypedLiteral("-7", std::string(kXsdInteger))));
+  EXPECT_TRUE(Has(p, Term::Iri("http://x/s"), Term::Iri("http://x/dbl"),
+                  Term::TypedLiteral("3.25", std::string(kXsdDouble))));
+  EXPECT_TRUE(
+      Has(p, Term::Iri("http://x/s"), Term::Iri("http://x/flag"),
+          Term::TypedLiteral("true",
+                             "http://www.w3.org/2001/XMLSchema#boolean")));
+}
+
+TEST(TurtleTest, BlankNodes) {
+  Parsed p = MustParse("_:a <http://p> _:b .");
+  EXPECT_TRUE(Has(p, Term::Blank("a"), Term::Iri("http://p"),
+                  Term::Blank("b")));
+}
+
+TEST(TurtleTest, CommentsEverywhere) {
+  Parsed p = MustParse(
+      "# leading comment\n"
+      "<http://s> <http://p> # mid comment\n"
+      "  \"v\" . # trailing\n");
+  EXPECT_EQ(p.store.size(), 1u);
+}
+
+TEST(TurtleTest, MultipleStatements) {
+  Parsed p = MustParse(
+      "<http://s1> <http://p> \"1\" .\n"
+      "<http://s2> <http://p> \"2\" .\n"
+      "<http://s3> <http://p> \"3\" .\n");
+  EXPECT_EQ(p.store.size(), 3u);
+}
+
+TEST(TurtleTest, Errors) {
+  Dictionary d;
+  TripleStore s;
+  EXPECT_FALSE(ParseTurtle("<http://s> <http://p> <http://o>", &d, &s).ok());
+  EXPECT_FALSE(ParseTurtle("ex:a ex:b ex:c .", &d, &s).ok());  // No prefix.
+  EXPECT_FALSE(ParseTurtle("<http://s> <http://p> [ ] .", &d, &s).ok());
+  EXPECT_FALSE(ParseTurtle("<http://s> <http://p> ( ) .", &d, &s).ok());
+  EXPECT_FALSE(
+      ParseTurtle("<http://s> <http://p> \"\"\"x\"\"\" .", &d, &s).ok());
+  EXPECT_FALSE(ParseTurtle("<http://s> \"lit\" <http://o> .", &d, &s).ok());
+  Status err = ParseTurtle("<http://s> <http://p>\n\"unterminated .", &d, &s);
+  EXPECT_FALSE(err.ok());
+  EXPECT_NE(err.message().find("line 2"), std::string::npos);
+}
+
+TEST(TurtleTest, ReadFromStream) {
+  std::istringstream in("<http://s> <http://p> \"v\" .");
+  Dictionary d;
+  TripleStore s;
+  ASSERT_TRUE(ReadTurtle(in, &d, &s).ok());
+  EXPECT_EQ(s.size(), 1u);
+}
+
+TEST(TurtleTest, DotInsidePrefixedNameLocalPart) {
+  Parsed p = MustParse(
+      "@prefix ex: <http://x/> .\n"
+      "ex:a.b ex:p ex:c .");
+  EXPECT_TRUE(Has(p, Term::Iri("http://x/a.b"), Term::Iri("http://x/p"),
+                  Term::Iri("http://x/c")));
+}
+
+}  // namespace
+}  // namespace alex::rdf

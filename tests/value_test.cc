@@ -1,0 +1,122 @@
+#include "similarity/value.h"
+
+#include <gtest/gtest.h>
+
+namespace alex::sim {
+namespace {
+
+using rdf::Term;
+
+TEST(IriLocalNameTest, Variants) {
+  EXPECT_EQ(IriLocalName("http://x/path/Name"), "Name");
+  EXPECT_EQ(IriLocalName("http://x/ont#frag"), "frag");
+  EXPECT_EQ(IriLocalName("plain"), "plain");
+  // A trailing '#' has no fragment to return; the last path segment
+  // (including the '#') is used instead.
+  EXPECT_EQ(IriLocalName("http://x/a#"), "a#");
+}
+
+TEST(DaysFromCivilTest, KnownDates) {
+  EXPECT_EQ(DaysFromCivil(1970, 1, 1), 0);
+  EXPECT_EQ(DaysFromCivil(1970, 1, 2), 1);
+  EXPECT_EQ(DaysFromCivil(1969, 12, 31), -1);
+  EXPECT_EQ(DaysFromCivil(2000, 3, 1), 11017);
+  EXPECT_EQ(DaysFromCivil(2024, 2, 29), 19782);  // Leap day.
+}
+
+TEST(ParseIsoDateTest, ValidDates) {
+  int32_t days = 0;
+  ASSERT_TRUE(ParseIsoDate("1970-01-01", &days));
+  EXPECT_EQ(days, 0);
+  ASSERT_TRUE(ParseIsoDate("2000-02-29", &days));  // Leap year.
+  EXPECT_EQ(days, DaysFromCivil(2000, 2, 29));
+}
+
+TEST(ParseIsoDateTest, Malformed) {
+  int32_t days = 0;
+  EXPECT_FALSE(ParseIsoDate("1970/01/01", &days));
+  EXPECT_FALSE(ParseIsoDate("1970-1-1", &days));
+  EXPECT_FALSE(ParseIsoDate("1970-13-01", &days));
+  EXPECT_FALSE(ParseIsoDate("1970-00-10", &days));
+  EXPECT_FALSE(ParseIsoDate("1970-01-32", &days));
+  EXPECT_FALSE(ParseIsoDate("not-a-date", &days));
+  EXPECT_FALSE(ParseIsoDate("", &days));
+}
+
+TEST(ParseValueTest, TypedInteger) {
+  TypedValue v = ParseValue(
+      Term::TypedLiteral("42", std::string(rdf::kXsdInteger)));
+  EXPECT_EQ(v.kind, ValueKind::kInteger);
+  EXPECT_EQ(v.integer, 42);
+  EXPECT_DOUBLE_EQ(v.real, 42.0);
+  EXPECT_TRUE(v.is_numeric());
+}
+
+TEST(ParseValueTest, TypedDouble) {
+  TypedValue v =
+      ParseValue(Term::TypedLiteral("3.25", std::string(rdf::kXsdDouble)));
+  EXPECT_EQ(v.kind, ValueKind::kDouble);
+  EXPECT_DOUBLE_EQ(v.real, 3.25);
+}
+
+TEST(ParseValueTest, TypedDate) {
+  TypedValue v = ParseValue(
+      Term::TypedLiteral("1984-12-30", std::string(rdf::kXsdDate)));
+  EXPECT_EQ(v.kind, ValueKind::kDate);
+  EXPECT_EQ(v.date_days, DaysFromCivil(1984, 12, 30));
+  EXPECT_FALSE(v.is_numeric());
+}
+
+TEST(ParseValueTest, SniffsUntypedLexicalForms) {
+  EXPECT_EQ(ParseValue(Term::Literal("123")).kind, ValueKind::kInteger);
+  EXPECT_EQ(ParseValue(Term::Literal("-5")).kind, ValueKind::kInteger);
+  EXPECT_EQ(ParseValue(Term::Literal("1.5")).kind, ValueKind::kDouble);
+  EXPECT_EQ(ParseValue(Term::Literal("-0.25")).kind, ValueKind::kDouble);
+  EXPECT_EQ(ParseValue(Term::Literal("1999-04-01")).kind, ValueKind::kDate);
+  EXPECT_EQ(ParseValue(Term::Literal("hello")).kind, ValueKind::kString);
+  EXPECT_EQ(ParseValue(Term::Literal("1.2.3")).kind, ValueKind::kString);
+  EXPECT_EQ(ParseValue(Term::Literal("")).kind, ValueKind::kString);
+}
+
+TEST(ParseValueTest, IriUsesLocalName) {
+  TypedValue v = ParseValue(Term::Iri("http://x/class/Person"));
+  EXPECT_EQ(v.kind, ValueKind::kString);
+  EXPECT_EQ(v.text, "Person");
+}
+
+TEST(ParseValueTest, BlankNodeIsString) {
+  TypedValue v = ParseValue(Term::Blank("b1"));
+  EXPECT_EQ(v.kind, ValueKind::kString);
+  EXPECT_EQ(v.text, "b1");
+}
+
+TEST(ParseValueTest, HugeIntegerFallsBackGracefully) {
+  // 19+ digits exceed the integer sniffer; must not crash.
+  TypedValue v = ParseValue(Term::Literal("12345678901234567890123"));
+  EXPECT_EQ(v.kind, ValueKind::kString);
+}
+
+/// Property: IsoDate strings written by the generator's formatter parse back
+/// to the same day count (round trip through DaysFromCivil).
+class CivilDaysRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(CivilDaysRoundTrip, YearBoundaries) {
+  const int year = GetParam();
+  for (int month : {1, 2, 6, 12}) {
+    for (int day : {1, 28}) {
+      const int32_t days = DaysFromCivil(year, month, day);
+      char buf[16];
+      std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", year, month, day);
+      int32_t parsed = 0;
+      ASSERT_TRUE(ParseIsoDate(buf, &parsed)) << buf;
+      EXPECT_EQ(parsed, days) << buf;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Years, CivilDaysRoundTrip,
+                         ::testing::Values(1900, 1970, 1999, 2000, 2024,
+                                           2100));
+
+}  // namespace
+}  // namespace alex::sim
