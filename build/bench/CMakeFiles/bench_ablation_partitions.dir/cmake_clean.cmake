@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_partitions.dir/bench_ablation_partitions.cc.o"
+  "CMakeFiles/bench_ablation_partitions.dir/bench_ablation_partitions.cc.o.d"
+  "bench_ablation_partitions"
+  "bench_ablation_partitions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_partitions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_rewards.dir/bench_ablation_rewards.cc.o"
+  "CMakeFiles/bench_ablation_rewards.dir/bench_ablation_rewards.cc.o.d"
+  "bench_ablation_rewards"
+  "bench_ablation_rewards.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_rewards.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_federated_queries.dir/bench_federated_queries.cc.o"
+  "CMakeFiles/bench_federated_queries.dir/bench_federated_queries.cc.o.d"
+  "bench_federated_queries"
+  "bench_federated_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_federated_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_batch_dbpedia.dir/bench_fig2_batch_dbpedia.cc.o"
+  "CMakeFiles/bench_fig2_batch_dbpedia.dir/bench_fig2_batch_dbpedia.cc.o.d"
+  "bench_fig2_batch_dbpedia"
+  "bench_fig2_batch_dbpedia.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_batch_dbpedia.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_filtering.dir/bench_fig5_filtering.cc.o"
+  "CMakeFiles/bench_fig5_filtering.dir/bench_fig5_filtering.cc.o.d"
+  "bench_fig5_filtering"
+  "bench_fig5_filtering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_filtering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_rollback.dir/bench_fig7_rollback.cc.o"
+  "CMakeFiles/bench_fig7_rollback.dir/bench_fig7_rollback.cc.o.d"
+  "bench_fig7_rollback"
+  "bench_fig7_rollback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_rollback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_multidomain.dir/bench_fig8_multidomain.cc.o"
+  "CMakeFiles/bench_fig8_multidomain.dir/bench_fig8_multidomain.cc.o.d"
+  "bench_fig8_multidomain"
+  "bench_fig8_multidomain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_multidomain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_incorrect_feedback.dir/bench_fig9_incorrect_feedback.cc.o"
+  "CMakeFiles/bench_fig9_incorrect_feedback.dir/bench_fig9_incorrect_feedback.cc.o.d"
+  "bench_fig9_incorrect_feedback"
+  "bench_fig9_incorrect_feedback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_incorrect_feedback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table1_datasets.cc" "bench/CMakeFiles/bench_table1_datasets.dir/bench_table1_datasets.cc.o" "gcc" "bench/CMakeFiles/bench_table1_datasets.dir/bench_table1_datasets.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simulation/CMakeFiles/alex_simulation.dir/DependInfo.cmake"
+  "/root/repo/build/src/federation/CMakeFiles/alex_federation.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparql/CMakeFiles/alex_sparql.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/alex_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/alex_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/paris/CMakeFiles/alex_paris.dir/DependInfo.cmake"
+  "/root/repo/build/src/similarity/CMakeFiles/alex_similarity.dir/DependInfo.cmake"
+  "/root/repo/build/src/feedback/CMakeFiles/alex_feedback.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdf/CMakeFiles/alex_rdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/alex_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linking_pipeline.dir/linking_pipeline.cpp.o"
+  "CMakeFiles/linking_pipeline.dir/linking_pipeline.cpp.o.d"
+  "linking_pipeline"
+  "linking_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linking_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alex_common.dir/logging.cc.o"
+  "CMakeFiles/alex_common.dir/logging.cc.o.d"
+  "CMakeFiles/alex_common.dir/rng.cc.o"
+  "CMakeFiles/alex_common.dir/rng.cc.o.d"
+  "CMakeFiles/alex_common.dir/status.cc.o"
+  "CMakeFiles/alex_common.dir/status.cc.o.d"
+  "CMakeFiles/alex_common.dir/string_util.cc.o"
+  "CMakeFiles/alex_common.dir/string_util.cc.o.d"
+  "CMakeFiles/alex_common.dir/thread_pool.cc.o"
+  "CMakeFiles/alex_common.dir/thread_pool.cc.o.d"
+  "libalex_common.a"
+  "libalex_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alex_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

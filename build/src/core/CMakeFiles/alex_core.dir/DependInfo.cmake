@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/engine.cc" "src/core/CMakeFiles/alex_core.dir/engine.cc.o" "gcc" "src/core/CMakeFiles/alex_core.dir/engine.cc.o.d"
+  "/root/repo/src/core/feature.cc" "src/core/CMakeFiles/alex_core.dir/feature.cc.o" "gcc" "src/core/CMakeFiles/alex_core.dir/feature.cc.o.d"
+  "/root/repo/src/core/link_space.cc" "src/core/CMakeFiles/alex_core.dir/link_space.cc.o" "gcc" "src/core/CMakeFiles/alex_core.dir/link_space.cc.o.d"
+  "/root/repo/src/core/metrics.cc" "src/core/CMakeFiles/alex_core.dir/metrics.cc.o" "gcc" "src/core/CMakeFiles/alex_core.dir/metrics.cc.o.d"
+  "/root/repo/src/core/partitioned.cc" "src/core/CMakeFiles/alex_core.dir/partitioned.cc.o" "gcc" "src/core/CMakeFiles/alex_core.dir/partitioned.cc.o.d"
+  "/root/repo/src/core/policy.cc" "src/core/CMakeFiles/alex_core.dir/policy.cc.o" "gcc" "src/core/CMakeFiles/alex_core.dir/policy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/alex_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdf/CMakeFiles/alex_rdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/similarity/CMakeFiles/alex_similarity.dir/DependInfo.cmake"
+  "/root/repo/build/src/feedback/CMakeFiles/alex_feedback.dir/DependInfo.cmake"
+  "/root/repo/build/src/paris/CMakeFiles/alex_paris.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

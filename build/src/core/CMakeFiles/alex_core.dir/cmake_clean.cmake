@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alex_core.dir/engine.cc.o"
+  "CMakeFiles/alex_core.dir/engine.cc.o.d"
+  "CMakeFiles/alex_core.dir/feature.cc.o"
+  "CMakeFiles/alex_core.dir/feature.cc.o.d"
+  "CMakeFiles/alex_core.dir/link_space.cc.o"
+  "CMakeFiles/alex_core.dir/link_space.cc.o.d"
+  "CMakeFiles/alex_core.dir/metrics.cc.o"
+  "CMakeFiles/alex_core.dir/metrics.cc.o.d"
+  "CMakeFiles/alex_core.dir/partitioned.cc.o"
+  "CMakeFiles/alex_core.dir/partitioned.cc.o.d"
+  "CMakeFiles/alex_core.dir/policy.cc.o"
+  "CMakeFiles/alex_core.dir/policy.cc.o.d"
+  "libalex_core.a"
+  "libalex_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alex_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

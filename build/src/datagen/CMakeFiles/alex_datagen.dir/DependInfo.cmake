@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datagen/generator.cc" "src/datagen/CMakeFiles/alex_datagen.dir/generator.cc.o" "gcc" "src/datagen/CMakeFiles/alex_datagen.dir/generator.cc.o.d"
+  "/root/repo/src/datagen/scenarios.cc" "src/datagen/CMakeFiles/alex_datagen.dir/scenarios.cc.o" "gcc" "src/datagen/CMakeFiles/alex_datagen.dir/scenarios.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/alex_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdf/CMakeFiles/alex_rdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/similarity/CMakeFiles/alex_similarity.dir/DependInfo.cmake"
+  "/root/repo/build/src/feedback/CMakeFiles/alex_feedback.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

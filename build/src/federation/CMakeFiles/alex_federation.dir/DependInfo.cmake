@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/federation/endpoint.cc" "src/federation/CMakeFiles/alex_federation.dir/endpoint.cc.o" "gcc" "src/federation/CMakeFiles/alex_federation.dir/endpoint.cc.o.d"
+  "/root/repo/src/federation/federated_engine.cc" "src/federation/CMakeFiles/alex_federation.dir/federated_engine.cc.o" "gcc" "src/federation/CMakeFiles/alex_federation.dir/federated_engine.cc.o.d"
+  "/root/repo/src/federation/link_index.cc" "src/federation/CMakeFiles/alex_federation.dir/link_index.cc.o" "gcc" "src/federation/CMakeFiles/alex_federation.dir/link_index.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/alex_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdf/CMakeFiles/alex_rdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparql/CMakeFiles/alex_sparql.dir/DependInfo.cmake"
+  "/root/repo/build/src/similarity/CMakeFiles/alex_similarity.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

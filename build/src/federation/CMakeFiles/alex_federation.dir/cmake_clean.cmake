@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alex_federation.dir/endpoint.cc.o"
+  "CMakeFiles/alex_federation.dir/endpoint.cc.o.d"
+  "CMakeFiles/alex_federation.dir/federated_engine.cc.o"
+  "CMakeFiles/alex_federation.dir/federated_engine.cc.o.d"
+  "CMakeFiles/alex_federation.dir/link_index.cc.o"
+  "CMakeFiles/alex_federation.dir/link_index.cc.o.d"
+  "libalex_federation.a"
+  "libalex_federation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alex_federation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

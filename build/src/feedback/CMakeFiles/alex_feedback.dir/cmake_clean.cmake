@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alex_feedback.dir/oracle.cc.o"
+  "CMakeFiles/alex_feedback.dir/oracle.cc.o.d"
+  "libalex_feedback.a"
+  "libalex_feedback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alex_feedback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

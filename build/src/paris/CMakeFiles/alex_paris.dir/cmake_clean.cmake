@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alex_paris.dir/link_spec.cc.o"
+  "CMakeFiles/alex_paris.dir/link_spec.cc.o.d"
+  "CMakeFiles/alex_paris.dir/paris.cc.o"
+  "CMakeFiles/alex_paris.dir/paris.cc.o.d"
+  "libalex_paris.a"
+  "libalex_paris.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alex_paris.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

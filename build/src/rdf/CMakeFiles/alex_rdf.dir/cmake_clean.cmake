@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alex_rdf.dir/binary_io.cc.o"
+  "CMakeFiles/alex_rdf.dir/binary_io.cc.o.d"
+  "CMakeFiles/alex_rdf.dir/dataset.cc.o"
+  "CMakeFiles/alex_rdf.dir/dataset.cc.o.d"
+  "CMakeFiles/alex_rdf.dir/dictionary.cc.o"
+  "CMakeFiles/alex_rdf.dir/dictionary.cc.o.d"
+  "CMakeFiles/alex_rdf.dir/ntriples.cc.o"
+  "CMakeFiles/alex_rdf.dir/ntriples.cc.o.d"
+  "CMakeFiles/alex_rdf.dir/term.cc.o"
+  "CMakeFiles/alex_rdf.dir/term.cc.o.d"
+  "CMakeFiles/alex_rdf.dir/triple_store.cc.o"
+  "CMakeFiles/alex_rdf.dir/triple_store.cc.o.d"
+  "CMakeFiles/alex_rdf.dir/turtle.cc.o"
+  "CMakeFiles/alex_rdf.dir/turtle.cc.o.d"
+  "libalex_rdf.a"
+  "libalex_rdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alex_rdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/similarity/similarity.cc" "src/similarity/CMakeFiles/alex_similarity.dir/similarity.cc.o" "gcc" "src/similarity/CMakeFiles/alex_similarity.dir/similarity.cc.o.d"
+  "/root/repo/src/similarity/string_metrics.cc" "src/similarity/CMakeFiles/alex_similarity.dir/string_metrics.cc.o" "gcc" "src/similarity/CMakeFiles/alex_similarity.dir/string_metrics.cc.o.d"
+  "/root/repo/src/similarity/value.cc" "src/similarity/CMakeFiles/alex_similarity.dir/value.cc.o" "gcc" "src/similarity/CMakeFiles/alex_similarity.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/alex_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdf/CMakeFiles/alex_rdf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alex_similarity.dir/similarity.cc.o"
+  "CMakeFiles/alex_similarity.dir/similarity.cc.o.d"
+  "CMakeFiles/alex_similarity.dir/string_metrics.cc.o"
+  "CMakeFiles/alex_similarity.dir/string_metrics.cc.o.d"
+  "CMakeFiles/alex_similarity.dir/value.cc.o"
+  "CMakeFiles/alex_similarity.dir/value.cc.o.d"
+  "libalex_similarity.a"
+  "libalex_similarity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alex_similarity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alex_simulation.dir/query_workload.cc.o"
+  "CMakeFiles/alex_simulation.dir/query_workload.cc.o.d"
+  "CMakeFiles/alex_simulation.dir/report.cc.o"
+  "CMakeFiles/alex_simulation.dir/report.cc.o.d"
+  "CMakeFiles/alex_simulation.dir/simulation.cc.o"
+  "CMakeFiles/alex_simulation.dir/simulation.cc.o.d"
+  "libalex_simulation.a"
+  "libalex_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alex_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alex_sparql.dir/ast.cc.o"
+  "CMakeFiles/alex_sparql.dir/ast.cc.o.d"
+  "CMakeFiles/alex_sparql.dir/evaluator.cc.o"
+  "CMakeFiles/alex_sparql.dir/evaluator.cc.o.d"
+  "CMakeFiles/alex_sparql.dir/parser.cc.o"
+  "CMakeFiles/alex_sparql.dir/parser.cc.o.d"
+  "CMakeFiles/alex_sparql.dir/results_io.cc.o"
+  "CMakeFiles/alex_sparql.dir/results_io.cc.o.d"
+  "CMakeFiles/alex_sparql.dir/tokenizer.cc.o"
+  "CMakeFiles/alex_sparql.dir/tokenizer.cc.o.d"
+  "libalex_sparql.a"
+  "libalex_sparql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alex_sparql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

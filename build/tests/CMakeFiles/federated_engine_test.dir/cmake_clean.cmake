@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/federated_engine_test.dir/federated_engine_test.cc.o"
+  "CMakeFiles/federated_engine_test.dir/federated_engine_test.cc.o.d"
+  "federated_engine_test"
+  "federated_engine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/federated_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

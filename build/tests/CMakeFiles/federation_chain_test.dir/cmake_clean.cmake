@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/federation_chain_test.dir/federation_chain_test.cc.o"
+  "CMakeFiles/federation_chain_test.dir/federation_chain_test.cc.o.d"
+  "federation_chain_test"
+  "federation_chain_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/federation_chain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

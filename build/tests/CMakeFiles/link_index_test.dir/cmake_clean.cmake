@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/link_index_test.dir/link_index_test.cc.o"
+  "CMakeFiles/link_index_test.dir/link_index_test.cc.o.d"
+  "link_index_test"
+  "link_index_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/link_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/link_space_test.dir/link_space_test.cc.o"
+  "CMakeFiles/link_space_test.dir/link_space_test.cc.o.d"
+  "link_space_test"
+  "link_space_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/link_space_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

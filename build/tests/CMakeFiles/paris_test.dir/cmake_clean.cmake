@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paris_test.dir/paris_test.cc.o"
+  "CMakeFiles/paris_test.dir/paris_test.cc.o.d"
+  "paris_test"
+  "paris_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paris_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparql_reference_test.dir/sparql_reference_test.cc.o"
+  "CMakeFiles/sparql_reference_test.dir/sparql_reference_test.cc.o.d"
+  "sparql_reference_test"
+  "sparql_reference_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparql_reference_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

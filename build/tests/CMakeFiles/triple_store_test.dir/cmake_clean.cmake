@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/triple_store_test.dir/triple_store_test.cc.o"
+  "CMakeFiles/triple_store_test.dir/triple_store_test.cc.o.d"
+  "triple_store_test"
+  "triple_store_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/triple_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
