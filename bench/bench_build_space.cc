@@ -1,0 +1,128 @@
+// Build-phase scalability bench: measures link-space construction wall time
+// and candidate counts at 1/2/4/8 partitions, with the legacy per-partition
+// blocking (each partition re-inverts the right dataset) as the baseline and
+// the shared-BlockingIndex build as the optimized mode. Output is JSON so
+// the speedup is measured, not asserted: legacy total time grows with the
+// partition count (P× the blocking work), shared total stays flat and the
+// slowest partition shrinks as partitions get smaller.
+//
+// Usage: bench_build_space [scenario_name] [reps]   (defaults:
+// dbpedia_nytimes — the paper's batch-mode scenario of Figures 2a and 5 —
+// and 3 repetitions, reporting min-of-N wall times).
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "core/partitioned.h"
+#include "datagen/generator.h"
+#include "datagen/scenarios.h"
+
+namespace {
+
+struct RunRecord {
+  size_t partitions = 0;
+  bool shared = false;
+  double total_seconds = 0.0;
+  double max_partition_seconds = 0.0;
+  double shared_index_seconds = 0.0;
+  alex::core::LinkSpace::BuildStats stats;
+};
+
+RunRecord MeasureBuild(const alex::datagen::GeneratedPair& pair,
+                       size_t partitions, bool shared, size_t reps) {
+  // Builds are deterministic; wall-time noise is scheduler/load. Min-of-N
+  // is the standard way to report the build's actual cost.
+  RunRecord record;
+  record.partitions = partitions;
+  record.shared = shared;
+  for (size_t rep = 0; rep < reps; ++rep) {
+    alex::core::AlexConfig config;
+    config.num_partitions = partitions;
+    config.shared_blocking_index = shared;
+    alex::core::PartitionedAlex alex(&pair.left, &pair.right, config);
+    alex::Stopwatch watch;
+    const std::vector<double> seconds = alex.Build();
+    const double total = watch.ElapsedSeconds();
+    double max_partition = 0.0;
+    for (double s : seconds) max_partition = std::max(max_partition, s);
+    if (rep == 0 || total < record.total_seconds) {
+      record.total_seconds = total;
+      record.shared_index_seconds = alex.shared_index_seconds();
+    }
+    if (rep == 0 || max_partition < record.max_partition_seconds) {
+      record.max_partition_seconds = max_partition;
+    }
+    record.stats = alex.AggregatedSpaceStats();  // Identical across reps.
+  }
+  return record;
+}
+
+void PrintRecord(const RunRecord& r, bool last) {
+  std::printf(
+      "    {\"partitions\": %zu, \"mode\": \"%s\", \"total_seconds\": %.4f, "
+      "\"max_partition_seconds\": %.4f, \"shared_index_seconds\": %.4f, "
+      "\"candidate_pairs\": %llu, \"kept_pairs\": %llu, "
+      "\"features_indexed\": %llu}%s\n",
+      r.partitions, r.shared ? "shared" : "legacy", r.total_seconds,
+      r.max_partition_seconds, r.shared_index_seconds,
+      static_cast<unsigned long long>(r.stats.candidate_pairs),
+      static_cast<unsigned long long>(r.stats.kept_pairs),
+      static_cast<unsigned long long>(r.stats.features_indexed),
+      last ? "" : ",");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace alex;
+  const std::string scenario_name =
+      argc > 1 ? argv[1] : std::string("dbpedia_nytimes");
+  const size_t reps =
+      argc > 2 ? std::max(1, std::atoi(argv[2])) : size_t{3};
+  datagen::ScenarioConfig scenario = datagen::ScenarioByName(scenario_name);
+  if (scenario.name.empty()) {
+    std::fprintf(stderr, "unknown scenario: %s\n", scenario_name.c_str());
+    return 1;
+  }
+  const datagen::GeneratedPair pair = datagen::GenerateScenario(scenario);
+
+  const std::vector<size_t> partition_counts = {1, 2, 4, 8};
+  std::vector<RunRecord> legacy_runs;
+  std::vector<RunRecord> shared_runs;
+  for (size_t partitions : partition_counts) {
+    legacy_runs.push_back(
+        MeasureBuild(pair, partitions, /*shared=*/false, reps));
+    shared_runs.push_back(
+        MeasureBuild(pair, partitions, /*shared=*/true, reps));
+  }
+
+  std::printf("{\n");
+  std::printf("  \"bench\": \"build_space\",\n");
+  std::printf("  \"scenario\": \"%s\",\n", scenario.name.c_str());
+  std::printf("  \"seed\": %llu,\n",
+              static_cast<unsigned long long>(scenario.seed));
+  std::printf("  \"left_entities\": %zu,\n", pair.left.num_entities());
+  std::printf("  \"right_entities\": %zu,\n", pair.right.num_entities());
+  std::printf("  \"runs\": [\n");
+  for (size_t i = 0; i < partition_counts.size(); ++i) {
+    PrintRecord(legacy_runs[i], /*last=*/false);
+    PrintRecord(shared_runs[i],
+                /*last=*/i + 1 == partition_counts.size());
+  }
+  std::printf("  ],\n");
+  std::printf("  \"speedup_shared_vs_legacy\": [\n");
+  for (size_t i = 0; i < partition_counts.size(); ++i) {
+    std::printf(
+        "    {\"partitions\": %zu, \"speedup\": %.2f}%s\n",
+        partition_counts[i],
+        legacy_runs[i].total_seconds / shared_runs[i].total_seconds,
+        i + 1 == partition_counts.size() ? "" : ",");
+  }
+  std::printf("  ]\n");
+  std::printf("}\n");
+  return 0;
+}

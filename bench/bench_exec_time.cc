@@ -45,6 +45,8 @@ int main() {
               b.build_seconds_max, i.build_seconds_max);
   std::printf("%-34s %14.2f %14.3f\n", "average partition build (s)",
               b.build_seconds_avg, i.build_seconds_avg);
+  std::printf("%-34s %14.3f %14.4f\n", "shared blocking index build (s)",
+              b.shared_index_seconds, i.shared_index_seconds);
   std::printf(
       "\npaper reference: ~7 min/episode batch (97 min total, 64-core "
       "server, full-size LOD data), ~1.3 s/episode interactive. This "

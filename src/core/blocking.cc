@@ -1,0 +1,173 @@
+#include "core/blocking.h"
+
+#include <algorithm>
+#include <string>
+
+#include "common/string_util.h"
+#include "similarity/similarity.h"
+
+namespace alex::core {
+namespace {
+
+/// Sorts and deduplicates a key vector in place (set semantics).
+void SortUnique(std::vector<BlockKey>* keys) {
+  std::sort(keys->begin(), keys->end());
+  keys->erase(std::unique(keys->begin(), keys->end()), keys->end());
+}
+
+}  // namespace
+
+BlockKey HashBlockKey(BlockKind kind, std::string_view text) {
+  // FNV-1a with the kind hashed as its own leading round, so "v:x" /
+  // "t:x" / "p:x" style namespacing survives the move to integer keys.
+  // The kind must be multiplied through before any text byte: mixing it
+  // into the same round as the first character lets a kind difference
+  // cancel against a first-character difference (kValue^kToken == '7'^'4',
+  // so seeding alone would collide "v:79..." with "t:49...").
+  uint64_t h = 0xcbf29ce484222325ULL;
+  h ^= static_cast<uint64_t>(kind) + 1;
+  h *= 0x100000001b3ULL;
+  for (unsigned char c : text) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  // splitmix64 finalizer: FNV alone mixes low bits poorly for short keys.
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebULL;
+  h ^= h >> 31;
+  return h;
+}
+
+void ComputeTermBlockingKeys(const rdf::Term& term,
+                             std::vector<BlockKey>* out) {
+  out->clear();
+  const std::string norm = ToLowerAscii(
+      term.is_iri() ? std::string(sim::IriLocalName(term.value)) : term.value);
+  if (norm.empty()) return;
+  out->push_back(HashBlockKey(BlockKind::kValue, norm));
+  for (const std::string& tok : WordTokens(norm)) {
+    if (tok.size() < 2) continue;
+    out->push_back(HashBlockKey(BlockKind::kToken, tok));
+    if (tok.size() >= 6) {
+      out->push_back(
+          HashBlockKey(BlockKind::kPrefix, std::string_view(tok).substr(0, 5)));
+    }
+  }
+  SortUnique(out);
+}
+
+TermKeyCache::TermKeyCache(const rdf::Dataset& ds) : ds_(&ds) {
+  const size_t num_terms = ds.dict().size();
+  // Pass 1: mark the terms that occur as attribute objects; only those need
+  // keys (subject IRIs and predicates never reach the blocking loop).
+  std::vector<bool> is_object(num_terms, false);
+  for (rdf::EntityId e = 0; e < ds.num_entities(); ++e) {
+    for (const rdf::Attribute& a : ds.attributes(e)) {
+      if (a.object < num_terms) is_object[a.object] = true;
+    }
+  }
+  // Pass 2: compute each marked term's keys once into the CSR arrays.
+  offsets_.assign(num_terms + 1, 0);
+  std::vector<BlockKey> scratch;
+  for (rdf::TermId t = 0; t < num_terms; ++t) {
+    if (is_object[t]) {
+      ComputeTermBlockingKeys(ds.dict().term(t), &scratch);
+      keys_.insert(keys_.end(), scratch.begin(), scratch.end());
+      ++computed_terms_;
+    }
+    offsets_[t + 1] = static_cast<uint32_t>(keys_.size());
+  }
+}
+
+void TermKeyCache::EntityKeys(rdf::EntityId e,
+                              std::vector<BlockKey>* out) const {
+  out->clear();
+  for (const rdf::Attribute& a : ds_->attributes(e)) {
+    const std::span<const BlockKey> ks = keys(a.object);
+    out->insert(out->end(), ks.begin(), ks.end());
+  }
+  SortUnique(out);
+}
+
+ValueCache::ValueCache(const rdf::Dataset& ds) {
+  values_.resize(ds.dict().size());
+  profiles_.resize(ds.dict().size());
+  std::vector<bool> parsed(values_.size(), false);
+  for (rdf::EntityId e = 0; e < ds.num_entities(); ++e) {
+    for (const rdf::Attribute& a : ds.attributes(e)) {
+      if (a.object < values_.size() && !parsed[a.object]) {
+        values_[a.object] = sim::ParseValue(ds.dict().term(a.object));
+        profiles_[a.object] = sim::MakeStringProfile(values_[a.object].text);
+        parsed[a.object] = true;
+      }
+    }
+  }
+}
+
+namespace {
+
+constexpr uint64_t kEmptySlot = ~uint64_t{0};
+
+/// splitmix64 finalizer: packed term-id pairs are highly regular, so the
+/// raw key would cluster badly under linear probing.
+uint64_t MixKey(uint64_t key) {
+  key ^= key >> 30;
+  key *= 0xbf58476d1ce4e5b9ULL;
+  key ^= key >> 27;
+  key *= 0x94d049bb133111ebULL;
+  key ^= key >> 31;
+  return key;
+}
+
+}  // namespace
+
+SimilarityMemo::SimilarityMemo() {
+  slots_.assign(1 << 16, Slot{kEmptySlot, 0.0});
+  mask_ = slots_.size() - 1;
+}
+
+void SimilarityMemo::Grow() {
+  std::vector<Slot> old = std::move(slots_);
+  slots_.assign(old.size() * 2, Slot{kEmptySlot, 0.0});
+  mask_ = slots_.size() - 1;
+  for (const Slot& s : old) {
+    if (s.key == kEmptySlot) continue;
+    size_t i = MixKey(s.key) & mask_;
+    while (slots_[i].key != kEmptySlot) i = (i + 1) & mask_;
+    slots_[i] = s;
+  }
+}
+
+double SimilarityMemo::Score(rdf::TermId left, rdf::TermId right,
+                             const sim::TypedValue& lv,
+                             const sim::TypedValue& rv,
+                             const sim::StringProfile* lp,
+                             const sim::StringProfile* rp) {
+  const uint64_t key =
+      (static_cast<uint64_t>(left) << 32) | static_cast<uint64_t>(right);
+  size_t i = MixKey(key) & mask_;
+  while (slots_[i].key != key) {
+    if (slots_[i].key == kEmptySlot) {
+      const double score = sim::ValueSimilarity(lv, rv, lp, rp);
+      slots_[i] = Slot{key, score};
+      if (++size_ * 2 > slots_.size()) Grow();  // Keep load factor <= 0.5.
+      return score;
+    }
+    i = (i + 1) & mask_;
+  }
+  return slots_[i].score;
+}
+
+BlockingIndex::BlockingIndex(const rdf::Dataset& right) : term_keys_(right) {
+  std::vector<BlockKey> scratch;
+  for (rdf::EntityId r = 0; r < right.num_entities(); ++r) {
+    term_keys_.EntityKeys(r, &scratch);
+    for (BlockKey key : scratch) {
+      blocks_[key].push_back(r);
+    }
+  }
+}
+
+}  // namespace alex::core

@@ -88,6 +88,14 @@ struct AlexConfig {
   /// candidate cross-product exceeds this is treated as a stop value.
   size_t max_block_pairs = 20000;
 
+  /// When true (default), partition link spaces are built against one
+  /// shared read-only BlockingIndex plus term-key/value caches constructed
+  /// once per dataset pair, so blocking work does not grow with the
+  /// partition count. When false, every partition re-inverts the right
+  /// dataset itself (the pre-optimization behaviour) — kept selectable for
+  /// the equivalence tests and the build-phase benchmark baseline.
+  bool shared_blocking_index = true;
+
   /// Seed for the ε-greedy policy's random draws.
   uint64_t seed = 7;
 };

@@ -7,29 +7,102 @@
 
 namespace alex::core {
 
+namespace {
+
+/// Fills `out` with one TypedValue pointer per attribute — borrowed from
+/// the cache when present, otherwise parsed into `owned` (whose storage
+/// backs the pointers) — and `profiles` with the matching StringProfile
+/// pointer (nullptr without a cache: profiles are only worth computing
+/// once per term, not once per call). `out`/`profiles` are cleared first
+/// so scratch buffers can be reused across calls.
+void GatherValues(const rdf::Dataset& ds, const std::vector<rdf::Attribute>& as,
+                  const ValueCache* cache,
+                  std::vector<const sim::TypedValue*>* out,
+                  std::vector<const sim::StringProfile*>* profiles,
+                  std::vector<sim::TypedValue>* owned) {
+  out->clear();
+  profiles->clear();
+  out->reserve(as.size());
+  profiles->reserve(as.size());
+  if (cache != nullptr) {
+    for (const rdf::Attribute& a : as) {
+      out->push_back(&cache->value(a.object));
+      profiles->push_back(&cache->profile(a.object));
+    }
+    return;
+  }
+  owned->reserve(as.size());
+  for (const rdf::Attribute& a : as) {
+    owned->push_back(sim::ParseValue(ds.dict().term(a.object)));
+  }
+  for (const sim::TypedValue& v : *owned) {
+    out->push_back(&v);
+    profiles->push_back(nullptr);
+  }
+}
+
+}  // namespace
+
 FeatureSet ComputeFeatureSet(const rdf::Dataset& left, rdf::EntityId left_e,
                              const rdf::Dataset& right, rdf::EntityId right_e,
                              double theta) {
+  return ComputeFeatureSet(left, left_e, right, right_e, theta, nullptr,
+                           nullptr);
+}
+
+FeatureSet ComputeFeatureSet(const rdf::Dataset& left, rdf::EntityId left_e,
+                             const rdf::Dataset& right, rdf::EntityId right_e,
+                             double theta, const ValueCache* left_values,
+                             const ValueCache* right_values,
+                             SimilarityMemo* sim_memo,
+                             FeatureScratch* scratch) {
   const auto& la = left.attributes(left_e);
   const auto& ra = right.attributes(right_e);
   if (la.empty() || ra.empty()) return {};
 
-  // Parse each attribute value once.
-  std::vector<sim::TypedValue> lv;
-  lv.reserve(la.size());
-  for (const rdf::Attribute& a : la) {
-    lv.push_back(sim::ParseValue(left.dict().term(a.object)));
+  FeatureScratch local;
+  FeatureScratch& s = scratch != nullptr ? *scratch : local;
+
+  // Cell scorer. With both caches the values are indexed directly (no
+  // per-call pointer gathering), and numeric/date cells take their cheap
+  // arithmetic paths before touching the memo — both produce the exact
+  // doubles of sim::ValueSimilarity, whose dispatch they mirror.
+  const bool direct = left_values != nullptr && right_values != nullptr;
+  std::vector<sim::TypedValue> lv_owned;
+  std::vector<sim::TypedValue> rv_owned;
+  if (!direct) {
+    GatherValues(left, la, left_values, &s.lv, &s.lp, &lv_owned);
+    GatherValues(right, ra, right_values, &s.rv, &s.rp, &rv_owned);
   }
-  std::vector<sim::TypedValue> rv;
-  rv.reserve(ra.size());
-  for (const rdf::Attribute& a : ra) {
-    rv.push_back(sim::ParseValue(right.dict().term(a.object)));
-  }
+  auto score_cell = [&](size_t li, size_t rj) {
+    if (direct) {
+      const rdf::TermId lt = la[li].object;
+      const rdf::TermId rt = ra[rj].object;
+      const sim::TypedValue& a = left_values->value(lt);
+      const sim::TypedValue& b = right_values->value(rt);
+      if (a.is_numeric() && b.is_numeric()) {
+        return sim::NumericSimilarity(a.real, b.real);
+      }
+      if (a.kind == sim::ValueKind::kDate && b.kind == sim::ValueKind::kDate) {
+        return sim::DateSimilarity(a.date_days, b.date_days);
+      }
+      const sim::StringProfile* pa = &left_values->profile(lt);
+      const sim::StringProfile* pb = &right_values->profile(rt);
+      return sim_memo != nullptr ? sim_memo->Score(lt, rt, a, b, pa, pb)
+                                 : sim::ValueSimilarity(a, b, pa, pb);
+    }
+    return sim_memo != nullptr
+               ? sim_memo->Score(la[li].object, ra[rj].object, *s.lv[li],
+                                 *s.rv[rj], s.lp[li], s.rp[rj])
+               : sim::ValueSimilarity(*s.lv[li], *s.rv[rj], s.lp[li],
+                                      s.rp[rj]);
+  };
 
   // Similarity matrix, reduced along the larger dimension (Section 4.1):
   // per left attribute if the left entity has more attributes, else per
   // right attribute, keeping the best-matching opposite attribute.
-  FeatureSet raw;
+  FeatureSet& raw = s.raw;
+  raw.clear();
   const bool reduce_rows = la.size() >= ra.size();
   const size_t outer = reduce_rows ? la.size() : ra.size();
   const size_t inner = reduce_rows ? ra.size() : la.size();
@@ -39,9 +112,9 @@ FeatureSet ComputeFeatureSet(const rdf::Dataset& left, rdf::EntityId left_e,
     for (size_t j = 0; j < inner; ++j) {
       const size_t li = reduce_rows ? i : j;
       const size_t rj = reduce_rows ? j : i;
-      const double s = sim::ValueSimilarity(lv[li], rv[rj]);
-      if (s > best) {
-        best = s;
+      const double cell = score_cell(li, rj);
+      if (cell > best) {
+        best = cell;
         best_j = j;
       }
     }

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "core/blocking.h"
 #include "rdf/dataset.h"
 
 namespace alex::core {
@@ -38,6 +39,17 @@ struct FeatureValue {
 /// maxima otherwise). Sorted by key; one entry per distinct attribute pair.
 using FeatureSet = std::vector<FeatureValue>;
 
+/// Reusable buffers for ComputeFeatureSet. A link-space build scores
+/// hundreds of thousands of candidate pairs; without a scratch every call
+/// allocates its value/profile pointer arrays and raw-feature vector anew,
+/// and those allocations are a measurable share of build time. One scratch
+/// per (single-threaded) build loop; contents are overwritten per call.
+struct FeatureScratch {
+  std::vector<const sim::TypedValue*> lv, rv;
+  std::vector<const sim::StringProfile*> lp, rp;
+  FeatureSet raw;
+};
+
 /// Computes the state feature set for the entity pair (left_e, right_e).
 ///
 /// Scores below `theta` are discarded (Section 6.1). An empty result means
@@ -45,6 +57,20 @@ using FeatureSet = std::vector<FeatureValue>;
 FeatureSet ComputeFeatureSet(const rdf::Dataset& left, rdf::EntityId left_e,
                              const rdf::Dataset& right, rdf::EntityId right_e,
                              double theta);
+
+/// Cache-aware variant: attribute values are taken from the per-dataset
+/// ValueCaches instead of being re-parsed per candidate pair, and — when
+/// `sim_memo` is non-null — similarity scores are memoized per (left term,
+/// right term) pair across calls, which is where the bulk of build time
+/// goes (the same value pair recurs across many candidate entity pairs).
+/// Either cache may be nullptr to fall back to direct parsing for that
+/// side. The cached and uncached paths produce identical feature sets.
+FeatureSet ComputeFeatureSet(const rdf::Dataset& left, rdf::EntityId left_e,
+                             const rdf::Dataset& right, rdf::EntityId right_e,
+                             double theta, const ValueCache* left_values,
+                             const ValueCache* right_values,
+                             SimilarityMemo* sim_memo = nullptr,
+                             FeatureScratch* scratch = nullptr);
 
 /// Human-readable feature name, e.g. "(name, label)".
 std::string FeatureName(const rdf::Dataset& left, const rdf::Dataset& right,

@@ -1,6 +1,8 @@
 #include "core/link_space.h"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <string>
 #include <unordered_set>
 
@@ -13,8 +15,10 @@ namespace {
 using rdf::Dataset;
 using rdf::EntityId;
 
-/// Blocking keys for one attribute value: the full normalized value, its
-/// word tokens, and a 5-character prefix per longer token (tolerates tail typos).
+/// Legacy string blocking keys for one attribute value: the full normalized
+/// value, its word tokens, and a 5-character prefix per longer token
+/// (tolerates tail typos). Kept only for BuildLegacy; the optimized path
+/// uses the memoized hashed keys of core/blocking.h.
 void CollectBlockingKeys(const Dataset& ds, rdf::TermId object,
                          std::unordered_set<std::string>* keys) {
   const rdf::Term& t = ds.dict().term(object);
@@ -38,65 +42,36 @@ std::unordered_set<std::string> EntityBlockingKeys(const Dataset& ds,
   return keys;
 }
 
+/// Stop-value cap shared by both build paths: a key proposing a sizable
+/// fraction of the whole cross product is a stop value regardless of the
+/// absolute cap (e.g. a shared rdf:type class at small scale); such blocks
+/// carry no identifying signal.
+uint64_t EffectiveBlockCap(uint64_t total_possible, size_t max_block_pairs) {
+  const uint64_t relative_cap = std::max<uint64_t>(100, total_possible / 20);
+  return std::min<uint64_t>(max_block_pairs, relative_cap);
+}
+
 }  // namespace
 
-void LinkSpace::Build(const Dataset& left, const Dataset& right,
-                      const std::vector<EntityId>& left_entities, double theta,
-                      size_t max_block_pairs) {
+void LinkSpace::Reset(uint64_t total_possible) {
   index_.clear();
   pairs_.clear();
   feature_sets_.clear();
   feature_index_.clear();
   stats_ = BuildStats{};
-  stats_.total_possible = static_cast<uint64_t>(left_entities.size()) *
-                          static_cast<uint64_t>(right.num_entities());
+  stats_.total_possible = total_possible;
+}
 
-  // Invert the right dataset by blocking key.
-  std::unordered_map<std::string, std::vector<EntityId>> right_blocks;
-  for (EntityId r = 0; r < right.num_entities(); ++r) {
-    for (const std::string& key : EntityBlockingKeys(right, r)) {
-      right_blocks[key].push_back(r);
-    }
-  }
-  // Count left-subset entities per key so oversized blocks can be skipped.
-  std::unordered_map<std::string, size_t> left_key_counts;
-  for (EntityId l : left_entities) {
-    for (const std::string& key : EntityBlockingKeys(left, l)) {
-      ++left_key_counts[key];
-    }
-  }
+void LinkSpace::KeepIfNonEmpty(PairKey pair, FeatureSet fs) {
+  if (fs.empty()) return;
+  const uint32_t ordinal = static_cast<uint32_t>(pairs_.size());
+  index_.emplace(pair, ordinal);
+  pairs_.push_back(pair);
+  feature_sets_.push_back(std::move(fs));
+}
 
-  // A key proposing a sizable fraction of the whole cross product is a stop
-  // value regardless of the absolute cap (e.g. a shared rdf:type class at
-  // small scale); such blocks carry no identifying signal.
-  const uint64_t relative_cap =
-      std::max<uint64_t>(100, stats_.total_possible / 20);
-  const uint64_t effective_cap =
-      std::min<uint64_t>(max_block_pairs, relative_cap);
-
-  std::unordered_set<PairKey> evaluated;
-  for (EntityId l : left_entities) {
-    for (const std::string& key : EntityBlockingKeys(left, l)) {
-      auto rit = right_blocks.find(key);
-      if (rit == right_blocks.end()) continue;
-      const uint64_t block_size =
-          static_cast<uint64_t>(left_key_counts[key]) * rit->second.size();
-      if (block_size > effective_cap) continue;  // Stop value.
-      for (EntityId r : rit->second) {
-        const PairKey pair = feedback::PackPair(l, r);
-        if (!evaluated.insert(pair).second) continue;
-        FeatureSet fs = ComputeFeatureSet(left, l, right, r, theta);
-        if (fs.empty()) continue;
-        const uint32_t ordinal = static_cast<uint32_t>(pairs_.size());
-        index_.emplace(pair, ordinal);
-        pairs_.push_back(pair);
-        feature_sets_.push_back(std::move(fs));
-      }
-    }
-  }
-  stats_.candidate_pairs = evaluated.size();
+void LinkSpace::FinalizeFeatureIndex() {
   stats_.kept_pairs = pairs_.size();
-
   for (uint32_t ordinal = 0; ordinal < pairs_.size(); ++ordinal) {
     for (const FeatureValue& f : feature_sets_[ordinal]) {
       feature_index_[f.key].emplace_back(static_cast<float>(f.score), ordinal);
@@ -110,6 +85,109 @@ void LinkSpace::Build(const Dataset& left, const Dataset& right,
   }
 }
 
+void LinkSpace::Build(const Dataset& left, const Dataset& right,
+                      const std::vector<EntityId>& left_entities, double theta,
+                      size_t max_block_pairs, const BuildResources& res) {
+  Reset(static_cast<uint64_t>(left_entities.size()) *
+        static_cast<uint64_t>(right.num_entities()));
+
+  // Count left-subset entities per key so oversized blocks can be skipped.
+  // The counts are per-partition by design (a block's size is |partition
+  // lefts with the key| × |right block|), so this pass stays local; only
+  // the right-side inversion is shared.
+  std::unordered_map<BlockKey, size_t> left_key_counts;
+  std::vector<BlockKey> entity_keys;
+  for (EntityId l : left_entities) {
+    res.left_keys->EntityKeys(l, &entity_keys);
+    for (BlockKey key : entity_keys) ++left_key_counts[key];
+  }
+
+  const uint64_t effective_cap =
+      EffectiveBlockCap(stats_.total_possible, max_block_pairs);
+
+  // Term-pair similarity memo and feature scratch, owned by this
+  // (single-threaded) partition build: the same attribute-value pair recurs
+  // across many candidate entity pairs, and the string metrics behind
+  // ValueSimilarity are the dominant build cost.
+  SimilarityMemo sim_memo;
+  FeatureScratch scratch;
+
+  std::unordered_set<PairKey> evaluated;
+  for (EntityId l : left_entities) {
+    res.left_keys->EntityKeys(l, &entity_keys);
+    for (BlockKey key : entity_keys) {
+      const std::vector<EntityId>* block = res.right_index->block(key);
+      if (block == nullptr) continue;
+      const uint64_t block_size =
+          static_cast<uint64_t>(left_key_counts[key]) * block->size();
+      if (block_size > effective_cap) continue;  // Stop value.
+      for (EntityId r : *block) {
+        const PairKey pair = feedback::PackPair(l, r);
+        if (!evaluated.insert(pair).second) continue;
+        KeepIfNonEmpty(pair,
+                       ComputeFeatureSet(left, l, right, r, theta,
+                                         res.left_values, res.right_values,
+                                         &sim_memo, &scratch));
+      }
+    }
+  }
+  stats_.candidate_pairs = evaluated.size();
+  FinalizeFeatureIndex();
+}
+
+void LinkSpace::Build(const Dataset& left, const Dataset& right,
+                      const std::vector<EntityId>& left_entities, double theta,
+                      size_t max_block_pairs) {
+  const BlockingIndex right_index(right);
+  const TermKeyCache left_keys(left);
+  const ValueCache left_values(left);
+  const ValueCache right_values(right);
+  Build(left, right, left_entities, theta, max_block_pairs,
+        BuildResources{&right_index, &left_keys, &left_values, &right_values});
+}
+
+void LinkSpace::BuildLegacy(const Dataset& left, const Dataset& right,
+                            const std::vector<EntityId>& left_entities,
+                            double theta, size_t max_block_pairs) {
+  Reset(static_cast<uint64_t>(left_entities.size()) *
+        static_cast<uint64_t>(right.num_entities()));
+
+  // Invert the right dataset by blocking key — per call, i.e. per partition.
+  std::unordered_map<std::string, std::vector<EntityId>> right_blocks;
+  for (EntityId r = 0; r < right.num_entities(); ++r) {
+    for (const std::string& key : EntityBlockingKeys(right, r)) {
+      right_blocks[key].push_back(r);
+    }
+  }
+  std::unordered_map<std::string, size_t> left_key_counts;
+  for (EntityId l : left_entities) {
+    for (const std::string& key : EntityBlockingKeys(left, l)) {
+      ++left_key_counts[key];
+    }
+  }
+
+  const uint64_t effective_cap =
+      EffectiveBlockCap(stats_.total_possible, max_block_pairs);
+
+  std::unordered_set<PairKey> evaluated;
+  for (EntityId l : left_entities) {
+    for (const std::string& key : EntityBlockingKeys(left, l)) {
+      auto rit = right_blocks.find(key);
+      if (rit == right_blocks.end()) continue;
+      const uint64_t block_size =
+          static_cast<uint64_t>(left_key_counts[key]) * rit->second.size();
+      if (block_size > effective_cap) continue;  // Stop value.
+      for (EntityId r : rit->second) {
+        const PairKey pair = feedback::PackPair(l, r);
+        if (!evaluated.insert(pair).second) continue;
+        KeepIfNonEmpty(pair, ComputeFeatureSet(left, l, right, r, theta));
+      }
+    }
+  }
+  stats_.candidate_pairs = evaluated.size();
+  FinalizeFeatureIndex();
+}
+
 const FeatureSet* LinkSpace::FeaturesOf(PairKey pair) const {
   auto it = index_.find(pair);
   if (it == index_.end()) return nullptr;
@@ -121,11 +199,20 @@ void LinkSpace::BandQuery(FeatureKey f, double lo, double hi,
   auto it = feature_index_.find(f);
   if (it == feature_index_.end()) return;
   const auto& entries = it->second;
-  auto begin = std::lower_bound(
-      entries.begin(), entries.end(),
-      std::make_pair(static_cast<float>(lo), uint32_t{0}));
+  // Search from a float bound guaranteed not to exceed `lo`:
+  // static_cast<float>(lo) can round *above* lo, which would skip stored
+  // scores inside the band. Entries the relaxed bound over-admits are
+  // filtered below by comparing in double.
+  float flo = static_cast<float>(lo);
+  if (static_cast<double>(flo) > lo) {
+    flo = std::nextafter(flo, -std::numeric_limits<float>::infinity());
+  }
+  auto begin = std::lower_bound(entries.begin(), entries.end(),
+                                std::make_pair(flo, uint32_t{0}));
   for (auto cur = begin; cur != entries.end(); ++cur) {
-    if (cur->first > static_cast<float>(hi)) break;
+    const double score = static_cast<double>(cur->first);
+    if (score > hi) break;
+    if (score < lo) continue;
     out->push_back(pairs_[cur->second]);
   }
 }

@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/blocking.h"
 #include "core/feature.h"
 #include "feedback/ground_truth.h"
 #include "rdf/dataset.h"
@@ -28,6 +29,10 @@ using feedback::PairKey;
 ///     Oversized blocks (stop values such as rdf:type classes) are skipped
 ///     via `max_block_pairs`.
 ///
+/// Blocking is served by a BlockingIndex (core/blocking.h) built once per
+/// right dataset and shared read-only across partitions, so P partitions no
+/// longer re-invert the right dataset P times.
+///
 /// Thread-compatible after Build(): all queries are const.
 class LinkSpace {
  public:
@@ -45,11 +50,30 @@ class LinkSpace {
   LinkSpace() = default;
 
   /// Builds the space between `left_entities` (a partition of the left
-  /// dataset) and all entities of `right`. Datasets are borrowed and must
-  /// outlive the LinkSpace.
+  /// dataset) and all entities of `right`, using shared read-only build
+  /// resources (right-dataset blocking index, term-key and value caches).
+  /// All of `res`'s members must be non-null, built from these datasets,
+  /// and outlive the call. Datasets are borrowed and must outlive the
+  /// LinkSpace.
+  void Build(const rdf::Dataset& left, const rdf::Dataset& right,
+             const std::vector<rdf::EntityId>& left_entities, double theta,
+             size_t max_block_pairs, const BuildResources& res);
+
+  /// Single-shot convenience wrapper: builds the blocking index and caches
+  /// locally, then delegates to the shared-resource overload. Call sites
+  /// that build one space (tests, examples) keep working unchanged; use
+  /// the overload above to amortize the resources across partitions.
   void Build(const rdf::Dataset& left, const rdf::Dataset& right,
              const std::vector<rdf::EntityId>& left_entities, double theta,
              size_t max_block_pairs);
+
+  /// The pre-BlockingIndex implementation (string blocking keys, right
+  /// dataset re-inverted per call, values re-parsed per candidate pair).
+  /// Retained as the reference for the equivalence tests and as the
+  /// baseline the build-phase benchmarks measure speedups against.
+  void BuildLegacy(const rdf::Dataset& left, const rdf::Dataset& right,
+                   const std::vector<rdf::EntityId>& left_entities,
+                   double theta, size_t max_block_pairs);
 
   bool Contains(PairKey pair) const { return index_.count(pair) > 0; }
 
@@ -57,7 +81,9 @@ class LinkSpace {
   const FeatureSet* FeaturesOf(PairKey pair) const;
 
   /// Appends to `out` every pair whose score on feature `f` lies in
-  /// [lo, hi] (inclusive).
+  /// [lo, hi] (inclusive). Bounds are compared in double precision against
+  /// the stored float scores, so a pair just outside [lo, hi] is never
+  /// admitted by float rounding.
   void BandQuery(FeatureKey f, double lo, double hi,
                  std::vector<PairKey>* out) const;
 
@@ -82,6 +108,13 @@ class LinkSpace {
   size_t MaxFeatureCount() const { return max_feature_count_; }
 
  private:
+  /// Clears all state and seeds stats with the unfiltered space size.
+  void Reset(uint64_t total_possible);
+  /// Admits one evaluated pair: θ-filters and stores its feature set.
+  void KeepIfNonEmpty(PairKey pair, FeatureSet fs);
+  /// Builds the per-feature sorted score index over the kept pairs.
+  void FinalizeFeatureIndex();
+
   std::unordered_map<PairKey, uint32_t> index_;
   std::vector<PairKey> pairs_;
   std::vector<FeatureSet> feature_sets_;

@@ -25,7 +25,7 @@ PartitionedAlex::PartitionedAlex(const rdf::Dataset* left,
   }
 }
 
-ThreadPool* PartitionedAlex::pool() {
+ThreadPool* PartitionedAlex::pool() const {
   if (!pool_) {
     size_t threads = config_.num_threads;
     if (threads == 0) {
@@ -39,10 +39,41 @@ ThreadPool* PartitionedAlex::pool() {
 std::vector<double> PartitionedAlex::Build() {
   const size_t n = spaces_.size();
   std::vector<double> seconds(n, 0.0);
-  ParallelFor(pool(), n, [this, &seconds](size_t p) {
+  shared_index_seconds_ = 0.0;
+  if (!config_.shared_blocking_index) {
+    ParallelFor(pool(), n, [this, &seconds](size_t p) {
+      Stopwatch watch;
+      spaces_[p]->BuildLegacy(*left_, *right_, partition_entities_[p],
+                              config_.theta, config_.max_block_pairs);
+      seconds[p] = watch.ElapsedSeconds();
+    });
+    return seconds;
+  }
+
+  // Phase 1: shared read-only build resources, constructed once per dataset
+  // pair. The four pieces are independent, so they build concurrently.
+  Stopwatch shared_watch;
+  std::unique_ptr<BlockingIndex> right_index;
+  std::unique_ptr<TermKeyCache> left_keys;
+  std::unique_ptr<ValueCache> left_values;
+  std::unique_ptr<ValueCache> right_values;
+  ParallelFor(pool(), 4, [&](size_t task) {
+    switch (task) {
+      case 0: right_index = std::make_unique<BlockingIndex>(*right_); break;
+      case 1: left_keys = std::make_unique<TermKeyCache>(*left_); break;
+      case 2: left_values = std::make_unique<ValueCache>(*left_); break;
+      case 3: right_values = std::make_unique<ValueCache>(*right_); break;
+    }
+  });
+  shared_index_seconds_ = shared_watch.ElapsedSeconds();
+
+  // Phase 2: per-partition builds, all borrowing the shared resources.
+  const BuildResources res{right_index.get(), left_keys.get(),
+                           left_values.get(), right_values.get()};
+  ParallelFor(pool(), n, [this, &seconds, &res](size_t p) {
     Stopwatch watch;
     spaces_[p]->Build(*left_, *right_, partition_entities_[p], config_.theta,
-                      config_.max_block_pairs);
+                      config_.max_block_pairs, res);
     seconds[p] = watch.ElapsedSeconds();
   });
   return seconds;
@@ -86,9 +117,14 @@ void PartitionedAlex::ProcessFeedbackBatch(
 }
 
 EngineEpisodeStats PartitionedAlex::EndEpisode() {
+  // Policy improvement is per-partition work over disjoint engines, so the
+  // episode ends in parallel; only the trivial stat summation is serial.
+  std::vector<EngineEpisodeStats> per_engine(engines_.size());
+  ParallelFor(pool(), engines_.size(), [this, &per_engine](size_t p) {
+    per_engine[p] = engines_[p]->EndEpisode();
+  });
   EngineEpisodeStats total;
-  for (auto& engine : engines_) {
-    const EngineEpisodeStats s = engine->EndEpisode();
+  for (const EngineEpisodeStats& s : per_engine) {
     total.feedback_items += s.feedback_items;
     total.positive_items += s.positive_items;
     total.negative_items += s.negative_items;
@@ -100,20 +136,27 @@ EngineEpisodeStats PartitionedAlex::EndEpisode() {
 }
 
 std::unordered_set<PairKey> PartitionedAlex::Candidates() const {
+  const std::vector<PairKey> flat = CandidateVector();
   std::unordered_set<PairKey> out;
-  for (const auto& engine : engines_) {
-    out.insert(engine->candidates().begin(), engine->candidates().end());
-  }
+  out.reserve(flat.size());
+  out.insert(flat.begin(), flat.end());
   return out;
 }
 
 std::vector<PairKey> PartitionedAlex::CandidateVector() const {
-  std::vector<PairKey> out;
-  out.reserve(NumCandidates());
-  for (const auto& engine : engines_) {
-    out.insert(out.end(), engine->candidates().begin(),
-               engine->candidates().end());
+  // Pre-size one flat vector and let every partition copy its snapshot into
+  // its own disjoint slice concurrently. Left entities are partitioned, so
+  // no pair appears in two slices.
+  const size_t n = engines_.size();
+  std::vector<size_t> offsets(n + 1, 0);
+  for (size_t p = 0; p < n; ++p) {
+    offsets[p + 1] = offsets[p] + engines_[p]->candidates().size();
   }
+  std::vector<PairKey> out(offsets[n]);
+  ParallelFor(pool(), n, [this, &offsets, &out](size_t p) {
+    size_t i = offsets[p];
+    for (PairKey key : engines_[p]->candidates()) out[i++] = key;
+  });
   return out;
 }
 

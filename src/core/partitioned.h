@@ -23,8 +23,18 @@ class PartitionedAlex {
                   const AlexConfig& config);
 
   /// Builds every partition's link space (the preprocessing step).
-  /// Returns per-partition build seconds (Section 7.3 reports the slowest).
+  /// With `config.shared_blocking_index` (the default), first constructs
+  /// the shared right-dataset BlockingIndex and the per-dataset term-key /
+  /// value caches once, then builds all partitions against them in
+  /// parallel; otherwise each partition runs the legacy self-contained
+  /// build. Returns per-partition build seconds (Section 7.3 reports the
+  /// slowest); the shared-resource construction time is reported
+  /// separately via shared_index_seconds().
   std::vector<double> Build();
+
+  /// Wall seconds spent building the shared blocking index and caches in
+  /// the last Build() call (0 before Build or in legacy mode).
+  double shared_index_seconds() const { return shared_index_seconds_; }
 
   /// Seeds candidates from an automatic linker's output.
   void InitializeCandidates(const std::vector<paris::ScoredLink>& links);
@@ -40,10 +50,12 @@ class PartitionedAlex {
   /// sequentially.
   void ProcessFeedbackBatch(const std::vector<feedback::FeedbackItem>& items);
 
-  /// Ends the episode on every partition; returns aggregated stats.
+  /// Ends the episode on every partition in parallel on the worker pool
+  /// (policy improvement is per-partition work); returns aggregated stats.
   EngineEpisodeStats EndEpisode();
 
-  /// Union of all partitions' candidate sets.
+  /// Union of all partitions' candidate sets. Per-partition snapshots are
+  /// gathered in parallel on the worker pool.
   std::unordered_set<PairKey> Candidates() const;
   std::vector<PairKey> CandidateVector() const;
   size_t NumCandidates() const;
@@ -66,7 +78,7 @@ class PartitionedAlex {
   LinkSpace::BuildStats AggregatedSpaceStats() const;
 
  private:
-  ThreadPool* pool();
+  ThreadPool* pool() const;
 
   const rdf::Dataset* left_;
   const rdf::Dataset* right_;
@@ -74,7 +86,10 @@ class PartitionedAlex {
   std::vector<std::vector<rdf::EntityId>> partition_entities_;
   std::vector<std::unique_ptr<LinkSpace>> spaces_;
   std::vector<std::unique_ptr<AlexEngine>> engines_;
-  std::unique_ptr<ThreadPool> pool_;
+  /// Lazily created; mutable so const aggregation queries (Candidates and
+  /// friends) can fan out over the pool too.
+  mutable std::unique_ptr<ThreadPool> pool_;
+  double shared_index_seconds_ = 0.0;
 };
 
 }  // namespace alex::core

@@ -41,6 +41,21 @@ double ValueSimilarity(const TypedValue& a, const TypedValue& b) {
   return StringSimilarity(a.text, b.text);
 }
 
+double ValueSimilarity(const TypedValue& a, const TypedValue& b,
+                       const StringProfile* pa, const StringProfile* pb) {
+  if (a.is_numeric() && b.is_numeric()) {
+    return NumericSimilarity(a.real, b.real);
+  }
+  if (a.kind == ValueKind::kDate && b.kind == ValueKind::kDate) {
+    return DateSimilarity(a.date_days, b.date_days);
+  }
+  if (pa == nullptr || pb == nullptr) return StringSimilarity(a.text, b.text);
+  // StringSimilarity on the precomputed lowercase forms.
+  if (pa->lower == pb->lower) return 1.0;
+  return std::max(TrigramDiceSimilarity(*pa, *pb),
+                  TokenJaccardSimilarity(*pa, *pb));
+}
+
 double TermSimilarity(const rdf::Term& a, const rdf::Term& b) {
   return ValueSimilarity(ParseValue(a), ParseValue(b));
 }

@@ -2,6 +2,7 @@
 #define ALEX_SIMILARITY_SIMILARITY_H_
 
 #include "rdf/term.h"
+#include "similarity/string_metrics.h"
 #include "similarity/value.h"
 
 namespace alex::sim {
@@ -18,6 +19,14 @@ namespace alex::sim {
 ///
 /// Symmetric and deterministic.
 double ValueSimilarity(const TypedValue& a, const TypedValue& b);
+
+/// Profile-accelerated variant: `pa`/`pb` must be the StringProfiles of
+/// `a.text`/`b.text`. When both are non-null the string branch runs on the
+/// precomputed profiles (no lowercasing/tokenization/trigram extraction per
+/// call); either may be nullptr to fall back to the direct path for that
+/// comparison. Returns bit-identical doubles to the two-argument overload.
+double ValueSimilarity(const TypedValue& a, const TypedValue& b,
+                       const StringProfile* pa, const StringProfile* pb);
 
 /// Parses both terms and delegates to ValueSimilarity.
 double TermSimilarity(const rdf::Term& a, const rdf::Term& b);

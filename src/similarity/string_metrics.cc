@@ -131,4 +131,66 @@ double TrigramDiceSimilarity(std::string_view a, std::string_view b) {
          static_cast<double>(ga.size() + gb.size());
 }
 
+StringProfile MakeStringProfile(std::string_view s) {
+  StringProfile p;
+  p.lower = ToLowerAscii(s);
+  p.tokens = WordTokens(p.lower);
+  std::sort(p.tokens.begin(), p.tokens.end());
+  p.tokens.erase(std::unique(p.tokens.begin(), p.tokens.end()),
+                 p.tokens.end());
+  p.trigrams = Trigrams(p.lower);
+  std::sort(p.trigrams.begin(), p.trigrams.end());
+  return p;
+}
+
+double TokenJaccardSimilarity(const StringProfile& a, const StringProfile& b) {
+  // Mirrors the hash-set original: empty token lists short-circuit, then
+  // Jaccard over the distinct-token sets. Two-pointer intersection over the
+  // sorted unique arrays counts exactly |sa ∩ sb|.
+  if (a.tokens.empty() && b.tokens.empty()) return 1.0;
+  if (a.tokens.empty() || b.tokens.empty()) return 0.0;
+  size_t inter = 0;
+  auto ia = a.tokens.begin();
+  auto ib = b.tokens.begin();
+  while (ia != a.tokens.end() && ib != b.tokens.end()) {
+    const int cmp = ia->compare(*ib);
+    if (cmp < 0) {
+      ++ia;
+    } else if (cmp > 0) {
+      ++ib;
+    } else {
+      ++inter;
+      ++ia;
+      ++ib;
+    }
+  }
+  const size_t uni = a.tokens.size() + b.tokens.size() - inter;
+  return static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+double TrigramDiceSimilarity(const StringProfile& a, const StringProfile& b) {
+  // Mirrors the counting-map original: multiset intersection size is
+  // sum over gram values of min(count_a, count_b), which the two-pointer
+  // merge over the sorted multisets computes directly.
+  if (a.lower.size() < 3 || b.lower.size() < 3) {
+    return a.lower == b.lower ? 1.0 : 0.0;
+  }
+  size_t inter = 0;
+  auto ia = a.trigrams.begin();
+  auto ib = b.trigrams.begin();
+  while (ia != a.trigrams.end() && ib != b.trigrams.end()) {
+    if (*ia < *ib) {
+      ++ia;
+    } else if (*ib < *ia) {
+      ++ib;
+    } else {
+      ++inter;
+      ++ia;
+      ++ib;
+    }
+  }
+  return 2.0 * static_cast<double>(inter) /
+         static_cast<double>(a.trigrams.size() + b.trigrams.size());
+}
+
 }  // namespace alex::sim

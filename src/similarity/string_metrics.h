@@ -1,7 +1,10 @@
 #ifndef ALEX_SIMILARITY_STRING_METRICS_H_
 #define ALEX_SIMILARITY_STRING_METRICS_H_
 
+#include <cstdint>
+#include <string>
 #include <string_view>
+#include <vector>
 
 namespace alex::sim {
 
@@ -24,6 +27,30 @@ double TokenJaccardSimilarity(std::string_view a, std::string_view b);
 /// conceptually by using all contiguous 3-grams; shorter strings fall back
 /// to whole-string equality).
 double TrigramDiceSimilarity(std::string_view a, std::string_view b);
+
+/// Precomputed derived forms of one string, so repeated comparisons stop
+/// re-lowercasing, re-tokenizing, and re-extracting trigrams per call —
+/// those allocations dominate the cost of TokenJaccardSimilarity /
+/// TrigramDiceSimilarity when the same value is compared many times (as in
+/// link-space construction, where each attribute value meets every blocked
+/// counterpart).
+struct StringProfile {
+  std::string lower;                // ToLowerAscii of the original string.
+  std::vector<std::string> tokens;  // Sorted, deduplicated WordTokens(lower).
+  std::vector<uint32_t> trigrams;   // Sorted trigram multiset of `lower`.
+};
+
+/// Builds the profile of `s` (lowercasing it first, matching the
+/// StringSimilarity(string_view, string_view) pipeline).
+StringProfile MakeStringProfile(std::string_view s);
+
+/// Profile-based variants. Each returns bit-identical doubles to its
+/// string_view counterpart applied to the profiles' `lower` strings: the
+/// set/multiset intersection sizes are computed by two-pointer merges over
+/// the sorted profile arrays, which yield the same integer counts as the
+/// hash-based originals, and the final arithmetic is unchanged.
+double TokenJaccardSimilarity(const StringProfile& a, const StringProfile& b);
+double TrigramDiceSimilarity(const StringProfile& a, const StringProfile& b);
 
 }  // namespace alex::sim
 

@@ -63,6 +63,7 @@ RunResult Simulation::Run() {
   if (!build_seconds.empty()) {
     result.build_seconds_avg /= static_cast<double>(build_seconds.size());
   }
+  result.shared_index_seconds = alex.shared_index_seconds();
   result.space_stats = alex.AggregatedSpaceStats();
   alex.InitializeCandidates(initial);
 

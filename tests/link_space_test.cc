@@ -118,6 +118,37 @@ TEST_F(LinkSpaceTest, BandQueryMatchesBruteForce) {
   }
 }
 
+TEST_F(LinkSpaceTest, BandQueryBoundsAreNotWidenedByFloatRounding) {
+  LinkSpace space;
+  space.Build(left_, right_, all_left_, 0.3, 20000);
+  auto l = left_.FindEntityByIri("http://l/e0");
+  auto r = right_.FindEntityByIri("http://r/e0");
+  const FeatureKey feature = (*space.FeaturesOf(PackPair(*l, *r)))[0].key;
+
+  // The 8 exact-name pairs score exactly 1.0. A lower bound just above 1.0
+  // truncates to 1.0f; comparing in float would admit all of them even
+  // though every score lies below the requested band.
+  std::vector<feedback::PairKey> found;
+  space.BandQuery(feature, 1.0 + 1e-12, 2.0, &found);
+  EXPECT_TRUE(found.empty());
+
+  // Symmetrically, an upper bound just below 1.0 rounds up to 1.0f; float
+  // comparison would keep the score-1.0 pairs inside the band.
+  found.clear();
+  space.BandQuery(feature, 0.999, 1.0 - 1e-12, &found);
+  for (feedback::PairKey pair : found) {
+    const FeatureSet* fs = space.FeaturesOf(pair);
+    for (const FeatureValue& f : *fs) {
+      if (f.key == feature) EXPECT_LT(static_cast<float>(f.score), 1.0f);
+    }
+  }
+
+  // Inclusive bounds still admit exact matches.
+  found.clear();
+  space.BandQuery(feature, 1.0, 1.0, &found);
+  EXPECT_EQ(found.size(), 8u);
+}
+
 TEST_F(LinkSpaceTest, StatsAreConsistent) {
   LinkSpace space;
   space.Build(left_, right_, all_left_, 0.3, 20000);
