@@ -62,8 +62,12 @@ simulation::EpisodeRecord RunWithSeed(
 }  // namespace
 
 int main() {
+  alex::InitLoggingFromEnv();
+  alex::bench::TelemetrySidecar telemetry("bench_ablation_linker");
+  Stopwatch generate_watch;
   datagen::GeneratedPair pair =
       datagen::GenerateScenario(datagen::DbpediaLexvo());
+  telemetry.AddPhase("generate", generate_watch.ElapsedSeconds());
   std::printf("Ablation: initial linker choice (DBpedia-Lexvo, GT=%zu)\n\n",
               pair.truth.size());
 
@@ -84,10 +88,19 @@ int main() {
   const std::vector<paris::ScoredLink> empty;
 
   std::vector<double> f_paris, f_naive, f_silk, f_empty;
-  RunWithSeed(pair, paris_links, "paris", &f_paris);
-  RunWithSeed(pair, naive_links, "naive", &f_naive);
-  RunWithSeed(pair, silk_links, "silk", &f_silk);
-  RunWithSeed(pair, empty, "empty", &f_empty);
+  const struct {
+    const char* label;
+    const std::vector<paris::ScoredLink>* links;
+    std::vector<double>* series;
+  } seeds[] = {{"paris", &paris_links, &f_paris},
+               {"naive", &naive_links, &f_naive},
+               {"silk", &silk_links, &f_silk},
+               {"empty", &empty, &f_empty}};
+  for (const auto& seed : seeds) {
+    Stopwatch seed_watch;
+    RunWithSeed(pair, *seed.links, seed.label, seed.series);
+    telemetry.AddPhase(seed.label, seed_watch.ElapsedSeconds());
+  }
 
   std::printf("\n%8s %10s %10s %10s %10s\n", "episode", "paris", "naive",
               "silk", "empty");

@@ -9,6 +9,8 @@
 
 int main() {
   using namespace alex;
+  InitLoggingFromEnv();
+  bench::TelemetrySidecar telemetry("bench_ablation_partitions");
   std::printf("Ablation: partition count (DBpedia-NYTimes, batch mode)\n\n");
   std::printf("%12s %10s %10s %10s %12s %14s %14s %14s\n", "partitions",
               "final_P", "final_R", "final_F", "episodes", "build_max_s",
@@ -19,6 +21,7 @@ int main() {
     config.alex.num_partitions = partitions;
     config.alex.max_episodes = 25;
     const simulation::RunResult r = simulation::Simulation(config).Run();
+    telemetry.AddRun("partitions_" + std::to_string(partitions), r);
     const auto& m = r.final_episode().metrics;
     std::printf("%12zu %10.3f %10.3f %10.3f %12zu %14.2f %14.2f %14.3f\n",
                 partitions, m.precision, m.recall, m.f_measure,

@@ -16,6 +16,8 @@
 
 int main() {
   using namespace alex;
+  InitLoggingFromEnv();
+  bench::TelemetrySidecar telemetry("bench_ablation_policy");
   const size_t kEpisodes = 30;
 
   simulation::SimulationConfig learned =
@@ -40,6 +42,10 @@ int main() {
       simulation::Simulation(no_decay).Run();
   const simulation::RunResult r_nooptims =
       simulation::Simulation(no_optims).Run();
+  telemetry.AddRun("learned", r_learned);
+  telemetry.AddRun("random_policy", r_random);
+  telemetry.AddRun("no_eps_decay", r_nodecay);
+  telemetry.AddRun("no_optims", r_nooptims);
 
   const std::vector<std::string> labels = {"learned", "random_policy",
                                            "no_eps_decay", "no_optims"};

@@ -9,6 +9,8 @@
 
 int main() {
   using namespace alex;
+  InitLoggingFromEnv();
+  bench::TelemetrySidecar telemetry("bench_ablation_rewards");
   const double penalties[] = {-1.0, -2.0, -5.0};
   std::vector<simulation::RunResult> results;
   std::vector<std::string> labels;
@@ -21,6 +23,7 @@ int main() {
     char label[32];
     std::snprintf(label, sizeof(label), "neg_%.0f", penalty);
     labels.push_back(label);
+    telemetry.AddRun(labels.back(), results.back());
   }
   std::vector<const simulation::RunResult*> ptrs;
   for (const auto& r : results) ptrs.push_back(&r);

@@ -21,6 +21,8 @@
 #include "datagen/generator.h"
 #include "datagen/scenarios.h"
 
+#include "bench_util.h"
+
 namespace {
 
 struct RunRecord {
@@ -79,6 +81,8 @@ void PrintRecord(const RunRecord& r, bool last) {
 
 int main(int argc, char** argv) {
   using namespace alex;
+  InitLoggingFromEnv();
+  bench::TelemetrySidecar telemetry("bench_build_space");
   const std::string scenario_name =
       argc > 1 ? argv[1] : std::string("dbpedia_nytimes");
   const size_t reps =
@@ -88,16 +92,36 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "unknown scenario: %s\n", scenario_name.c_str());
     return 1;
   }
+  Stopwatch generate_watch;
   const datagen::GeneratedPair pair = datagen::GenerateScenario(scenario);
+  telemetry.AddPhase("generate", generate_watch.ElapsedSeconds());
 
   const std::vector<size_t> partition_counts = {1, 2, 4, 8};
   std::vector<RunRecord> legacy_runs;
   std::vector<RunRecord> shared_runs;
   for (size_t partitions : partition_counts) {
+    // The sidecar phase records the full wall time of each measured section
+    // (all reps), so the phases stay disjoint and sum to ~the bench wall.
+    Stopwatch legacy_watch;
     legacy_runs.push_back(
         MeasureBuild(pair, partitions, /*shared=*/false, reps));
+    telemetry.AddPhase("legacy_p" + std::to_string(partitions),
+                       legacy_watch.ElapsedSeconds());
+    Stopwatch shared_watch;
     shared_runs.push_back(
         MeasureBuild(pair, partitions, /*shared=*/true, reps));
+    telemetry.AddPhase("shared_p" + std::to_string(partitions),
+                       shared_watch.ElapsedSeconds());
+  }
+
+  // One extra traced 4-partition shared build; the sidecar writes it out as
+  // bench_build_space.trace.json (Chrome trace_event / Perfetto format).
+  {
+    obs::TraceRecorder::Global().SetEnabled(true);
+    Stopwatch traced_watch;
+    MeasureBuild(pair, 4, /*shared=*/true, /*reps=*/1);
+    telemetry.AddPhase("traced_shared_p4", traced_watch.ElapsedSeconds());
+    obs::TraceRecorder::Global().SetEnabled(false);
   }
 
   std::printf("{\n");

@@ -10,12 +10,15 @@
 
 int main() {
   using namespace alex;
+  InitLoggingFromEnv();
+  bench::TelemetrySidecar telemetry("bench_exec_time");
 
   // Batch mode.
   simulation::SimulationConfig batch =
       bench::MakeConfig(datagen::DbpediaNytimes(), 1000);
   batch.alex.max_episodes = 20;  // Enough episodes to average timing over.
   const simulation::RunResult b = simulation::Simulation(batch).Run();
+  telemetry.AddRun("batch_dbpedia_nytimes", b);
   double batch_episode_seconds = 0.0;
   for (size_t i = 1; i < b.episodes.size(); ++i) {
     batch_episode_seconds += b.episodes[i].seconds;
@@ -27,6 +30,7 @@ int main() {
       bench::MakeConfig(datagen::DbpediaNbaNytimes(), 10);
   interactive.alex.num_partitions = 4;
   const simulation::RunResult i = simulation::Simulation(interactive).Run();
+  telemetry.AddRun("interactive_nba_nytimes", i);
   double inter_episode_seconds = 0.0;
   for (size_t k = 1; k < i.episodes.size(); ++k) {
     inter_episode_seconds += i.episodes[k].seconds;

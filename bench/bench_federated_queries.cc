@@ -18,6 +18,8 @@
 #include "simulation/query_workload.h"
 #include "simulation/simulation.h"
 
+#include "bench_util.h"
+
 namespace {
 
 using namespace alex;
@@ -60,6 +62,8 @@ WorkloadStats RunWorkload(const datagen::GeneratedPair& pair,
 }  // namespace
 
 int main() {
+  alex::InitLoggingFromEnv();
+  alex::bench::TelemetrySidecar telemetry("bench_federated_queries");
   simulation::SimulationConfig config;
   config.scenario = datagen::DbpediaNytimes();
   config.alex.episode_size = 1000;
@@ -72,6 +76,7 @@ int main() {
     alex_links = alex.CandidateVector();
   });
   const simulation::RunResult run = sim.Run();
+  telemetry.AddRun("alex_training_run", run);
   const datagen::GeneratedPair& pair = sim.data();
 
   paris::ParisLinker linker(&pair.left, &pair.right, config.paris);

@@ -9,6 +9,8 @@
 
 int main() {
   using namespace alex;
+  InitLoggingFromEnv();
+  bench::TelemetrySidecar telemetry("bench_fig10_step_size");
   const double steps[] = {0.01, 0.05, 0.1};
   std::vector<simulation::RunResult> results;
   std::vector<std::string> labels;
@@ -21,6 +23,7 @@ int main() {
     char label[32];
     std::snprintf(label, sizeof(label), "step_%.2f", step);
     labels.push_back(label);
+    telemetry.AddRun(labels.back(), results.back());
   }
   std::vector<const simulation::RunResult*> ptrs;
   for (const auto& r : results) ptrs.push_back(&r);

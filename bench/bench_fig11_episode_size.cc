@@ -8,6 +8,8 @@
 
 int main() {
   using namespace alex;
+  InitLoggingFromEnv();
+  bench::TelemetrySidecar telemetry("bench_fig11_episode_size");
   const size_t sizes[] = {500, 1000, 1500};
   std::vector<simulation::RunResult> results;
   std::vector<std::string> labels;
@@ -17,6 +19,7 @@ int main() {
     config.alex.max_episodes = 60;
     results.push_back(simulation::Simulation(config).Run());
     labels.push_back("episode_" + std::to_string(size));
+    telemetry.AddRun(labels.back(), results.back());
   }
   std::vector<const simulation::RunResult*> ptrs;
   for (const auto& r : results) ptrs.push_back(&r);

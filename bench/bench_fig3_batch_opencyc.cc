@@ -6,6 +6,8 @@
 
 int main() {
   using namespace alex;
+  InitLoggingFromEnv();
+  bench::TelemetrySidecar telemetry("bench_fig3_batch_opencyc");
   const struct {
     const char* title;
     datagen::ScenarioConfig scenario;
@@ -17,6 +19,7 @@ int main() {
   for (const auto& fig : figures) {
     simulation::Simulation sim(bench::MakeConfig(fig.scenario, 1000));
     const simulation::RunResult result = sim.Run();
+    telemetry.AddRun(fig.scenario.name, result);
     bench::PrintQualityFigure(fig.title, result);
   }
   return 0;

@@ -7,6 +7,8 @@
 
 int main() {
   using namespace alex;
+  InitLoggingFromEnv();
+  bench::TelemetrySidecar telemetry("bench_fig4_specific_domains");
   const struct {
     const char* title;
     datagen::ScenarioConfig scenario;
@@ -21,6 +23,7 @@ int main() {
     config.alex.num_partitions = 4;  // Small interactive datasets.
     simulation::Simulation sim(config);
     const simulation::RunResult result = sim.Run();
+    telemetry.AddRun(fig.scenario.name, result);
     bench::PrintQualityFigure(fig.title, result);
   }
   return 0;

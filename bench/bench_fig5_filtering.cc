@@ -9,14 +9,22 @@
 #include "core/partitioned.h"
 #include "datagen/scenarios.h"
 
+#include "bench_util.h"
+
 int main() {
   using namespace alex;
+  InitLoggingFromEnv();
+  bench::TelemetrySidecar telemetry("bench_fig5_filtering");
+  Stopwatch generate_watch;
   datagen::GeneratedPair pair =
       datagen::GenerateScenario(datagen::DbpediaNytimes());
+  telemetry.AddPhase("generate", generate_watch.ElapsedSeconds());
 
   core::AlexConfig config;  // 27 partitions, theta 0.3 — paper defaults.
   core::PartitionedAlex alex(&pair.left, &pair.right, config);
+  Stopwatch build_watch;
   alex.Build();
+  telemetry.AddPhase("build_space", build_watch.ElapsedSeconds());
 
   // Partition 0, as in the paper's figure.
   const core::LinkSpace& space = alex.space(0);

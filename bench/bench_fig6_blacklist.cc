@@ -7,6 +7,8 @@
 
 int main() {
   using namespace alex;
+  InitLoggingFromEnv();
+  bench::TelemetrySidecar telemetry("bench_fig6_blacklist");
   simulation::SimulationConfig with_config =
       bench::MakeConfig(datagen::DbpediaNytimes(), 1000);
   simulation::SimulationConfig without_config = with_config;
@@ -16,6 +18,8 @@ int main() {
       simulation::Simulation(with_config).Run();
   const simulation::RunResult without_bl =
       simulation::Simulation(without_config).Run();
+  telemetry.AddRun("with_blacklist", with_bl);
+  telemetry.AddRun("without_blacklist", without_bl);
 
   bench::PrintComparisonFigure(
       "Figure 6(a): effect of the blacklist", "F-measure",

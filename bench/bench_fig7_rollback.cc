@@ -11,6 +11,8 @@
 
 int main() {
   using namespace alex;
+  InitLoggingFromEnv();
+  bench::TelemetrySidecar telemetry("bench_fig7_rollback");
   simulation::SimulationConfig config =
       bench::MakeConfig(datagen::DbpediaNytimes(), 1000);
   config.alex.use_rollback = false;
@@ -39,6 +41,7 @@ int main() {
     }
   });
   const simulation::RunResult without_rb = sim.Run();
+  telemetry.AddRun("without_rollback", without_rb);
 
   bench::PrintQualityFigure("Figure 7(a): overall quality WITHOUT rollback",
                             without_rb);
@@ -69,6 +72,7 @@ int main() {
   with_config.alex.max_links_per_action = 1000000;
   const simulation::RunResult with_rb =
       simulation::Simulation(with_config).Run();
+  telemetry.AddRun("with_rollback", with_rb);
   bench::PrintComparisonFigure("Rollback contrast", "F-measure",
                                {"with_rollback", "without_rollback"},
                                {&with_rb, &without_rb}, bench::ExtractF);

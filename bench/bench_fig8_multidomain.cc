@@ -6,9 +6,12 @@
 
 int main() {
   using namespace alex;
+  InitLoggingFromEnv();
+  bench::TelemetrySidecar telemetry("bench_fig8_multidomain");
   simulation::Simulation sim(
       bench::MakeConfig(datagen::DbpediaOpencyc(), 1000));
   const simulation::RunResult result = sim.Run();
+  telemetry.AddRun("dbpedia_opencyc", result);
   bench::PrintQualityFigure(
       "Figure 8: quality of links between DBpedia and OpenCyc", result);
   std::printf(

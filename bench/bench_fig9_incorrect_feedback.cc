@@ -7,6 +7,8 @@
 
 int main() {
   using namespace alex;
+  InitLoggingFromEnv();
+  bench::TelemetrySidecar telemetry("bench_fig9_incorrect_feedback");
   simulation::SimulationConfig clean =
       bench::MakeConfig(datagen::DbpediaNytimes(), 1000);
   clean.alex.max_episodes = 40;
@@ -22,6 +24,8 @@ int main() {
 
   const simulation::RunResult a = simulation::Simulation(clean).Run();
   const simulation::RunResult b = simulation::Simulation(noisy).Run();
+  telemetry.AddRun("correct_feedback", a);
+  telemetry.AddRun("noisy_feedback", b);
 
   const std::vector<std::string> labels = {"correct", "10%_incorrect"};
   const std::vector<const simulation::RunResult*> runs = {&a, &b};

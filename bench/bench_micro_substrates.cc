@@ -5,6 +5,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "common/logging.h"
 #include "core/feature.h"
 #include "core/link_space.h"
 #include "datagen/generator.h"
@@ -159,4 +160,13 @@ BENCHMARK(BM_SparqlBgpJoin)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN() so environment-driven logging is initialized
+// before the harness runs; the google-benchmark output format is unchanged.
+int main(int argc, char** argv) {
+  alex::InitLoggingFromEnv();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

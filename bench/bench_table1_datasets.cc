@@ -8,14 +8,20 @@
 #include "common/string_util.h"
 #include "datagen/scenarios.h"
 
+#include "bench_util.h"
+
 int main() {
   using namespace alex;
+  InitLoggingFromEnv();
+  bench::TelemetrySidecar telemetry("bench_table1_datasets");
   std::printf("Table 1: data sets used in the experiments (synthetic analogs)\n\n");
   std::printf("%-22s %-14s %-40s %10s %10s %9s %10s\n", "Scenario (pair)",
               "Side", "Field (domains)", "Triples", "Entities", "GT-links",
               "PairSeed");
   for (const datagen::ScenarioConfig& config : datagen::AllScenarios()) {
+    Stopwatch generate_watch;
     datagen::GeneratedPair pair = datagen::GenerateScenario(config);
+    telemetry.AddPhase("generate", generate_watch.ElapsedSeconds());
     const std::string domains = Join(
         std::vector<std::string>(config.domains.begin(), config.domains.end()),
         ",");

@@ -2,9 +2,16 @@
 #define ALEX_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <fstream>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
 #include "simulation/simulation.h"
 
 namespace alex::bench {
@@ -26,6 +33,17 @@ inline void PrintQualityFigure(const char* title,
   std::printf("\n=== %s ===\n", title);
   std::printf("%8s %10s %8s %10s\n", "episode", "precision", "recall",
               "f-measure");
+  if (result.episodes.empty()) {
+    // A zero-episode run (nothing generated / nothing linked) has no series
+    // and no final metrics; say so instead of dereferencing episodes.back().
+    std::printf("%8s\n", "(no episodes)");
+    std::printf(
+        "relaxed_convergence(<5%% change)=%zu strict_convergence=%zu "
+        "ground_truth=0 initial_links=%zu new_links_discovered=%zu\n",
+        result.relaxed_episode, result.converged_episode, result.initial_links,
+        result.new_links_discovered);
+    return;
+  }
   for (const auto& r : result.episodes) {
     std::printf("%8zu %10.3f %8.3f %10.3f\n", r.episode, r.metrics.precision,
                 r.metrics.recall, r.metrics.f_measure);
@@ -60,7 +78,9 @@ inline void PrintComparisonFigure(
   for (size_t i = 0; i < longest; ++i) {
     std::printf("%8zu", i);
     for (const auto* run : runs) {
-      if (i < run->episodes.size()) {
+      if (run->episodes.empty()) {
+        std::printf(" %14s", "-");
+      } else if (i < run->episodes.size()) {
         std::printf(" %14.3f", extract(run->episodes[i]));
       } else {
         // Converged: the series holds at its final value.
@@ -83,6 +103,86 @@ inline double ExtractRecall(const simulation::EpisodeRecord& r) {
 inline double ExtractNegPercent(const simulation::EpisodeRecord& r) {
   return r.NegativeFeedbackPercent();
 }
+
+/// Run-level telemetry sidecar for bench binaries. Construct one at the top
+/// of main(); on destruction it writes `<bench_name>.telemetry.json` next to
+/// the figures (the working directory) containing:
+///  - the bench's wall time and its top-level phases (one per AddPhase call
+///    and one per AddRun label), which are disjoint and sum to ~wall,
+///  - the metrics-registry delta observed over the bench lifetime,
+///  - per-run RunTelemetry (phases + per-run registry delta).
+/// If scoped tracing was enabled at any point and recorded events, the
+/// retained trace is also written as `<bench_name>.trace.json` (Chrome
+/// trace_event JSON, loadable in chrome://tracing or Perfetto).
+class TelemetrySidecar {
+ public:
+  explicit TelemetrySidecar(std::string bench_name)
+      : bench_name_(std::move(bench_name)),
+        metrics_before_(obs::MetricsRegistry::Global().Snapshot()) {}
+
+  TelemetrySidecar(const TelemetrySidecar&) = delete;
+  TelemetrySidecar& operator=(const TelemetrySidecar&) = delete;
+
+  /// Records one simulation run: its wall time becomes a top-level phase
+  /// named `label` and its RunTelemetry is embedded under "runs".
+  void AddRun(const std::string& label,
+              const simulation::RunResult& result) {
+    telemetry_.AddPhase(label, result.total_seconds);
+    runs_.emplace_back(label, result.telemetry);
+  }
+
+  /// Records one bench-level phase (for benches that time non-simulation
+  /// work, e.g. raw space builds). Phases with one name accumulate.
+  void AddPhase(const std::string& name, double seconds) {
+    telemetry_.AddPhase(name, seconds);
+  }
+
+  ~TelemetrySidecar() {
+    telemetry_.wall_seconds = wall_.ElapsedSeconds();
+    telemetry_.metrics =
+        obs::MetricsRegistry::Global().Snapshot().DeltaSince(metrics_before_);
+
+    const std::string telemetry_path = bench_name_ + ".telemetry.json";
+    std::ofstream out(telemetry_path);
+    if (!out) {
+      ALEX_LOG(kWarning) << "cannot write telemetry sidecar "
+                         << telemetry_path;
+      return;
+    }
+    out << "{\n  \"bench\": \"" << bench_name_ << "\",\n";
+    out << "  \"telemetry\":\n";
+    telemetry_.WriteJson(out, 1);
+    out << ",\n  \"runs\": [";
+    for (size_t i = 0; i < runs_.size(); ++i) {
+      out << (i == 0 ? "\n" : ",\n");
+      out << "    {\"label\": \"" << runs_[i].first << "\",\n"
+          << "     \"telemetry\":\n";
+      runs_[i].second.WriteJson(out, 2);
+      out << "}";
+    }
+    out << (runs_.empty() ? "" : "\n  ") << "]\n}\n";
+    out.close();
+    ALEX_LOG(kInfo) << "wrote " << telemetry_path;
+
+    obs::TraceRecorder& recorder = obs::TraceRecorder::Global();
+    if (!recorder.Events().empty()) {
+      const std::string trace_path = bench_name_ + ".trace.json";
+      std::ofstream trace_out(trace_path);
+      if (trace_out) {
+        recorder.WriteChromeTrace(trace_out);
+        ALEX_LOG(kInfo) << "wrote " << trace_path
+                        << " (load in chrome://tracing or Perfetto)";
+      }
+    }
+  }
+
+ private:
+  std::string bench_name_;
+  Stopwatch wall_;
+  obs::MetricsSnapshot metrics_before_;
+  obs::RunTelemetry telemetry_;
+  std::vector<std::pair<std::string, obs::RunTelemetry>> runs_;
+};
 
 }  // namespace alex::bench
 

@@ -11,9 +11,11 @@
 
 #include "federation/federated_engine.h"
 #include "rdf/dataset.h"
+#include "common/logging.h"
 
 int main() {
   using namespace alex;
+  InitLoggingFromEnv();
   using rdf::Term;
 
   // --- A DBpedia-like knowledge base. ---

@@ -22,6 +22,7 @@
 #include "feedback/oracle.h"
 #include "paris/paris.h"
 #include "rdf/ntriples.h"
+#include "common/logging.h"
 
 namespace {
 
@@ -95,6 +96,7 @@ void MakeDemoFiles(std::string* left_path, std::string* right_path,
 }  // namespace
 
 int main(int argc, char** argv) {
+  alex::InitLoggingFromEnv();
   std::string left_path, right_path, truth_path, out_path = "/tmp/alex_links.nt";
   if (argc >= 3) {
     left_path = argv[1];

@@ -14,9 +14,11 @@
 #include "datagen/scenarios.h"
 #include "simulation/report.h"
 #include "simulation/simulation.h"
+#include "common/logging.h"
 
 int main() {
   using namespace alex;
+  InitLoggingFromEnv();
 
   simulation::SimulationConfig config;
   // The NBA players scenario: 93 ground-truth links between a DBpedia

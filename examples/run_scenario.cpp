@@ -16,9 +16,11 @@
 #include "datagen/scenarios.h"
 #include "simulation/report.h"
 #include "simulation/simulation.h"
+#include "common/logging.h"
 
 int main(int argc, char** argv) {
   using namespace alex;
+  InitLoggingFromEnv();
 
   const std::string name = argc > 1 ? argv[1] : "dbpedia_nytimes";
   if (name == "--list") {

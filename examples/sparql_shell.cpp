@@ -29,6 +29,7 @@
 #include "rdf/turtle.h"
 #include "sparql/parser.h"
 #include "sparql/results_io.h"
+#include "common/logging.h"
 
 namespace {
 
@@ -123,6 +124,7 @@ int RunLocal(const rdf::Dataset& ds, const std::string& query,
 }  // namespace
 
 int main(int argc, char** argv) {
+  alex::InitLoggingFromEnv();
   if (argc < 2) {
     std::cerr << "usage: sparql_shell <data.nt|data.ttl> [--json|--tsv] "
                  "[query]\n       sparql_shell --federate <left> <right> "

@@ -1,8 +1,11 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <mutex>
+#include <string>
 
 namespace alex {
 namespace {
@@ -32,6 +35,26 @@ void SetLogLevel(LogLevel level) {
 
 LogLevel GetLogLevel() {
   return static_cast<LogLevel>(g_min_level.load(std::memory_order_relaxed));
+}
+
+void InitLoggingFromEnv() {
+  const char* raw = std::getenv("ALEX_LOG_LEVEL");
+  if (raw == nullptr) return;
+  std::string value(raw);
+  for (char& c : value) c = static_cast<char>(std::tolower(c));
+  if (value == "debug") {
+    SetLogLevel(LogLevel::kDebug);
+  } else if (value == "info") {
+    SetLogLevel(LogLevel::kInfo);
+  } else if (value == "warning" || value == "warn") {
+    SetLogLevel(LogLevel::kWarning);
+  } else if (value == "error") {
+    SetLogLevel(LogLevel::kError);
+  } else {
+    ALEX_LOG(kWarning) << "unrecognized ALEX_LOG_LEVEL '" << raw
+                       << "' (expected debug|info|warning|error); keeping "
+                       << "current level";
+  }
 }
 
 namespace internal_logging {

@@ -13,6 +13,12 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
+/// Applies the ALEX_LOG_LEVEL environment variable (one of debug, info,
+/// warning, error; case-insensitive) to the global log level, so binaries
+/// are verbosity-controllable without recompiling. Unset or unrecognized
+/// values leave the level unchanged. Call once at the top of main().
+void InitLoggingFromEnv();
+
 namespace internal_logging {
 
 /// Stream-style single-message emitter; flushes one line to stderr on

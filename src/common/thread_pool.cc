@@ -1,6 +1,32 @@
 #include "common/thread_pool.h"
 
+#include <chrono>
+
+#include "obs/metrics.h"
+
 namespace alex {
+namespace {
+
+/// Pool metrics: queue depth (with high-water mark), time tasks spend
+/// queued before a worker picks them up, and task run time. Handles are
+/// cached once; updates are relaxed atomics, invisible to task latency.
+struct PoolMetrics {
+  obs::Counter& tasks = obs::MetricsRegistry::Global().counter(
+      "threadpool.tasks");
+  obs::Gauge& queue_depth = obs::MetricsRegistry::Global().gauge(
+      "threadpool.queue_depth");
+  obs::Histogram& wait_seconds = obs::MetricsRegistry::Global().histogram(
+      "threadpool.task_wait_seconds");
+  obs::Histogram& run_seconds = obs::MetricsRegistry::Global().histogram(
+      "threadpool.task_run_seconds");
+
+  static PoolMetrics& Get() {
+    static PoolMetrics* metrics = new PoolMetrics();
+    return *metrics;
+  }
+};
+
+}  // namespace
 
 ThreadPool::ThreadPool(size_t num_threads) {
   if (num_threads == 0) num_threads = 1;
@@ -20,10 +46,17 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  PoolMetrics& metrics = PoolMetrics::Get();
+  metrics.tasks.Add(1);
+  size_t depth;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    queue_.push_back(std::move(task));
+    queue_.push_back(
+        QueuedTask{std::move(task), std::chrono::steady_clock::now()});
+    depth = queue_.size();
   }
+  metrics.queue_depth.Set(static_cast<int64_t>(depth));
+  metrics.queue_depth.UpdateMax(static_cast<int64_t>(depth));
   task_available_.notify_one();
 }
 
@@ -33,8 +66,9 @@ void ThreadPool::Wait() {
 }
 
 void ThreadPool::WorkerLoop() {
+  PoolMetrics& metrics = PoolMetrics::Get();
   for (;;) {
-    std::function<void()> task;
+    QueuedTask task;
     {
       std::unique_lock<std::mutex> lock(mu_);
       task_available_.wait(
@@ -45,9 +79,16 @@ void ThreadPool::WorkerLoop() {
       }
       task = std::move(queue_.front());
       queue_.pop_front();
+      metrics.queue_depth.Set(static_cast<int64_t>(queue_.size()));
       ++in_flight_;
     }
-    task();
+    const auto start = std::chrono::steady_clock::now();
+    metrics.wait_seconds.Observe(
+        std::chrono::duration<double>(start - task.enqueued).count());
+    task.fn();
+    metrics.run_seconds.Observe(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count());
     {
       std::lock_guard<std::mutex> lock(mu_);
       --in_flight_;

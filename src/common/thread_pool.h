@@ -1,6 +1,7 @@
 #ifndef ALEX_COMMON_THREAD_POOL_H_
 #define ALEX_COMMON_THREAD_POOL_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -34,12 +35,19 @@ class ThreadPool {
   size_t num_threads() const { return workers_.size(); }
 
  private:
+  /// A task plus its enqueue time, so the queue-wait latency each task
+  /// experienced lands in the `threadpool.task_wait_seconds` histogram.
+  struct QueuedTask {
+    std::function<void()> fn;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
   void WorkerLoop();
 
   std::mutex mu_;
   std::condition_variable task_available_;
   std::condition_variable all_done_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<QueuedTask> queue_;
   size_t in_flight_ = 0;
   bool shutting_down_ = false;
   std::vector<std::thread> workers_;

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "common/string_util.h"
+#include "obs/trace.h"
 #include "similarity/similarity.h"
 
 namespace alex::core {
@@ -59,6 +60,7 @@ void ComputeTermBlockingKeys(const rdf::Term& term,
 }
 
 TermKeyCache::TermKeyCache(const rdf::Dataset& ds) : ds_(&ds) {
+  ALEX_TRACE_SPAN("build", "TermKeyCache");
   const size_t num_terms = ds.dict().size();
   // Pass 1: mark the terms that occur as attribute objects; only those need
   // keys (subject IRIs and predicates never reach the blocking loop).
@@ -92,6 +94,7 @@ void TermKeyCache::EntityKeys(rdf::EntityId e,
 }
 
 ValueCache::ValueCache(const rdf::Dataset& ds) {
+  ALEX_TRACE_SPAN("build", "ValueCache");
   values_.resize(ds.dict().size());
   profiles_.resize(ds.dict().size());
   std::vector<bool> parsed(values_.size(), false);
@@ -150,6 +153,7 @@ double SimilarityMemo::Score(rdf::TermId left, rdf::TermId right,
   size_t i = MixKey(key) & mask_;
   while (slots_[i].key != key) {
     if (slots_[i].key == kEmptySlot) {
+      ++misses_;
       const double score = sim::ValueSimilarity(lv, rv, lp, rp);
       slots_[i] = Slot{key, score};
       if (++size_ * 2 > slots_.size()) Grow();  // Keep load factor <= 0.5.
@@ -157,10 +161,12 @@ double SimilarityMemo::Score(rdf::TermId left, rdf::TermId right,
     }
     i = (i + 1) & mask_;
   }
+  ++hits_;
   return slots_[i].score;
 }
 
 BlockingIndex::BlockingIndex(const rdf::Dataset& right) : term_keys_(right) {
+  ALEX_TRACE_SPAN("build", "BlockingIndex");
   std::vector<BlockKey> scratch;
   for (rdf::EntityId r = 0; r < right.num_entities(); ++r) {
     term_keys_.EntityKeys(r, &scratch);

@@ -123,6 +123,13 @@ class SimilarityMemo {
   /// Distinct term pairs scored so far.
   size_t size() const { return size_; }
 
+  /// Replayed lookups / first-sight computations so far. Plain counters
+  /// (the memo is single-threaded by contract); LinkSpace::Build flushes
+  /// them into the global metrics registry once per partition build, so
+  /// the per-cell hot path carries no atomic traffic.
+  size_t hits() const { return hits_; }
+  size_t misses() const { return misses_; }
+
  private:
   /// Open-addressing table (linear probing, power-of-two capacity): the
   /// memo is probed once per similarity-matrix cell, so lookup cost is the
@@ -138,6 +145,8 @@ class SimilarityMemo {
   std::vector<Slot> slots_;
   size_t size_ = 0;
   size_t mask_ = 0;
+  size_t hits_ = 0;
+  size_t misses_ = 0;
 };
 
 /// Inverted blocking index of one (right) dataset: BlockKey -> the entities

@@ -7,6 +7,8 @@
 #include <unordered_set>
 
 #include "common/string_util.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "similarity/value.h"
 
 namespace alex::core {
@@ -14,6 +16,31 @@ namespace {
 
 using rdf::Dataset;
 using rdf::EntityId;
+
+/// Link-space metrics. Counters for the dominant build-phase costs are
+/// accumulated in plain locals and flushed once per build, so the per-pair
+/// hot loops stay free of even relaxed atomics.
+struct SpaceMetrics {
+  obs::Counter& band_queries =
+      obs::MetricsRegistry::Global().counter("space.band_queries");
+  obs::Counter& band_results =
+      obs::MetricsRegistry::Global().counter("space.band_results");
+  obs::Counter& pairs_evaluated =
+      obs::MetricsRegistry::Global().counter("space.pairs_evaluated");
+  obs::Counter& pairs_kept =
+      obs::MetricsRegistry::Global().counter("space.pairs_kept");
+  obs::Counter& memo_hits =
+      obs::MetricsRegistry::Global().counter("space.sim_memo_hits");
+  obs::Counter& memo_misses =
+      obs::MetricsRegistry::Global().counter("space.sim_memo_misses");
+  obs::Histogram& build_seconds =
+      obs::MetricsRegistry::Global().histogram("space.build_seconds");
+
+  static SpaceMetrics& Get() {
+    static SpaceMetrics* metrics = new SpaceMetrics();
+    return *metrics;
+  }
+};
 
 /// Legacy string blocking keys for one attribute value: the full normalized
 /// value, its word tokens, and a 5-character prefix per longer token
@@ -88,6 +115,9 @@ void LinkSpace::FinalizeFeatureIndex() {
 void LinkSpace::Build(const Dataset& left, const Dataset& right,
                       const std::vector<EntityId>& left_entities, double theta,
                       size_t max_block_pairs, const BuildResources& res) {
+  ALEX_TRACE_SPAN("build", "LinkSpace::Build");
+  SpaceMetrics& metrics = SpaceMetrics::Get();
+  obs::ScopedTimer build_timer(metrics.build_seconds);
   Reset(static_cast<uint64_t>(left_entities.size()) *
         static_cast<uint64_t>(right.num_entities()));
 
@@ -133,6 +163,10 @@ void LinkSpace::Build(const Dataset& left, const Dataset& right,
   }
   stats_.candidate_pairs = evaluated.size();
   FinalizeFeatureIndex();
+  metrics.pairs_evaluated.Add(stats_.candidate_pairs);
+  metrics.pairs_kept.Add(stats_.kept_pairs);
+  metrics.memo_hits.Add(sim_memo.hits());
+  metrics.memo_misses.Add(sim_memo.misses());
 }
 
 void LinkSpace::Build(const Dataset& left, const Dataset& right,
@@ -149,6 +183,9 @@ void LinkSpace::Build(const Dataset& left, const Dataset& right,
 void LinkSpace::BuildLegacy(const Dataset& left, const Dataset& right,
                             const std::vector<EntityId>& left_entities,
                             double theta, size_t max_block_pairs) {
+  ALEX_TRACE_SPAN("build", "LinkSpace::BuildLegacy");
+  SpaceMetrics& metrics = SpaceMetrics::Get();
+  obs::ScopedTimer build_timer(metrics.build_seconds);
   Reset(static_cast<uint64_t>(left_entities.size()) *
         static_cast<uint64_t>(right.num_entities()));
 
@@ -186,6 +223,8 @@ void LinkSpace::BuildLegacy(const Dataset& left, const Dataset& right,
   }
   stats_.candidate_pairs = evaluated.size();
   FinalizeFeatureIndex();
+  metrics.pairs_evaluated.Add(stats_.candidate_pairs);
+  metrics.pairs_kept.Add(stats_.kept_pairs);
 }
 
 const FeatureSet* LinkSpace::FeaturesOf(PairKey pair) const {
@@ -196,8 +235,11 @@ const FeatureSet* LinkSpace::FeaturesOf(PairKey pair) const {
 
 void LinkSpace::BandQuery(FeatureKey f, double lo, double hi,
                           std::vector<PairKey>* out) const {
+  SpaceMetrics& metrics = SpaceMetrics::Get();
+  metrics.band_queries.Add(1);
   auto it = feature_index_.find(f);
   if (it == feature_index_.end()) return;
+  const size_t out_before = out->size();
   const auto& entries = it->second;
   // Search from a float bound guaranteed not to exceed `lo`:
   // static_cast<float>(lo) can round *above* lo, which would skip stored
@@ -215,6 +257,7 @@ void LinkSpace::BandQuery(FeatureKey f, double lo, double hi,
     if (score < lo) continue;
     out->push_back(pairs_[cur->second]);
   }
+  metrics.band_results.Add(out->size() - out_before);
 }
 
 }  // namespace alex::core

@@ -2,10 +2,35 @@
 
 #include <thread>
 
-#include "common/stopwatch.h"
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace alex::core {
+namespace {
+
+/// Registry handles for the partition-orchestration layer: per-partition
+/// build timing (each observation is one partition's wall time; the
+/// histogram's max bucket tail shows the slowest-partition bound of
+/// Section 7.3) and shared-resource construction.
+struct PartitionMetrics {
+  obs::Histogram& partition_build_seconds =
+      obs::MetricsRegistry::Global().histogram(
+          "partition.build_seconds");
+  obs::Histogram& shared_index_seconds =
+      obs::MetricsRegistry::Global().histogram(
+          "partition.shared_index_seconds");
+  obs::Histogram& end_episode_seconds =
+      obs::MetricsRegistry::Global().histogram(
+          "partition.end_episode_seconds");
+
+  static PartitionMetrics& Get() {
+    static PartitionMetrics* metrics = new PartitionMetrics();
+    return *metrics;
+  }
+};
+
+}  // namespace
 
 PartitionedAlex::PartitionedAlex(const rdf::Dataset* left,
                                  const rdf::Dataset* right,
@@ -37,44 +62,47 @@ ThreadPool* PartitionedAlex::pool() const {
 }
 
 std::vector<double> PartitionedAlex::Build() {
+  ALEX_TRACE_SPAN("build", "PartitionedAlex::Build");
+  PartitionMetrics& metrics = PartitionMetrics::Get();
   const size_t n = spaces_.size();
   std::vector<double> seconds(n, 0.0);
   shared_index_seconds_ = 0.0;
   if (!config_.shared_blocking_index) {
-    ParallelFor(pool(), n, [this, &seconds](size_t p) {
-      Stopwatch watch;
+    ParallelFor(pool(), n, [this, &metrics, &seconds](size_t p) {
+      obs::ScopedTimer timer(metrics.partition_build_seconds, &seconds[p]);
       spaces_[p]->BuildLegacy(*left_, *right_, partition_entities_[p],
                               config_.theta, config_.max_block_pairs);
-      seconds[p] = watch.ElapsedSeconds();
     });
     return seconds;
   }
 
   // Phase 1: shared read-only build resources, constructed once per dataset
   // pair. The four pieces are independent, so they build concurrently.
-  Stopwatch shared_watch;
   std::unique_ptr<BlockingIndex> right_index;
   std::unique_ptr<TermKeyCache> left_keys;
   std::unique_ptr<ValueCache> left_values;
   std::unique_ptr<ValueCache> right_values;
-  ParallelFor(pool(), 4, [&](size_t task) {
-    switch (task) {
-      case 0: right_index = std::make_unique<BlockingIndex>(*right_); break;
-      case 1: left_keys = std::make_unique<TermKeyCache>(*left_); break;
-      case 2: left_values = std::make_unique<ValueCache>(*left_); break;
-      case 3: right_values = std::make_unique<ValueCache>(*right_); break;
-    }
-  });
-  shared_index_seconds_ = shared_watch.ElapsedSeconds();
+  {
+    ALEX_TRACE_SPAN("build", "SharedBuildResources");
+    obs::ScopedTimer timer(metrics.shared_index_seconds,
+                           &shared_index_seconds_);
+    ParallelFor(pool(), 4, [&](size_t task) {
+      switch (task) {
+        case 0: right_index = std::make_unique<BlockingIndex>(*right_); break;
+        case 1: left_keys = std::make_unique<TermKeyCache>(*left_); break;
+        case 2: left_values = std::make_unique<ValueCache>(*left_); break;
+        case 3: right_values = std::make_unique<ValueCache>(*right_); break;
+      }
+    });
+  }
 
   // Phase 2: per-partition builds, all borrowing the shared resources.
   const BuildResources res{right_index.get(), left_keys.get(),
                            left_values.get(), right_values.get()};
-  ParallelFor(pool(), n, [this, &seconds, &res](size_t p) {
-    Stopwatch watch;
+  ParallelFor(pool(), n, [this, &metrics, &seconds, &res](size_t p) {
+    obs::ScopedTimer timer(metrics.partition_build_seconds, &seconds[p]);
     spaces_[p]->Build(*left_, *right_, partition_entities_[p], config_.theta,
                       config_.max_block_pairs, res);
-    seconds[p] = watch.ElapsedSeconds();
   });
   return seconds;
 }
@@ -117,6 +145,8 @@ void PartitionedAlex::ProcessFeedbackBatch(
 }
 
 EngineEpisodeStats PartitionedAlex::EndEpisode() {
+  ALEX_TRACE_SPAN("episode", "PartitionedAlex::EndEpisode");
+  obs::ScopedTimer timer(PartitionMetrics::Get().end_episode_seconds);
   // Policy improvement is per-partition work over disjoint engines, so the
   // episode ends in parallel; only the trivial stat summation is serial.
   std::vector<EngineEpisodeStats> per_engine(engines_.size());

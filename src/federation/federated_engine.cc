@@ -7,6 +7,8 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sparql/parser.h"
 
 namespace alex::fed {
@@ -298,8 +300,27 @@ FederatedEngine::FederatedEngine(const Endpoint* left, const Endpoint* right,
 
 Result<FederatedResult> FederatedEngine::Execute(
     const SelectQuery& query) const {
+  ALEX_TRACE_SPAN("federation", "FederatedEngine::Execute");
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  static obs::Counter& queries = registry.counter("fed.queries");
+  static obs::Counter& rows = registry.counter("fed.rows");
+  static obs::Counter& links_crossed = registry.counter("fed.links_crossed");
+  static obs::Histogram& query_seconds =
+      registry.histogram("fed.query_seconds");
+
+  queries.Add(1);
+  obs::ScopedTimer timer(query_seconds);
   Execution exec(left_, right_, links_, query);
-  return exec.Run();
+  Result<FederatedResult> result = exec.Run();
+  if (result.ok()) {
+    rows.Add(result->rows.size());
+    size_t crossed = 0;
+    for (const ProvenancedRow& row : result->rows) {
+      crossed += row.links_used.size();
+    }
+    links_crossed.Add(crossed);
+  }
+  return result;
 }
 
 Result<FederatedResult> FederatedEngine::ExecuteText(

@@ -1,0 +1,155 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+namespace alex::obs {
+namespace internal {
+
+size_t ThreadShard() {
+  static std::atomic<size_t> next{0};
+  thread_local const size_t shard =
+      next.fetch_add(1, std::memory_order_relaxed) % kMetricShards;
+  return shard;
+}
+
+}  // namespace internal
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  shards_.reserve(kMetricShards);
+  for (size_t i = 0; i < kMetricShards; ++i) {
+    shards_.push_back(std::make_unique<Shard>(bounds_.size() + 1));
+  }
+}
+
+std::vector<double> Histogram::DefaultLatencyBounds() {
+  // 1µs .. 64s in ~4x steps: coarse enough to stay cheap, fine enough to
+  // separate "microseconds" (band query) from "seconds" (space build).
+  return {1e-6, 4e-6, 16e-6, 64e-6, 256e-6, 1e-3, 4e-3,
+          16e-3, 64e-3, 256e-3, 1.0,   4.0,   16.0, 64.0};
+}
+
+void Histogram::Observe(double seconds) {
+  if (seconds < 0.0) seconds = 0.0;
+  // Buckets have inclusive upper bounds (Prometheus-style "le"): a value
+  // equal to bounds[i] lands in bucket i, hence lower_bound.
+  const size_t bucket =
+      std::lower_bound(bounds_.begin(), bounds_.end(), seconds) -
+      bounds_.begin();
+  Shard& shard = *shards_[internal::ThreadShard()];
+  shard.counts[bucket].fetch_add(1, std::memory_order_relaxed);
+  shard.sum_nanos.fetch_add(static_cast<uint64_t>(seconds * 1e9),
+                            std::memory_order_relaxed);
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.bounds = bounds_;
+  snap.counts.assign(bounds_.size() + 1, 0);
+  uint64_t sum_nanos = 0;
+  for (const auto& shard : shards_) {
+    for (size_t i = 0; i < shard->counts.size(); ++i) {
+      snap.counts[i] += shard->counts[i].load(std::memory_order_relaxed);
+    }
+    sum_nanos += shard->sum_nanos.load(std::memory_order_relaxed);
+  }
+  for (uint64_t c : snap.counts) snap.count += c;
+  snap.sum = static_cast<double>(sum_nanos) * 1e-9;
+  return snap;
+}
+
+void Histogram::Reset() {
+  for (auto& shard : shards_) {
+    for (auto& c : shard->counts) c.store(0, std::memory_order_relaxed);
+    shard->sum_nanos.store(0, std::memory_order_relaxed);
+  }
+}
+
+MetricsSnapshot MetricsSnapshot::DeltaSince(
+    const MetricsSnapshot& before) const {
+  MetricsSnapshot delta = *this;
+  for (auto& [name, value] : delta.counters) {
+    auto it = before.counters.find(name);
+    if (it != before.counters.end()) value -= std::min(value, it->second);
+  }
+  // Gauges are point-in-time: the "delta" keeps the current reading.
+  for (auto& [name, hist] : delta.histograms) {
+    auto it = before.histograms.find(name);
+    if (it == before.histograms.end()) continue;
+    const HistogramSnapshot& old = it->second;
+    if (old.bounds != hist.bounds) continue;
+    for (size_t i = 0; i < hist.counts.size(); ++i) {
+      hist.counts[i] -= std::min(hist.counts[i], old.counts[i]);
+    }
+    hist.count -= std::min(hist.count, old.count);
+    hist.sum = std::max(0.0, hist.sum - old.sum);
+  }
+  return delta;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  return histogram(name, Histogram::DefaultLatencyBounds());
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name),
+                      std::make_unique<Histogram>(std::move(bounds)))
+             .first;
+  }
+  return *it->second;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.emplace(name, counter->Value());
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.emplace(name, gauge->Value());
+    snap.gauge_maxes.emplace(name, gauge->MaxValue());
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    snap.histograms.emplace(name, histogram->Snapshot());
+  }
+  return snap;
+}
+
+void MetricsRegistry::ResetForTest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+}  // namespace alex::obs

@@ -1,0 +1,210 @@
+#ifndef ALEX_OBS_METRICS_H_
+#define ALEX_OBS_METRICS_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace alex::obs {
+
+/// Process-wide observability primitives (the paper's evaluation is all
+/// about *where time goes* — Sections 6.3 and 7.3 — so every scaling PR
+/// needs first-class counters instead of ad-hoc stopwatches).
+///
+/// Design constraints, in order:
+///  1. Instrumented hot paths must stay contention-free under the partition
+///     thread pool: counters and histograms are sharded into cache-line
+///     padded atomic cells indexed by a per-thread shard id, written with
+///     relaxed fetch_add and merged only on snapshot.
+///  2. Metric handles are stable for the process lifetime. `ResetForTest()`
+///     zeroes values but never invalidates pointers, so call sites may cache
+///     `static Counter& c = MetricsRegistry::Global().counter("x");`.
+///  3. Snapshots are deterministic: merged values are keyed by name in a
+///     sorted map, so two snapshots of identical activity compare equal and
+///     serialize identically.
+
+/// Number of independent per-thread cells each sharded metric carries.
+/// Power of two; threads hash onto cells by a sequentially assigned id, so
+/// up to kMetricShards threads never share a cache line.
+inline constexpr size_t kMetricShards = 16;
+
+namespace internal {
+
+/// Shard index of the calling thread (stable per thread, assigned on first
+/// use from a global sequence, wrapped into [0, kMetricShards)).
+size_t ThreadShard();
+
+struct alignas(64) PaddedCell {
+  std::atomic<uint64_t> value{0};
+};
+
+}  // namespace internal
+
+/// Monotonic event counter. Add() is wait-free and contention-free across
+/// the thread pool; Value() merges the shards.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) {
+    cells_[internal::ThreadShard()].value.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const auto& cell : cells_) {
+      total += cell.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  void Reset() {
+    for (auto& cell : cells_) cell.value.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  internal::PaddedCell cells_[kMetricShards];
+};
+
+/// Point-in-time signed value (queue depths, live object counts). Updated
+/// rarely relative to counters, so a single atomic cell suffices.
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  /// Tracks the largest value ever Set/Add-ed through UpdateMax.
+  void UpdateMax(int64_t v) {
+    int64_t cur = max_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  int64_t MaxValue() const { return max_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0); max_.store(0); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+  std::atomic<int64_t> max_{0};
+};
+
+/// Merged, immutable view of one histogram.
+struct HistogramSnapshot {
+  /// Upper bounds (seconds) of the finite buckets; an implicit +inf bucket
+  /// follows. counts.size() == bounds.size() + 1.
+  std::vector<double> bounds;
+  std::vector<uint64_t> counts;
+  uint64_t count = 0;   // Total observations.
+  double sum = 0.0;     // Sum of observed values, in seconds.
+
+  double Mean() const { return count == 0 ? 0.0 : sum / static_cast<double>(count); }
+  bool operator==(const HistogramSnapshot&) const = default;
+};
+
+/// Fixed-bucket latency histogram, sharded like Counter. Values are in
+/// seconds; the default bucket ladder spans 1µs .. ~60s exponentially.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  /// Records one observation (seconds). Wait-free, contention-free.
+  void Observe(double seconds);
+
+  HistogramSnapshot Snapshot() const;
+  void Reset();
+
+  static std::vector<double> DefaultLatencyBounds();
+
+ private:
+  struct alignas(64) Shard {
+    /// counts[i] covers (bounds[i-1], bounds[i]]; last slot is +inf.
+    std::vector<std::atomic<uint64_t>> counts;
+    std::atomic<uint64_t> sum_nanos{0};
+    explicit Shard(size_t n) : counts(n) {}
+  };
+
+  std::vector<double> bounds_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+/// Deterministic merged view of the whole registry; keyed by metric name.
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, int64_t> gauges;
+  std::map<std::string, int64_t> gauge_maxes;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  /// Activity since `before`: counters and histogram counts/sums subtract;
+  /// gauges keep their current (point-in-time) value. `before` must come
+  /// from the same registry, earlier in time.
+  MetricsSnapshot DeltaSince(const MetricsSnapshot& before) const;
+
+  bool operator==(const MetricsSnapshot&) const = default;
+};
+
+/// Process-wide named-metric registry. Creation is mutex-guarded and
+/// idempotent; returned references stay valid for the process lifetime.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  /// Default latency bucket ladder. A histogram's bounds are fixed by its
+  /// first registration; later lookups ignore `bounds`.
+  Histogram& histogram(std::string_view name);
+  Histogram& histogram(std::string_view name, std::vector<double> bounds);
+
+  /// Merges every metric into a deterministic snapshot.
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes all values. Handles remain valid (tests only; not for use
+  /// while instrumented code runs concurrently).
+  void ResetForTest();
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// RAII timer: on destruction records the elapsed wall time into a
+/// histogram and, optionally, accumulates it into `*sink_seconds`. The
+/// registry-backed replacement for the raw Stopwatch timing scattered
+/// through the engine and benches.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram& histogram, double* sink_seconds = nullptr)
+      : histogram_(&histogram),
+        sink_seconds_(sink_seconds),
+        start_(std::chrono::steady_clock::now()) {}
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer() {
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start_)
+            .count();
+    histogram_->Observe(seconds);
+    if (sink_seconds_ != nullptr) *sink_seconds_ += seconds;
+  }
+
+ private:
+  Histogram* histogram_;
+  double* sink_seconds_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace alex::obs
+
+#endif  // ALEX_OBS_METRICS_H_

@@ -1,0 +1,157 @@
+#include "obs/telemetry.h"
+
+#include <cmath>
+#include <iomanip>
+
+namespace alex::obs {
+namespace {
+
+/// Two-space indentation prefix.
+std::string Pad(int indent) { return std::string(2 * indent, ' '); }
+
+/// Doubles are serialized with enough digits to round-trip; NaN/inf (never
+/// produced by timers, but defensively) become 0.
+void WriteDouble(std::ostream& os, double v) {
+  if (!std::isfinite(v)) v = 0.0;
+  const auto flags = os.flags();
+  const auto precision = os.precision();
+  os << std::setprecision(9) << v;
+  os.flags(flags);
+  os.precision(precision);
+}
+
+}  // namespace
+
+void RunTelemetry::AddPhase(const std::string& name, double seconds) {
+  for (auto& [existing, total] : phases) {
+    if (existing == name) {
+      total += seconds;
+      return;
+    }
+  }
+  phases.emplace_back(name, seconds);
+}
+
+double RunTelemetry::PhaseSecondsTotal() const {
+  double total = 0.0;
+  for (const auto& [name, seconds] : phases) total += seconds;
+  return total;
+}
+
+void WriteMetricsJsonFields(const MetricsSnapshot& snapshot, std::ostream& os,
+                            int indent) {
+  const std::string pad = Pad(indent);
+  const std::string pad1 = Pad(indent + 1);
+  os << pad << "\"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : snapshot.counters) {
+    os << (first ? "\n" : ",\n") << pad1 << "\"" << name << "\": " << value;
+    first = false;
+  }
+  os << (first ? "" : "\n" + pad) << "},\n";
+
+  os << pad << "\"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : snapshot.gauges) {
+    os << (first ? "\n" : ",\n") << pad1 << "\"" << name << "\": " << value;
+    auto max_it = snapshot.gauge_maxes.find(name);
+    if (max_it != snapshot.gauge_maxes.end()) {
+      os << ",\n" << pad1 << "\"" << name << ".max\": " << max_it->second;
+    }
+    first = false;
+  }
+  os << (first ? "" : "\n" + pad) << "},\n";
+
+  os << pad << "\"histograms\": {";
+  first = true;
+  for (const auto& [name, hist] : snapshot.histograms) {
+    os << (first ? "\n" : ",\n") << pad1 << "\"" << name
+       << "\": {\"count\": " << hist.count << ", \"sum_seconds\": ";
+    WriteDouble(os, hist.sum);
+    os << ", \"mean_seconds\": ";
+    WriteDouble(os, hist.Mean());
+    os << ", \"buckets\": [";
+    for (size_t i = 0; i < hist.counts.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << "{\"le\": ";
+      if (i < hist.bounds.size()) {
+        WriteDouble(os, hist.bounds[i]);
+      } else {
+        os << "\"inf\"";
+      }
+      os << ", \"count\": " << hist.counts[i] << "}";
+    }
+    os << "]}";
+    first = false;
+  }
+  os << (first ? "" : "\n" + pad) << "}";
+}
+
+void RunTelemetry::WriteJson(std::ostream& os, int indent) const {
+  const std::string pad = Pad(indent);
+  const std::string pad1 = Pad(indent + 1);
+  const std::string pad2 = Pad(indent + 2);
+  os << pad << "{\n";
+  os << pad1 << "\"wall_seconds\": ";
+  WriteDouble(os, wall_seconds);
+  os << ",\n";
+  os << pad1 << "\"phase_seconds_total\": ";
+  WriteDouble(os, PhaseSecondsTotal());
+  os << ",\n";
+  os << pad1 << "\"phases\": {";
+  bool first = true;
+  for (const auto& [name, seconds] : phases) {
+    os << (first ? "\n" : ",\n") << pad2 << "\"" << name << "\": ";
+    WriteDouble(os, seconds);
+    first = false;
+  }
+  os << (first ? "" : "\n" + pad1) << "},\n";
+  WriteMetricsJsonFields(metrics, os, indent + 1);
+  os << "\n" << pad << "}";
+}
+
+void WriteMetricsCsv(const MetricsSnapshot& snapshot, std::ostream& os) {
+  for (const auto& [name, value] : snapshot.counters) {
+    os << "counter," << name << "," << value << ",\n";
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    os << "gauge," << name << "," << value << ",\n";
+  }
+  for (const auto& [name, hist] : snapshot.histograms) {
+    os << "histogram," << name << "," << hist.count << ",";
+    WriteDouble(os, hist.sum);
+    os << "\n";
+  }
+}
+
+void RunTelemetry::WriteCsv(std::ostream& os) const {
+  os << "kind,name,value,sum_seconds\n";
+  os << "run,wall_seconds,,";
+  WriteDouble(os, wall_seconds);
+  os << "\n";
+  for (const auto& [name, seconds] : phases) {
+    os << "phase," << name << ",,";
+    WriteDouble(os, seconds);
+    os << "\n";
+  }
+  WriteMetricsCsv(metrics, os);
+}
+
+PhaseTimer::PhaseTimer(RunTelemetry* telemetry, std::string name)
+    : telemetry_(telemetry),
+      name_(std::move(name)),
+      start_(std::chrono::steady_clock::now()) {}
+
+void PhaseTimer::Stop() {
+  if (stopped_) return;
+  stopped_ = true;
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+  if (telemetry_ != nullptr) telemetry_->AddPhase(name_, seconds);
+  MetricsRegistry::Global().histogram("phase." + name_).Observe(seconds);
+}
+
+PhaseTimer::~PhaseTimer() { Stop(); }
+
+}  // namespace alex::obs

@@ -1,0 +1,71 @@
+#ifndef ALEX_OBS_TELEMETRY_H_
+#define ALEX_OBS_TELEMETRY_H_
+
+#include <chrono>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace alex::obs {
+
+/// Run-level telemetry: named, non-overlapping phase timings plus the
+/// registry activity observed during the run. Threaded through
+/// simulation::RunResult so every run carries where its time went; benches
+/// serialize it as a `*.telemetry.json` sidecar next to their figures.
+struct RunTelemetry {
+  /// Top-level phases in execution order. Phases are disjoint wall-time
+  /// sections of the run, so their sum approximates wall_seconds (nested
+  /// detail lives in `metrics` histograms instead). Repeated AddPhase calls
+  /// with one name accumulate (e.g. one "explore" slice per episode).
+  std::vector<std::pair<std::string, double>> phases;
+  double wall_seconds = 0.0;
+  /// Registry delta over the run (counters, gauges, histograms).
+  MetricsSnapshot metrics;
+
+  void AddPhase(const std::string& name, double seconds);
+  double PhaseSecondsTotal() const;
+
+  /// {"wall_seconds": ..., "phases": {...}, "counters": {...},
+  ///  "gauges": {...}, "histograms": {...}} — one self-contained object,
+  ///  embeddable in a larger document (no trailing newline).
+  void WriteJson(std::ostream& os, int indent = 0) const;
+
+  /// Flat rows: kind,name,value[,extra] — one line per metric.
+  void WriteCsv(std::ostream& os) const;
+};
+
+/// Serializes one merged registry snapshot as the JSON fields
+/// `"counters": {...}, "gauges": {...}, "histograms": {...}` (no enclosing
+/// braces), at the given indent depth. Deterministic: map ordering.
+void WriteMetricsJsonFields(const MetricsSnapshot& snapshot, std::ostream& os,
+                            int indent);
+
+/// CSV rows for one snapshot: kind,name,value[,sum_seconds].
+void WriteMetricsCsv(const MetricsSnapshot& snapshot, std::ostream& os);
+
+/// RAII phase section: on destruction adds the elapsed wall time to
+/// `telemetry->phases[name]` and to the registry histogram
+/// `phase.<name>`. The replacement for raw Stopwatch phase timing.
+class PhaseTimer {
+ public:
+  PhaseTimer(RunTelemetry* telemetry, std::string name);
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+  ~PhaseTimer();
+
+  /// Ends the phase early (idempotent).
+  void Stop();
+
+ private:
+  RunTelemetry* telemetry_;
+  std::string name_;
+  std::chrono::steady_clock::time_point start_;
+  bool stopped_ = false;
+};
+
+}  // namespace alex::obs
+
+#endif  // ALEX_OBS_TELEMETRY_H_

@@ -1,0 +1,98 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+
+namespace alex::obs {
+
+TraceRecorder& TraceRecorder::Global() {
+  static TraceRecorder* recorder = new TraceRecorder();
+  return *recorder;
+}
+
+TraceRecorder::ThreadBuffer& TraceRecorder::LocalBuffer() {
+  thread_local std::shared_ptr<ThreadBuffer> local = [this] {
+    auto buffer = std::make_shared<ThreadBuffer>();
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    buffer->tid = next_tid_++;
+    buffers_.push_back(buffer);
+    return buffer;
+  }();
+  return *local;
+}
+
+void TraceRecorder::Record(const char* category, const char* name,
+                           uint64_t ts_micros, uint64_t dur_micros) {
+  ThreadBuffer& buffer = LocalBuffer();
+  std::lock_guard<std::mutex> lock(buffer.mu);
+  TraceEvent event;
+  event.name = name;
+  event.category = category;
+  event.ts_micros = ts_micros;
+  event.dur_micros = dur_micros;
+  event.tid = buffer.tid;
+  if (buffer.ring.size() < kRingCapacity) {
+    buffer.ring.push_back(event);
+  } else {
+    buffer.ring[buffer.next] = event;
+  }
+  buffer.next = (buffer.next + 1) % kRingCapacity;
+  ++buffer.count;
+}
+
+std::vector<TraceEvent> TraceRecorder::Events() const {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    buffers = buffers_;
+  }
+  std::vector<TraceEvent> events;
+  for (const auto& buffer : buffers) {
+    std::lock_guard<std::mutex> lock(buffer->mu);
+    events.insert(events.end(), buffer->ring.begin(), buffer->ring.end());
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     if (a.ts_micros != b.ts_micros) {
+                       return a.ts_micros < b.ts_micros;
+                     }
+                     // Equal begins: the longer span is the ancestor.
+                     if (a.dur_micros != b.dur_micros) {
+                       return a.dur_micros > b.dur_micros;
+                     }
+                     return a.tid < b.tid;
+                   });
+  return events;
+}
+
+void TraceRecorder::Clear() {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    buffers = buffers_;
+  }
+  for (const auto& buffer : buffers) {
+    std::lock_guard<std::mutex> lock(buffer->mu);
+    buffer->ring.clear();
+    buffer->next = 0;
+    buffer->count = 0;
+  }
+}
+
+void TraceRecorder::WriteChromeTrace(std::ostream& os) const {
+  const std::vector<TraceEvent> events = Events();
+  os << "{\"traceEvents\": [";
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    if (!first) os << ",";
+    first = false;
+    // Names/categories are identifier-style string literals from our own
+    // instrumentation; no JSON escaping is needed beyond trusting that.
+    os << "\n  {\"name\": \"" << e.name << "\", \"cat\": \"" << e.category
+       << "\", \"ph\": \"X\", \"ts\": " << e.ts_micros
+       << ", \"dur\": " << e.dur_micros << ", \"pid\": 1, \"tid\": " << e.tid
+       << "}";
+  }
+  os << "\n], \"displayTimeUnit\": \"ms\"}\n";
+}
+
+}  // namespace alex::obs

@@ -1,0 +1,145 @@
+#ifndef ALEX_OBS_TRACE_H_
+#define ALEX_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <vector>
+
+namespace alex::obs {
+
+/// Scoped tracing: RAII spans record begin/end into a lock-cheap per-thread
+/// ring buffer, exportable as Chrome `trace_event` JSON loadable in
+/// chrome://tracing and Perfetto.
+///
+/// Two gates keep the cost off hot paths:
+///  - Compile time: the ALEX_TRACE_SPAN macro compiles to nothing when the
+///    build sets ALEX_ENABLE_TRACING=OFF (no ALEX_TRACING_ENABLED define).
+///  - Run time: even when compiled in, spans are inert (one relaxed atomic
+///    load) until TraceRecorder::Global().SetEnabled(true).
+///
+/// Span names and categories must be string literals (or otherwise outlive
+/// the recorder): only the pointers are stored.
+
+/// One completed span. Timestamps are microseconds since the recorder's
+/// epoch (its construction).
+struct TraceEvent {
+  const char* name = nullptr;
+  const char* category = nullptr;
+  uint64_t ts_micros = 0;   // Span begin.
+  uint64_t dur_micros = 0;  // Span duration.
+  uint32_t tid = 0;         // Sequential per-thread id.
+};
+
+class TraceRecorder {
+ public:
+  /// Events each thread's ring buffer retains; older events are overwritten.
+  static constexpr size_t kRingCapacity = 1 << 16;
+
+  static TraceRecorder& Global();
+
+  void SetEnabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Records one completed span on the calling thread's ring buffer.
+  void Record(const char* category, const char* name, uint64_t ts_micros,
+              uint64_t dur_micros);
+
+  /// Microseconds since the recorder epoch.
+  uint64_t NowMicros() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - epoch_)
+            .count());
+  }
+
+  /// All retained events, merged across threads and sorted by (ts, tid).
+  /// Within one thread, a span's children precede it (they end first).
+  std::vector<TraceEvent> Events() const;
+
+  /// Drops all retained events (buffers stay registered).
+  void Clear();
+
+  /// Writes all retained events as Chrome trace_event JSON (a complete
+  /// "X"-phase event per span): {"traceEvents": [...]}.
+  void WriteChromeTrace(std::ostream& os) const;
+
+ private:
+  /// Fixed-capacity overwrite-oldest ring. The owning thread appends;
+  /// export/clear lock the same mutex, so concurrent export is safe. The
+  /// mutex is thread-private in steady state — uncontended acquire.
+  struct ThreadBuffer {
+    std::mutex mu;
+    std::vector<TraceEvent> ring;
+    size_t next = 0;    // Ring slot the next event lands in.
+    size_t count = 0;   // Total events ever recorded.
+    uint32_t tid = 0;
+  };
+
+  TraceRecorder() : epoch_(std::chrono::steady_clock::now()) {}
+  ThreadBuffer& LocalBuffer();
+
+  std::atomic<bool> enabled_{false};
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex registry_mu_;
+  /// shared_ptr keeps buffers of exited threads alive for export.
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
+  uint32_t next_tid_ = 0;
+};
+
+/// RAII span: captures the start time on construction (when the recorder is
+/// enabled) and records a TraceEvent on destruction. Use via the
+/// ALEX_TRACE_SPAN macro so disabled builds drop the object entirely.
+class TraceSpan {
+ public:
+  TraceSpan(const char* category, const char* name)
+      : active_(TraceRecorder::Global().enabled()) {
+    if (active_) {
+      category_ = category;
+      name_ = name;
+      start_micros_ = TraceRecorder::Global().NowMicros();
+    }
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  ~TraceSpan() {
+    if (active_) {
+      TraceRecorder& recorder = TraceRecorder::Global();
+      recorder.Record(category_, name_, start_micros_,
+                      recorder.NowMicros() - start_micros_);
+    }
+  }
+
+ private:
+  bool active_;
+  const char* category_ = nullptr;
+  const char* name_ = nullptr;
+  uint64_t start_micros_ = 0;
+};
+
+}  // namespace alex::obs
+
+#define ALEX_OBS_CONCAT_INNER(a, b) a##b
+#define ALEX_OBS_CONCAT(a, b) ALEX_OBS_CONCAT_INNER(a, b)
+
+/// Opens a span covering the rest of the enclosing scope. Category and name
+/// must be string literals. Compiles to nothing when the build disables
+/// tracing (-DALEX_ENABLE_TRACING=OFF).
+#ifdef ALEX_TRACING_ENABLED
+#define ALEX_TRACE_SPAN(category, name)          \
+  ::alex::obs::TraceSpan ALEX_OBS_CONCAT(        \
+      alex_trace_span_, __LINE__)(category, name)
+#else
+#define ALEX_TRACE_SPAN(category, name) \
+  do {                                  \
+  } while (false)
+#endif
+
+#endif  // ALEX_OBS_TRACE_H_

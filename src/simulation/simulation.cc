@@ -5,6 +5,8 @@
 #include "common/logging.h"
 #include "common/stopwatch.h"
 #include "feedback/oracle.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace alex::simulation {
 namespace {
@@ -41,29 +43,53 @@ feedback::GroundTruth Simulation::PartitionTruth(
 }
 
 RunResult Simulation::Run() {
+  ALEX_TRACE_SPAN("simulation", "Simulation::Run");
   RunResult result;
   result.scenario_name = config_.scenario.name;
+  obs::RunTelemetry& telemetry = result.telemetry;
+  const obs::MetricsSnapshot metrics_before =
+      obs::MetricsRegistry::Global().Snapshot();
   Stopwatch total_watch;
 
   // 1. Data and ground truth.
-  data_ = datagen::GenerateScenario(config_.scenario);
+  {
+    obs::PhaseTimer phase(&telemetry, "generate");
+    data_ = datagen::GenerateScenario(config_.scenario);
+  }
 
   // 2. Initial candidate links from the automatic linker (PARIS).
-  paris::ParisLinker linker(&data_.left, &data_.right, config_.paris);
-  const std::vector<paris::ScoredLink> initial = linker.Run();
+  std::vector<paris::ScoredLink> initial;
+  {
+    ALEX_TRACE_SPAN("simulation", "ParisLinker::Run");
+    obs::PhaseTimer phase(&telemetry, "paris");
+    paris::ParisLinker linker(&data_.left, &data_.right, config_.paris);
+    initial = linker.Run();
+  }
   result.initial_links = initial.size();
 
-  // 3. Partitioned ALEX over the pair.
+  // 3. Partitioned ALEX over the pair. The build phase splits into the
+  // shared blocking-index/cache construction ("blocking", amortized across
+  // partitions) and the per-partition space builds ("build_space").
   PartitionedAlex alex(&data_.left, &data_.right, config_.alex);
-  const std::vector<double> build_seconds = alex.Build();
-  for (double s : build_seconds) {
-    result.build_seconds_max = std::max(result.build_seconds_max, s);
-    result.build_seconds_avg += s;
-  }
-  if (!build_seconds.empty()) {
-    result.build_seconds_avg /= static_cast<double>(build_seconds.size());
+  {
+    obs::PhaseTimer phase(&telemetry, "build_space");
+    const std::vector<double> build_seconds = alex.Build();
+    for (double s : build_seconds) {
+      result.build_seconds_max = std::max(result.build_seconds_max, s);
+      result.build_seconds_avg += s;
+    }
+    if (!build_seconds.empty()) {
+      result.build_seconds_avg /= static_cast<double>(build_seconds.size());
+    }
   }
   result.shared_index_seconds = alex.shared_index_seconds();
+  // Carve the blocking time out of the build phase so the two are disjoint.
+  if (!telemetry.phases.empty() &&
+      telemetry.phases.back().first == "build_space") {
+    telemetry.phases.back().second = std::max(
+        0.0, telemetry.phases.back().second - result.shared_index_seconds);
+  }
+  telemetry.AddPhase("blocking", result.shared_index_seconds);
   result.space_stats = alex.AggregatedSpaceStats();
   alex.InitializeCandidates(initial);
 
@@ -84,18 +110,27 @@ RunResult Simulation::Run() {
 
   // 4. Policy evaluation / policy improvement iterations.
   for (size_t episode = 1; episode <= config_.alex.max_episodes; ++episode) {
+    ALEX_TRACE_SPAN("simulation", "Episode");
     Stopwatch episode_watch;
-    for (size_t i = 0; i < config_.alex.episode_size; ++i) {
-      // The candidate set evolves within the episode (actions add links,
-      // negative feedback removes them), so re-sample from the live set:
-      // newly discovered links can receive feedback in the same episode.
-      const std::vector<PairKey> candidates = alex.CandidateVector();
-      auto item = oracle.SampleAndJudge(candidates);
-      if (!item.has_value()) break;
-      alex.ProcessFeedback(*item);
+    {
+      obs::PhaseTimer phase(&telemetry, "explore");
+      for (size_t i = 0; i < config_.alex.episode_size; ++i) {
+        // The candidate set evolves within the episode (actions add links,
+        // negative feedback removes them), so re-sample from the live set:
+        // newly discovered links can receive feedback in the same episode.
+        const std::vector<PairKey> candidates = alex.CandidateVector();
+        auto item = oracle.SampleAndJudge(candidates);
+        if (!item.has_value()) break;
+        alex.ProcessFeedback(*item);
+      }
     }
-    const core::EngineEpisodeStats stats = alex.EndEpisode();
+    core::EngineEpisodeStats stats;
+    {
+      obs::PhaseTimer phase(&telemetry, "end_episode");
+      stats = alex.EndEpisode();
+    }
 
+    obs::PhaseTimer evaluate_phase(&telemetry, "evaluate");
     const std::unordered_set<PairKey> current = alex.Candidates();
     EpisodeRecord record;
     record.episode = episode;
@@ -133,6 +168,13 @@ RunResult Simulation::Run() {
     }
   }
   result.total_seconds = total_watch.ElapsedSeconds();
+  telemetry.wall_seconds = result.total_seconds;
+  telemetry.metrics =
+      obs::MetricsRegistry::Global().Snapshot().DeltaSince(metrics_before);
+  ALEX_LOG(kDebug) << "run '" << result.scenario_name << "' finished: "
+                   << result.episodes.size() - 1 << " episodes, "
+                   << telemetry.PhaseSecondsTotal() << "s in phases of "
+                   << telemetry.wall_seconds << "s wall";
   return result;
 }
 

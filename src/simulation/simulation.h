@@ -9,6 +9,7 @@
 #include "core/metrics.h"
 #include "core/partitioned.h"
 #include "datagen/generator.h"
+#include "obs/telemetry.h"
 #include "paris/paris.h"
 
 namespace alex::simulation {
@@ -67,7 +68,14 @@ struct RunResult {
   double shared_index_seconds = 0.0;
   double total_seconds = 0.0;      // Whole run, including build and PARIS.
   core::LinkSpace::BuildStats space_stats;  // Aggregated across partitions.
+  /// Where the run's time went: ordered, disjoint phase timings (generate,
+  /// paris, blocking, build_space, explore, end_episode, evaluate) plus the
+  /// metrics-registry delta observed during the run. Serialized by the
+  /// benches as a *.telemetry.json sidecar.
+  obs::RunTelemetry telemetry;
 
+  /// Precondition: the run produced at least one episode record (Run()
+  /// always records episode 0). Guard hand-built results before calling.
   const EpisodeRecord& final_episode() const { return episodes.back(); }
 };
 

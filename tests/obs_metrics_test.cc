@@ -1,0 +1,246 @@
+#include "obs/metrics.h"
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.h"
+#include "obs/telemetry.h"
+
+namespace alex::obs {
+namespace {
+
+// The registry is process-global and shared across every test in this
+// binary; each test uses its own metric names so values never interfere.
+
+TEST(CounterTest, SingleThreadedAddAndValue) {
+  Counter counter;
+  EXPECT_EQ(counter.Value(), 0u);
+  counter.Add();
+  counter.Add(41);
+  EXPECT_EQ(counter.Value(), 42u);
+  counter.Reset();
+  EXPECT_EQ(counter.Value(), 0u);
+}
+
+TEST(CounterTest, ConcurrentAddsFromThreadPoolAllLand) {
+  // Hammer one counter from every pool worker; sharded cells must not lose
+  // any increment regardless of how threads map onto shards.
+  Counter counter;
+  ThreadPool pool(8);
+  constexpr int kTasks = 64;
+  constexpr int kAddsPerTask = 10000;
+  for (int t = 0; t < kTasks; ++t) {
+    pool.Submit([&counter] {
+      for (int i = 0; i < kAddsPerTask; ++i) counter.Add();
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.Value(),
+            static_cast<uint64_t>(kTasks) * kAddsPerTask);
+}
+
+TEST(GaugeTest, SetAddAndMaxTracking) {
+  Gauge gauge;
+  gauge.Set(5);
+  gauge.UpdateMax(5);
+  gauge.Add(-2);
+  EXPECT_EQ(gauge.Value(), 3);
+  EXPECT_EQ(gauge.MaxValue(), 5);
+  gauge.UpdateMax(2);  // Lower than current max: ignored.
+  EXPECT_EQ(gauge.MaxValue(), 5);
+  gauge.UpdateMax(9);
+  EXPECT_EQ(gauge.MaxValue(), 9);
+}
+
+TEST(GaugeTest, ConcurrentUpdateMaxKeepsTrueMax) {
+  Gauge gauge;
+  ThreadPool pool(8);
+  constexpr int kTasks = 32;
+  for (int t = 1; t <= kTasks; ++t) {
+    pool.Submit([&gauge, t] {
+      for (int i = 0; i < 1000; ++i) gauge.UpdateMax(t * 1000 + i);
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(gauge.MaxValue(), kTasks * 1000 + 999);
+}
+
+TEST(HistogramTest, BucketsObservationsByUpperBound) {
+  Histogram histogram({0.001, 0.01, 0.1});
+  histogram.Observe(0.0005);  // bucket 0 (<= 1ms)
+  histogram.Observe(0.001);   // bucket 0 (bounds are inclusive upper)
+  histogram.Observe(0.005);   // bucket 1
+  histogram.Observe(0.05);    // bucket 2
+  histogram.Observe(5.0);     // +inf bucket
+  histogram.Observe(-1.0);    // clamped to 0 -> bucket 0
+
+  const HistogramSnapshot snap = histogram.Snapshot();
+  ASSERT_EQ(snap.bounds.size(), 3u);
+  ASSERT_EQ(snap.counts.size(), 4u);
+  EXPECT_EQ(snap.counts[0], 3u);
+  EXPECT_EQ(snap.counts[1], 1u);
+  EXPECT_EQ(snap.counts[2], 1u);
+  EXPECT_EQ(snap.counts[3], 1u);
+  EXPECT_EQ(snap.count, 6u);
+  EXPECT_NEAR(snap.sum, 0.0005 + 0.001 + 0.005 + 0.05 + 5.0, 1e-6);
+  EXPECT_GT(snap.Mean(), 0.0);
+}
+
+TEST(HistogramTest, ConcurrentObservationsAllCounted) {
+  Histogram histogram({0.5});
+  ThreadPool pool(8);
+  constexpr int kTasks = 32;
+  constexpr int kObsPerTask = 5000;
+  for (int t = 0; t < kTasks; ++t) {
+    // Half the observations land below the bound, half above; every task
+    // uses the same deterministic split, so the merged buckets are exact.
+    pool.Submit([&histogram] {
+      for (int i = 0; i < kObsPerTask; ++i) {
+        histogram.Observe(i % 2 == 0 ? 0.1 : 1.0);
+      }
+    });
+  }
+  pool.Wait();
+  const HistogramSnapshot snap = histogram.Snapshot();
+  EXPECT_EQ(snap.count, static_cast<uint64_t>(kTasks) * kObsPerTask);
+  EXPECT_EQ(snap.counts[0], static_cast<uint64_t>(kTasks) * kObsPerTask / 2);
+  EXPECT_EQ(snap.counts[1], static_cast<uint64_t>(kTasks) * kObsPerTask / 2);
+}
+
+TEST(RegistryTest, LookupIsIdempotentAndHandleStable) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  Counter& a = registry.counter("obs_test.idempotent");
+  Counter& b = registry.counter("obs_test.idempotent");
+  EXPECT_EQ(&a, &b);
+  a.Add(7);
+  EXPECT_EQ(b.Value(), 7u);
+  // ResetForTest zeroes values but must not invalidate the reference.
+  registry.ResetForTest();
+  EXPECT_EQ(a.Value(), 0u);
+  a.Add(1);
+  EXPECT_EQ(registry.counter("obs_test.idempotent").Value(), 1u);
+}
+
+TEST(RegistryTest, HistogramBoundsFixedByFirstRegistration) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  Histogram& h = registry.histogram("obs_test.fixed_bounds", {1.0, 2.0});
+  Histogram& again =
+      registry.histogram("obs_test.fixed_bounds", {9.0});  // Ignored.
+  EXPECT_EQ(&h, &again);
+  EXPECT_EQ(again.Snapshot().bounds, (std::vector<double>{1.0, 2.0}));
+}
+
+TEST(RegistryTest, SnapshotMergeIsDeterministic) {
+  // Two snapshots taken after identical activity compare equal, and the
+  // delta between them is empty activity — regardless of which threads did
+  // the work (shards merge on snapshot).
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  Counter& counter = registry.counter("obs_test.determinism.counter");
+  Histogram& histogram =
+      registry.histogram("obs_test.determinism.hist", {0.5});
+
+  ThreadPool pool(4);
+  for (int t = 0; t < 16; ++t) {
+    pool.Submit([&counter, &histogram] {
+      for (int i = 0; i < 1000; ++i) {
+        counter.Add();
+        histogram.Observe(0.1);
+      }
+    });
+  }
+  pool.Wait();
+
+  const MetricsSnapshot first = registry.Snapshot();
+  const MetricsSnapshot second = registry.Snapshot();
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(first.counters.at("obs_test.determinism.counter") % 16000, 0u);
+
+  const MetricsSnapshot delta = second.DeltaSince(first);
+  EXPECT_EQ(delta.counters.at("obs_test.determinism.counter"), 0u);
+  EXPECT_EQ(delta.histograms.at("obs_test.determinism.hist").count, 0u);
+}
+
+TEST(RegistryTest, DeltaSinceSubtractsCountersAndHistograms) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  Counter& counter = registry.counter("obs_test.delta.counter");
+  Histogram& histogram = registry.histogram("obs_test.delta.hist", {1.0});
+  Gauge& gauge = registry.gauge("obs_test.delta.gauge");
+
+  counter.Add(10);
+  histogram.Observe(0.5);
+  gauge.Set(3);
+  const MetricsSnapshot before = registry.Snapshot();
+
+  counter.Add(5);
+  histogram.Observe(0.5);
+  histogram.Observe(2.0);
+  gauge.Set(7);
+  const MetricsSnapshot delta = registry.Snapshot().DeltaSince(before);
+
+  EXPECT_EQ(delta.counters.at("obs_test.delta.counter"), 5u);
+  const HistogramSnapshot& h = delta.histograms.at("obs_test.delta.hist");
+  EXPECT_EQ(h.count, 2u);
+  EXPECT_EQ(h.counts[0], 1u);
+  EXPECT_EQ(h.counts[1], 1u);
+  EXPECT_NEAR(h.sum, 2.5, 1e-6);
+  // Gauges are point-in-time: the delta keeps the current value.
+  EXPECT_EQ(delta.gauges.at("obs_test.delta.gauge"), 7);
+}
+
+TEST(ScopedTimerTest, ObservesIntoHistogramAndSink) {
+  Histogram histogram({1.0});
+  double sink = 0.0;
+  { ScopedTimer timer(histogram, &sink); }
+  const HistogramSnapshot snap = histogram.Snapshot();
+  EXPECT_EQ(snap.count, 1u);
+  EXPECT_GE(sink, 0.0);
+  EXPECT_NEAR(snap.sum, sink, 1e-9);
+}
+
+TEST(RunTelemetryTest, AddPhaseAccumulatesByName) {
+  RunTelemetry telemetry;
+  telemetry.AddPhase("explore", 1.0);
+  telemetry.AddPhase("evaluate", 0.5);
+  telemetry.AddPhase("explore", 2.0);
+  ASSERT_EQ(telemetry.phases.size(), 2u);
+  EXPECT_EQ(telemetry.phases[0].first, "explore");
+  EXPECT_DOUBLE_EQ(telemetry.phases[0].second, 3.0);
+  EXPECT_DOUBLE_EQ(telemetry.PhaseSecondsTotal(), 3.5);
+}
+
+TEST(RunTelemetryTest, JsonAndCsvCarryPhasesAndMetrics) {
+  RunTelemetry telemetry;
+  telemetry.wall_seconds = 2.25;
+  telemetry.AddPhase("build_space", 1.5);
+  telemetry.metrics.counters["obs_test.export.counter"] = 12;
+  telemetry.metrics.gauges["obs_test.export.gauge"] = -3;
+  HistogramSnapshot h;
+  h.bounds = {0.5};
+  h.counts = {2, 1};
+  h.count = 3;
+  h.sum = 1.75;
+  telemetry.metrics.histograms["obs_test.export.hist"] = h;
+
+  std::ostringstream json;
+  telemetry.WriteJson(json);
+  const std::string text = json.str();
+  EXPECT_NE(text.find("\"wall_seconds\""), std::string::npos);
+  EXPECT_NE(text.find("\"build_space\""), std::string::npos);
+  EXPECT_NE(text.find("\"obs_test.export.counter\": 12"), std::string::npos);
+  EXPECT_NE(text.find("\"obs_test.export.gauge\": -3"), std::string::npos);
+  EXPECT_NE(text.find("\"obs_test.export.hist\""), std::string::npos);
+  EXPECT_NE(text.find("\"inf\""), std::string::npos);  // +inf bucket.
+
+  std::ostringstream csv;
+  telemetry.WriteCsv(csv);
+  EXPECT_NE(csv.str().find("counter,obs_test.export.counter,12"),
+            std::string::npos);
+  EXPECT_NE(csv.str().find("phase,build_space,"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace alex::obs
