@@ -85,8 +85,7 @@ int main(int argc, char** argv) {
   bench::TelemetrySidecar telemetry("bench_build_space");
   const std::string scenario_name =
       argc > 1 ? argv[1] : std::string("dbpedia_nytimes");
-  const size_t reps =
-      argc > 2 ? std::max(1, std::atoi(argv[2])) : size_t{3};
+  const size_t reps = bench::ParseUintArg(argc, argv, 2, 3, "reps");
   datagen::ScenarioConfig scenario = datagen::ScenarioByName(scenario_name);
   if (scenario.name.empty()) {
     std::fprintf(stderr, "unknown scenario: %s\n", scenario_name.c_str());

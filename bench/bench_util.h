@@ -2,6 +2,7 @@
 #define ALEX_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <string>
 #include <utility>
@@ -9,12 +10,32 @@
 
 #include "common/logging.h"
 #include "common/stopwatch.h"
+#include "common/string_util.h"
 #include "obs/metrics.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "simulation/simulation.h"
 
 namespace alex::bench {
+
+/// Checked parse of an optional positional argv uint. Returns
+/// `default_value` when the argument is absent; exits with a usage message
+/// when it is present but not a decimal number in [min_value, SIZE_MAX] —
+/// the silent-zero behavior of `atoi` turned "bench 1O" (typo) into
+/// nonsense reps/sizes.
+inline size_t ParseUintArg(int argc, char** argv, int index,
+                           size_t default_value, const char* what,
+                           size_t min_value = 1) {
+  if (argc <= index) return default_value;
+  const std::optional<uint64_t> value = ParseUint64(argv[index]);
+  if (!value.has_value() || *value < min_value ||
+      *value > static_cast<uint64_t>(SIZE_MAX)) {
+    std::fprintf(stderr, "invalid %s: '%s' (want a positive integer)\n", what,
+                 argv[index]);
+    std::exit(2);
+  }
+  return static_cast<size_t>(*value);
+}
 
 /// Builds the default simulation configuration for a named figure run.
 inline simulation::SimulationConfig MakeConfig(
@@ -149,13 +170,13 @@ class TelemetrySidecar {
                          << telemetry_path;
       return;
     }
-    out << "{\n  \"bench\": \"" << bench_name_ << "\",\n";
+    out << "{\n  \"bench\": \"" << EscapeJson(bench_name_) << "\",\n";
     out << "  \"telemetry\":\n";
     telemetry_.WriteJson(out, 1);
     out << ",\n  \"runs\": [";
     for (size_t i = 0; i < runs_.size(); ++i) {
       out << (i == 0 ? "\n" : ",\n");
-      out << "    {\"label\": \"" << runs_[i].first << "\",\n"
+      out << "    {\"label\": \"" << EscapeJson(runs_[i].first) << "\",\n"
           << "     \"telemetry\":\n";
       runs_[i].second.WriteJson(out, 2);
       out << "}";

@@ -1,0 +1,20 @@
+#include "common/retry.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace alex {
+
+double RetryPolicy::BackoffSeconds(int failures, Rng* rng) const {
+  if (failures < 1) failures = 1;
+  double base = initial_backoff_seconds *
+                std::pow(backoff_multiplier, static_cast<double>(failures - 1));
+  base = std::min(base, max_backoff_seconds);
+  const double j = std::clamp(jitter_fraction, 0.0, 1.0);
+  if (j > 0.0 && rng != nullptr) {
+    base *= rng->UniformDouble(1.0 - j, 1.0 + j);
+  }
+  return std::max(base, 0.0);
+}
+
+}  // namespace alex

@@ -1,0 +1,42 @@
+#ifndef ALEX_COMMON_RETRY_H_
+#define ALEX_COMMON_RETRY_H_
+
+#include <limits>
+
+#include "common/rng.h"
+
+namespace alex {
+
+/// "No limit" sentinel for timeouts and deadlines (virtual seconds).
+inline constexpr double kNoTimeout = std::numeric_limits<double>::infinity();
+
+/// Retry discipline for calls against unreliable remote endpoints: capped
+/// exponential backoff with multiplicative jitter, a per-attempt timeout,
+/// and a per-query deadline that bounds the total time spent (attempts plus
+/// backoff waits). All durations are in (virtual) seconds; the jitter draw
+/// comes from an explicit Rng so schedules are reproducible.
+struct RetryPolicy {
+  /// Total tries including the first; values < 1 behave like 1.
+  int max_attempts = 3;
+  double initial_backoff_seconds = 0.05;
+  double backoff_multiplier = 2.0;
+  double max_backoff_seconds = 2.0;
+  /// Backoff is scaled by a uniform draw from [1 - j, 1 + j]; 0 disables
+  /// jitter. Values outside [0, 1] are clamped.
+  double jitter_fraction = 0.2;
+  /// Budget for one attempt; an attempt exceeding it counts as a timeout
+  /// failure (kDeadlineExceeded) and is retried like a transient error.
+  double attempt_timeout_seconds = kNoTimeout;
+  /// Budget for a whole query across all endpoints, attempts, and backoff
+  /// waits, measured from query start.
+  double deadline_seconds = kNoTimeout;
+
+  /// Backoff to wait after the `failures`-th failed attempt (1-based):
+  /// initial * multiplier^(failures-1), capped, then jittered via `rng`.
+  /// `rng` advances exactly once when jitter is enabled.
+  double BackoffSeconds(int failures, Rng* rng) const;
+};
+
+}  // namespace alex
+
+#endif  // ALEX_COMMON_RETRY_H_

@@ -20,6 +20,8 @@ enum class StatusCode {
   kParseError,
   kIOError,
   kInternal,
+  kUnavailable,
+  kDeadlineExceeded,
 };
 
 /// Returns a human-readable name for a status code, e.g. "InvalidArgument".
@@ -58,6 +60,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

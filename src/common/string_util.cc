@@ -1,6 +1,9 @@
 #include "common/string_util.h"
 
 #include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
 
 namespace alex {
 
@@ -93,6 +96,35 @@ std::vector<std::string> WordTokens(std::string_view s) {
   }
   if (!cur.empty()) out.push_back(std::move(cur));
   return out;
+}
+
+std::optional<double> ParseDouble(std::string_view token) {
+  if (token.empty()) return std::nullopt;
+  // strtod silently skips leading whitespace; a strict full-token parse
+  // must not.
+  if (std::isspace(static_cast<unsigned char>(token.front()))) {
+    return std::nullopt;
+  }
+  // strtod needs NUL termination; tokens are short, so copy.
+  const std::string buf(token);
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(buf.c_str(), &end);
+  if (end != buf.c_str() + buf.size()) return std::nullopt;
+  if (errno == ERANGE || !std::isfinite(value)) return std::nullopt;
+  return value;
+}
+
+std::optional<uint64_t> ParseUint64(std::string_view token) {
+  if (token.empty()) return std::nullopt;
+  uint64_t value = 0;
+  for (char c : token) {
+    if (c < '0' || c > '9') return std::nullopt;
+    const uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (value > (UINT64_MAX - digit) / 10) return std::nullopt;  // Overflow.
+    value = value * 10 + digit;
+  }
+  return value;
 }
 
 }  // namespace alex

@@ -1,6 +1,8 @@
 #ifndef ALEX_COMMON_STRING_UTIL_H_
 #define ALEX_COMMON_STRING_UTIL_H_
 
+#include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -31,6 +33,60 @@ bool EndsWith(std::string_view s, std::string_view suffix);
 
 /// Lowercased alphanumeric word tokens, for token-based similarity.
 std::vector<std::string> WordTokens(std::string_view s);
+
+/// Escapes `s` for use inside a JSON string: backslash, double quote, and
+/// control characters (\b \f \n \r \t, \u00XX otherwise). Every JSON writer
+/// in the repo must route externally influenced strings (metric names,
+/// scenario labels, bench names) through this. Header-inline so alex_obs
+/// can use it without a link dependency back onto alex_common.
+inline std::string EscapeJson(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr const char* kHex = "0123456789abcdef";
+          out += "\\u00";
+          out += kHex[(c >> 4) & 0xf];
+          out += kHex[c & 0xf];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Strict full-token double parse: the entire token must be a finite
+/// decimal number (no trailing garbage, no overflow). Returns nullopt
+/// otherwise — callers turn that into a ParseError naming the token.
+std::optional<double> ParseDouble(std::string_view token);
+
+/// Strict full-token unsigned decimal parse (no sign, no trailing garbage,
+/// no overflow).
+std::optional<uint64_t> ParseUint64(std::string_view token);
 
 }  // namespace alex
 

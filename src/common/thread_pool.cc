@@ -1,6 +1,7 @@
 #include "common/thread_pool.h"
 
 #include <chrono>
+#include <utility>
 
 #include "obs/metrics.h"
 
@@ -19,6 +20,8 @@ struct PoolMetrics {
       "threadpool.task_wait_seconds");
   obs::Histogram& run_seconds = obs::MetricsRegistry::Global().histogram(
       "threadpool.task_run_seconds");
+  obs::Counter& task_exceptions = obs::MetricsRegistry::Global().counter(
+      "threadpool.task_exceptions");
 
   static PoolMetrics& Get() {
     static PoolMetrics* metrics = new PoolMetrics();
@@ -61,8 +64,13 @@ void ThreadPool::Submit(std::function<void()> task) {
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  all_done_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    all_done_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+    error = std::exchange(first_error_, nullptr);
+  }
+  if (error) std::rethrow_exception(error);
 }
 
 void ThreadPool::WorkerLoop() {
@@ -85,12 +93,19 @@ void ThreadPool::WorkerLoop() {
     const auto start = std::chrono::steady_clock::now();
     metrics.wait_seconds.Observe(
         std::chrono::duration<double>(start - task.enqueued).count());
-    task.fn();
+    std::exception_ptr error;
+    try {
+      task.fn();
+    } catch (...) {
+      error = std::current_exception();
+      metrics.task_exceptions.Add(1);
+    }
     metrics.run_seconds.Observe(
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
             .count());
     {
       std::lock_guard<std::mutex> lock(mu_);
+      if (error && !first_error_) first_error_ = error;
       --in_flight_;
       if (queue_.empty() && in_flight_ == 0) all_done_.notify_all();
     }

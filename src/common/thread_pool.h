@@ -5,6 +5,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -17,6 +18,13 @@ namespace alex {
 ///
 /// Tasks are void() callables. `Wait()` blocks until the queue drains and all
 /// in-flight tasks finish; the destructor joins all workers.
+///
+/// A throwing task never takes down the process: the worker catches the
+/// exception at the task boundary (otherwise the unwind would hit the worker
+/// loop and std::terminate, skipping the in-flight bookkeeping and wedging
+/// Wait()). The first captured exception is rethrown from the next Wait();
+/// later ones are counted in `threadpool.task_exceptions` and dropped.
+/// Remaining tasks still run either way.
 class ThreadPool {
  public:
   /// Creates a pool with `num_threads` workers (at least 1).
@@ -29,7 +37,9 @@ class ThreadPool {
   /// Enqueues a task. Safe to call from any thread, including workers.
   void Submit(std::function<void()> task);
 
-  /// Blocks until all submitted tasks have completed.
+  /// Blocks until all submitted tasks have completed. If any task threw
+  /// since the last Wait(), rethrows the first such exception (after the
+  /// drain, so the pool is quiescent and reusable when the caller catches).
   void Wait();
 
   size_t num_threads() const { return workers_.size(); }
@@ -50,6 +60,8 @@ class ThreadPool {
   std::deque<QueuedTask> queue_;
   size_t in_flight_ = 0;
   bool shutting_down_ = false;
+  /// First exception thrown by a task since the last Wait() (guarded by mu_).
+  std::exception_ptr first_error_;
   std::vector<std::thread> workers_;
 };
 

@@ -1,0 +1,66 @@
+#include "federation/circuit_breaker.h"
+
+namespace alex::fed {
+
+bool CircuitBreaker::AllowCall() {
+  switch (state_) {
+    case State::kClosed:
+      return true;
+    case State::kOpen:
+      if (clock_->NowSeconds() - opened_at_ >= config_.cooldown_seconds) {
+        state_ = State::kHalfOpen;
+        half_open_probe_in_flight_ = true;
+        return true;
+      }
+      return false;
+    case State::kHalfOpen:
+      // One probe at a time; reject until its outcome is recorded.
+      if (half_open_probe_in_flight_) return false;
+      half_open_probe_in_flight_ = true;
+      return true;
+  }
+  return true;
+}
+
+void CircuitBreaker::RecordSuccess() {
+  if (state_ == State::kHalfOpen) {
+    // Recovery confirmed: forget the failure history.
+    state_ = State::kClosed;
+    half_open_probe_in_flight_ = false;
+    outcomes_.clear();
+    failures_in_window_ = 0;
+    return;
+  }
+  RecordOutcome(/*failure=*/false);
+}
+
+void CircuitBreaker::RecordFailure() {
+  if (state_ == State::kHalfOpen) {
+    half_open_probe_in_flight_ = false;
+    TripOpen();
+    return;
+  }
+  RecordOutcome(/*failure=*/true);
+  if (state_ == State::kClosed && outcomes_.size() >= config_.min_calls) {
+    const double rate = static_cast<double>(failures_in_window_) /
+                        static_cast<double>(outcomes_.size());
+    if (rate >= config_.failure_rate_threshold) TripOpen();
+  }
+}
+
+void CircuitBreaker::RecordOutcome(bool failure) {
+  outcomes_.push_back(failure);
+  if (failure) ++failures_in_window_;
+  while (outcomes_.size() > config_.window) {
+    if (outcomes_.front()) --failures_in_window_;
+    outcomes_.pop_front();
+  }
+}
+
+void CircuitBreaker::TripOpen() {
+  state_ = State::kOpen;
+  opened_at_ = clock_->NowSeconds();
+  ++times_opened_;
+}
+
+}  // namespace alex::fed

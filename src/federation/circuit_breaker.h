@@ -1,0 +1,74 @@
+#ifndef ALEX_FEDERATION_CIRCUIT_BREAKER_H_
+#define ALEX_FEDERATION_CIRCUIT_BREAKER_H_
+
+#include <cstddef>
+#include <deque>
+
+#include "common/clock.h"
+
+namespace alex::fed {
+
+/// Tuning of one per-endpoint circuit breaker.
+struct CircuitBreakerConfig {
+  /// Rolling window of recent call outcomes the failure rate is computed
+  /// over (oldest outcomes fall off).
+  size_t window = 16;
+  /// Outcomes required in the window before the breaker may trip, so a
+  /// single early failure is not a 100% failure rate.
+  size_t min_calls = 4;
+  /// Trip open when failures/window >= this.
+  double failure_rate_threshold = 0.5;
+  /// Time spent open before one half-open probe is admitted.
+  double cooldown_seconds = 2.0;
+};
+
+/// Classic closed / open / half-open circuit breaker over a rolling outcome
+/// window (the Nygard "Release It!" state machine):
+///
+///   closed ──(failure rate over window >= threshold)──> open
+///   open ──(cooldown elapsed; admit ONE probe)──> half-open
+///   half-open ──(probe succeeds)──> closed (window cleared)
+///   half-open ──(probe fails)──> open (cooldown restarts)
+///
+/// While open, AllowCall() rejects instantly, converting a struggling
+/// endpoint's timeout storms into fast local failures. Time comes from the
+/// injected Clock, so tests and benches drive the cooldown virtually.
+/// Thread-compatible: callers serialize access (one query thread).
+class CircuitBreaker {
+ public:
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  /// `clock` is borrowed and must outlive the breaker.
+  CircuitBreaker(const CircuitBreakerConfig& config, const Clock* clock)
+      : config_(config), clock_(clock) {}
+
+  /// Admission check before each remote call. May transition open ->
+  /// half-open when the cooldown has elapsed. Returns false when the call
+  /// must be rejected locally.
+  bool AllowCall();
+
+  void RecordSuccess();
+  void RecordFailure();
+
+  State state() const { return state_; }
+
+  /// Number of closed/half-open -> open transitions so far.
+  size_t times_opened() const { return times_opened_; }
+
+ private:
+  void RecordOutcome(bool failure);
+  void TripOpen();
+
+  CircuitBreakerConfig config_;
+  const Clock* clock_;
+  State state_ = State::kClosed;
+  std::deque<bool> outcomes_;  // true = failure; bounded by config_.window.
+  size_t failures_in_window_ = 0;
+  double opened_at_ = 0.0;
+  bool half_open_probe_in_flight_ = false;
+  size_t times_opened_ = 0;
+};
+
+}  // namespace alex::fed
+
+#endif  // ALEX_FEDERATION_CIRCUIT_BREAKER_H_

@@ -1,0 +1,83 @@
+#include "federation/fault_injection.h"
+
+#include <algorithm>
+
+namespace alex::fed {
+
+FaultProfile FaultProfile::Healthy() { return FaultProfile{}; }
+
+FaultProfile FaultProfile::Slow() {
+  FaultProfile p;
+  p.name = "slow";
+  p.base_latency_seconds = 0.2;
+  p.latency_jitter_seconds = 0.3;
+  return p;
+}
+
+FaultProfile FaultProfile::Flaky() {
+  FaultProfile p;
+  p.name = "flaky";
+  p.base_latency_seconds = 0.02;
+  p.latency_jitter_seconds = 0.05;
+  p.error_rate = 0.35;
+  p.stall_rate = 0.10;
+  return p;
+}
+
+FaultProfile FaultProfile::Down() {
+  FaultProfile p;
+  p.name = "down";
+  p.down_after_calls = 0;
+  p.down_for_calls = kNoOutage;
+  return p;
+}
+
+FaultProfile FaultProfile::DownFor(size_t calls) {
+  FaultProfile p;
+  p.name = "down_for_" + std::to_string(calls);
+  p.down_after_calls = 0;
+  p.down_for_calls = calls;
+  return p;
+}
+
+FaultInjectedEndpoint::FaultInjectedEndpoint(const QueryEndpoint* inner,
+                                             FaultProfile profile,
+                                             uint64_t seed, Clock* clock)
+    : inner_(inner), profile_(std::move(profile)), clock_(clock), rng_(seed) {}
+
+Status FaultInjectedEndpoint::Probe(const PatternProbe& probe,
+                                    const CallOptions& opts,
+                                    const ProbeRowFn& fn) const {
+  const size_t call = calls_++;
+
+  // Hard outage: fail fast, like a refused connection.
+  if (profile_.down_after_calls != kNoOutage &&
+      call >= profile_.down_after_calls &&
+      (profile_.down_for_calls == kNoOutage ||
+       call < profile_.down_after_calls + profile_.down_for_calls)) {
+    clock_->SleepSeconds(
+        std::min(profile_.down_latency_seconds, opts.timeout_seconds));
+    return Status::Unavailable(name() + ": endpoint down (injected)");
+  }
+
+  double latency = profile_.base_latency_seconds;
+  if (profile_.latency_jitter_seconds > 0.0) {
+    latency += rng_.UniformDouble(0.0, profile_.latency_jitter_seconds);
+  }
+  if (profile_.stall_rate > 0.0 && rng_.Bernoulli(profile_.stall_rate)) {
+    latency = std::max(latency, profile_.stall_seconds);
+  }
+  if (latency > opts.timeout_seconds) {
+    // The caller gives up at its attempt timeout; the stalled call's
+    // remaining latency is not waited out.
+    clock_->SleepSeconds(opts.timeout_seconds);
+    return Status::DeadlineExceeded(name() + ": attempt timed out (injected)");
+  }
+  clock_->SleepSeconds(latency);
+  if (profile_.error_rate > 0.0 && rng_.Bernoulli(profile_.error_rate)) {
+    return Status::Unavailable(name() + ": transient error (injected)");
+  }
+  return inner_->Probe(probe, opts, fn);
+}
+
+}  // namespace alex::fed

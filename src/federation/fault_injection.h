@@ -1,0 +1,94 @@
+#ifndef ALEX_FEDERATION_FAULT_INJECTION_H_
+#define ALEX_FEDERATION_FAULT_INJECTION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/clock.h"
+#include "common/rng.h"
+#include "federation/endpoint.h"
+
+namespace alex::fed {
+
+/// "Never" / "forever" sentinel for call-count windows.
+inline constexpr size_t kNoOutage = SIZE_MAX;
+
+/// How one simulated remote endpoint misbehaves. Live LOD endpoints time
+/// out, throttle, and disappear mid-query (Umbrich et al., PAPERS.md); this
+/// profile reproduces those modes deterministically: every draw comes from
+/// a seeded Rng and all "time" flows through the injected virtual Clock, so
+/// a scenario is bit-for-bit reproducible and sleeps nothing in tests.
+struct FaultProfile {
+  std::string name = "healthy";
+
+  /// Latency added to every call: base plus a uniform draw in [0, jitter).
+  double base_latency_seconds = 0.0;
+  double latency_jitter_seconds = 0.0;
+
+  /// Probability a call fails transiently (kUnavailable) after its latency
+  /// has elapsed — a 5xx/throttle-style error worth retrying.
+  double error_rate = 0.0;
+
+  /// Probability a call stalls: it hangs for `stall_seconds` (or until the
+  /// caller's per-attempt timeout fires, whichever is sooner) and fails
+  /// with kDeadlineExceeded.
+  double stall_rate = 0.0;
+  double stall_seconds = 30.0;
+
+  /// Hard outage window, in call ordinals (0-based): calls in
+  /// [down_after_calls, down_after_calls + down_for_calls) fail fast with
+  /// kUnavailable. down_for_calls = kNoOutage means never recovers.
+  size_t down_after_calls = kNoOutage;
+  size_t down_for_calls = kNoOutage;
+  /// Latency of a refused connection during an outage.
+  double down_latency_seconds = 0.001;
+
+  /// A perfect endpoint (the default profile).
+  static FaultProfile Healthy();
+  /// High, jittery latency; no errors. Exercises timeouts and deadlines.
+  static FaultProfile Slow();
+  /// Moderate latency plus transient errors and occasional stalls.
+  /// Exercises retries and, under sustained pressure, the breaker.
+  static FaultProfile Flaky();
+  /// Hard outage from the first call, never recovers.
+  static FaultProfile Down();
+  /// Hard outage for the first `calls` calls, healthy afterwards.
+  /// Exercises breaker re-close after recovery.
+  static FaultProfile DownFor(size_t calls);
+};
+
+/// Deterministic fault-injection wrapper over any QueryEndpoint. Latency
+/// advances the virtual clock; failures are drawn from the seeded Rng
+/// before any inner data flows, so a failed probe never leaks rows and a
+/// retried attempt starts clean.
+class FaultInjectedEndpoint final : public QueryEndpoint {
+ public:
+  /// `inner` and `clock` are borrowed and must outlive the wrapper.
+  FaultInjectedEndpoint(const QueryEndpoint* inner, FaultProfile profile,
+                        uint64_t seed, Clock* clock);
+
+  const std::string& name() const override { return inner_->name(); }
+
+  /// Source selection is catalog metadata, not a remote call: unaffected.
+  bool CanAnswer(const sparql::TriplePatternAst& pattern) const override {
+    return inner_->CanAnswer(pattern);
+  }
+
+  Status Probe(const PatternProbe& probe, const CallOptions& opts,
+               const ProbeRowFn& fn) const override;
+
+  /// Calls attempted so far (including failed ones).
+  size_t calls() const { return calls_; }
+
+ private:
+  const QueryEndpoint* inner_;
+  FaultProfile profile_;
+  Clock* clock_;
+  mutable Rng rng_;
+  mutable size_t calls_ = 0;
+};
+
+}  // namespace alex::fed
+
+#endif  // ALEX_FEDERATION_FAULT_INJECTION_H_

@@ -35,39 +35,59 @@ struct Frame {
 
 class Execution {
  public:
-  Execution(const Endpoint* left, const Endpoint* right,
-            const LinkIndex* links, const SelectQuery& query)
-      : left_(left), right_(right), links_(links), query_(query) {}
+  Execution(const QueryEndpoint* left, const QueryEndpoint* right,
+            const LinkIndex* links, const SelectQuery& query,
+            const Clock* clock, double deadline_seconds)
+      : left_(left), right_(right), links_(links), query_(query),
+        clock_(clock) {
+    if (clock_ != nullptr && deadline_seconds < kNoTimeout) {
+      opts_.deadline_seconds = clock_->NowSeconds() + deadline_seconds;
+    }
+  }
 
   Result<FederatedResult> Run();
 
  private:
   /// sameAs-expanded substitutions for a bound term when probing `target`.
-  std::vector<Substitution> ExpandForEndpoint(const Term& term,
-                                              const Endpoint* target) const;
+  std::vector<Substitution> ExpandForEndpoint(
+      const Term& term, const QueryEndpoint* target) const;
 
   bool FiltersPass(const Frame& frame, const std::string& var) const;
 
-  /// Matches patterns[pi..]; returns false to stop (LIMIT reached).
+  /// Matches patterns[pi..]; returns false to stop (LIMIT reached, or the
+  /// query deadline expired).
   bool MatchFrom(size_t pi, Frame* frame);
 
   /// Matches one pattern against one endpoint; returns false to stop.
-  bool MatchAtEndpoint(size_t pi, const Endpoint* target, Frame* frame);
+  bool MatchAtEndpoint(size_t pi, const QueryEndpoint* target, Frame* frame);
 
   bool EmitSolution(const Frame& frame);
 
-  const Endpoint* left_;
-  const Endpoint* right_;
+  /// Degrades the query: records the probe failure against `target` and,
+  /// when the query deadline is exhausted, requests a stop.
+  void RecordProbeFailure(const QueryEndpoint* target, const Status& status);
+
+  /// True once the per-query deadline has passed.
+  bool DeadlineExpired() const {
+    return clock_ != nullptr &&
+           clock_->NowSeconds() >= opts_.deadline_seconds;
+  }
+
+  const QueryEndpoint* left_;
+  const QueryEndpoint* right_;
   const LinkIndex* links_;
   const SelectQuery& query_;
+  const Clock* clock_;
+  CallOptions opts_;
 
   std::vector<const TriplePatternAst*> ordered_;
   FederatedResult result_;
   std::unordered_set<std::string> distinct_seen_;
+  bool stop_ = false;  // Deadline expired; abandon enumeration.
 };
 
 std::vector<Substitution> Execution::ExpandForEndpoint(
-    const Term& term, const Endpoint* target) const {
+    const Term& term, const QueryEndpoint* target) const {
   std::vector<Substitution> subs;
   subs.push_back(Substitution{term, std::nullopt});
   if (!term.is_iri()) return subs;
@@ -117,10 +137,29 @@ bool Execution::EmitSolution(const Frame& frame) {
            result_.rows.size() >= *query_.limit);
 }
 
-bool Execution::MatchAtEndpoint(size_t pi, const Endpoint* target,
+void Execution::RecordProbeFailure(const QueryEndpoint* target,
+                                   const Status& status) {
+  result_.degraded = true;
+  const std::string& name = target->name();
+  for (EndpointError& err : result_.errors) {
+    if (err.endpoint == name) {
+      ++err.failed_probes;
+      if (DeadlineExpired()) stop_ = true;
+      return;
+    }
+  }
+  EndpointError err;
+  err.endpoint = name;
+  err.code = status.code();
+  err.message = status.message();
+  err.failed_probes = 1;
+  result_.errors.push_back(std::move(err));
+  if (DeadlineExpired()) stop_ = true;
+}
+
+bool Execution::MatchAtEndpoint(size_t pi, const QueryEndpoint* target,
                                 Frame* frame) {
   const TriplePatternAst& tp = *ordered_[pi];
-  const rdf::Dataset& ds = target->dataset();
 
   const TermOrVar* comps[3] = {&tp.subject, &tp.predicate, &tp.object};
 
@@ -154,52 +193,51 @@ bool Execution::MatchAtEndpoint(size_t pi, const Endpoint* target,
   for (size_t a = 0; a < ns; ++a) {
     for (size_t b = 0; b < np; ++b) {
       for (size_t c = 0; c < no; ++c) {
-        rdf::TriplePattern probe;
-        rdf::TermId* slots[3] = {&probe.subject, &probe.predicate,
+        PatternProbe probe;
+        const Term** slots[3] = {&probe.subject, &probe.predicate,
                                  &probe.object};
         const size_t idx[3] = {a, b, c};
         size_t links_added = 0;
-        bool resolvable = true;
-        for (int i = 0; i < 3 && resolvable; ++i) {
+        for (int i = 0; i < 3; ++i) {
           if (to_bind[i]) continue;
           const Substitution& sub = subs[i][idx[i]];
-          auto id = ds.dict().Lookup(sub.term);
-          if (!id.has_value()) {
-            resolvable = false;
-            break;
-          }
-          *slots[i] = *id;
+          *slots[i] = &sub.term;
           if (sub.link.has_value()) {
             frame->links_used.push_back(*sub.link);
             ++links_added;
           }
         }
         bool keep_going = true;
-        if (resolvable) {
-          ds.store().ForEachMatch(probe, [&](const rdf::Triple& t) {
-            const rdf::TermId ids[3] = {t.subject, t.predicate, t.object};
-            std::vector<std::string> bound_here;
-            bool consistent = true;
-            for (int i = 0; i < 3 && consistent; ++i) {
-              if (!to_bind[i]) continue;
-              const Term& value = ds.dict().term(ids[i]);
-              auto it = frame->binding.find(*to_bind[i]);
-              if (it != frame->binding.end()) {
-                // Repeated variable bound earlier in this same pattern.
-                consistent = (it->second == value);
-              } else {
-                frame->binding.emplace(*to_bind[i], value);
-                bound_here.push_back(*to_bind[i]);
-                consistent = FiltersPass(*frame, *to_bind[i]);
+        const Status st = target->Probe(
+            probe, opts_,
+            [&](const Term* s, const Term* p, const Term* o) {
+              const Term* values[3] = {s, p, o};
+              std::vector<std::string> bound_here;
+              bool consistent = true;
+              for (int i = 0; i < 3 && consistent; ++i) {
+                if (!to_bind[i]) continue;
+                const Term& value = *values[i];
+                auto it = frame->binding.find(*to_bind[i]);
+                if (it != frame->binding.end()) {
+                  // Repeated variable bound earlier in this same pattern.
+                  consistent = (it->second == value);
+                } else {
+                  frame->binding.emplace(*to_bind[i], value);
+                  bound_here.push_back(*to_bind[i]);
+                  consistent = FiltersPass(*frame, *to_bind[i]);
+                }
               }
-            }
-            if (consistent) keep_going = MatchFrom(pi + 1, frame);
-            for (const std::string& v : bound_here) frame->binding.erase(v);
-            return keep_going;
-          });
+              if (consistent) keep_going = MatchFrom(pi + 1, frame);
+              for (const std::string& v : bound_here) frame->binding.erase(v);
+              return keep_going;
+            });
+        if (!st.ok()) {
+          // Degrade: this endpoint's contribution to the pattern is lost,
+          // but the enumeration (and the other endpoint) continues.
+          RecordProbeFailure(target, st);
         }
         for (size_t k = 0; k < links_added; ++k) frame->links_used.pop_back();
-        if (!keep_going) return false;
+        if (!keep_going || stop_) return false;
       }
     }
   }
@@ -208,7 +246,8 @@ bool Execution::MatchAtEndpoint(size_t pi, const Endpoint* target,
 
 bool Execution::MatchFrom(size_t pi, Frame* frame) {
   if (pi == ordered_.size()) return EmitSolution(*frame);
-  for (const Endpoint* target : {left_, right_}) {
+  if (stop_) return false;
+  for (const QueryEndpoint* target : {left_, right_}) {
     if (!target->CanAnswer(*ordered_[pi])) continue;
     if (!MatchAtEndpoint(pi, target, frame)) return false;
   }
@@ -265,6 +304,16 @@ Result<FederatedResult> Execution::Run() {
 
   Frame frame;
   MatchFrom(0, &frame);
+  if (stop_) {
+    // The deadline expired mid-enumeration; surface it as a query-level
+    // error entry (the rows gathered so far are still returned).
+    result_.degraded = true;
+    EndpointError err;
+    err.endpoint = "query";
+    err.code = StatusCode::kDeadlineExceeded;
+    err.message = "query deadline expired during enumeration";
+    result_.errors.push_back(std::move(err));
+  }
 
   if (query_.order_by.has_value()) {
     const auto& vars = result_.variables;
@@ -294,9 +343,16 @@ Result<FederatedResult> Execution::Run() {
 
 }  // namespace
 
-FederatedEngine::FederatedEngine(const Endpoint* left, const Endpoint* right,
+FederatedEngine::FederatedEngine(const QueryEndpoint* left,
+                                 const QueryEndpoint* right,
                                  const LinkIndex* links)
     : left_(left), right_(right), links_(links) {}
+
+void FederatedEngine::SetQueryDeadline(const Clock* clock,
+                                       double deadline_seconds) {
+  clock_ = clock;
+  deadline_seconds_ = deadline_seconds;
+}
 
 Result<FederatedResult> FederatedEngine::Execute(
     const SelectQuery& query) const {
@@ -305,12 +361,16 @@ Result<FederatedResult> FederatedEngine::Execute(
   static obs::Counter& queries = registry.counter("fed.queries");
   static obs::Counter& rows = registry.counter("fed.rows");
   static obs::Counter& links_crossed = registry.counter("fed.links_crossed");
+  static obs::Counter& degraded_queries =
+      registry.counter("fed.degraded_queries");
+  static obs::Counter& endpoint_errors =
+      registry.counter("fed.endpoint_errors");
   static obs::Histogram& query_seconds =
       registry.histogram("fed.query_seconds");
 
   queries.Add(1);
   obs::ScopedTimer timer(query_seconds);
-  Execution exec(left_, right_, links_, query);
+  Execution exec(left_, right_, links_, query, clock_, deadline_seconds_);
   Result<FederatedResult> result = exec.Run();
   if (result.ok()) {
     rows.Add(result->rows.size());
@@ -319,6 +379,12 @@ Result<FederatedResult> FederatedEngine::Execute(
       crossed += row.links_used.size();
     }
     links_crossed.Add(crossed);
+    if (result->degraded) degraded_queries.Add(1);
+    size_t failed = 0;
+    for (const EndpointError& err : result->errors) {
+      failed += err.failed_probes;
+    }
+    endpoint_errors.Add(failed);
   }
   return result;
 }

@@ -4,7 +4,9 @@
 #include <string>
 #include <vector>
 
+#include "common/clock.h"
 #include "common/result.h"
+#include "common/retry.h"
 #include "federation/endpoint.h"
 #include "federation/link_index.h"
 #include "sparql/ast.h"
@@ -19,10 +21,26 @@ struct ProvenancedRow {
   std::vector<SameAsLink> links_used;
 };
 
+/// Why part of a federated answer is missing: one entry per endpoint that
+/// failed at least one probe (plus a synthetic "query" entry when the
+/// per-query deadline expired).
+struct EndpointError {
+  std::string endpoint;
+  StatusCode code = StatusCode::kUnavailable;
+  std::string message;        // First error message seen.
+  size_t failed_probes = 0;   // Probes this endpoint failed during the query.
+};
+
 /// Result of a federated query.
 struct FederatedResult {
   std::vector<std::string> variables;
   std::vector<ProvenancedRow> rows;
+  /// True when any probe failed or the query deadline expired. `rows` then
+  /// holds the answers obtainable from the surviving endpoints — always a
+  /// subset of the fault-free result, never fabricated — so callers (and
+  /// the ALEX feedback loop) can keep working with what arrived.
+  bool degraded = false;
+  std::vector<EndpointError> errors;
 
   size_t NumRows() const { return rows.size(); }
 };
@@ -35,13 +53,27 @@ struct FederatedResult {
 /// bound join variable holds an entity IRI, its owl:sameAs co-referents are
 /// substituted too, so answers can span datasets; every link crossed this
 /// way is recorded in the row's provenance.
+///
+/// Fault tolerance: endpoints are reached only through QueryEndpoint::Probe,
+/// so faults, retries, and circuit breaking live in the endpoint stack (see
+/// FaultInjectedEndpoint / ResilientEndpoint). A failed probe degrades the
+/// query — the failing endpoint's contribution is skipped, the error is
+/// recorded, rows from surviving endpoints still flow — instead of failing
+/// it. With plain in-process Endpoints nothing can fail and results are
+/// identical to the pre-fault-tolerance engine, bit for bit.
 class FederatedEngine {
  public:
   /// Exactly two endpoints (the paper links dataset pairs); `links` maps
   /// entities of endpoints[0] to entities of endpoints[1]. Pointers are
   /// borrowed and must outlive the engine.
-  FederatedEngine(const Endpoint* left, const Endpoint* right,
+  FederatedEngine(const QueryEndpoint* left, const QueryEndpoint* right,
                   const LinkIndex* links);
+
+  /// Enables a per-query deadline: Execute() stops enumerating (and marks
+  /// the result degraded) once `clock` advances `deadline_seconds` past the
+  /// query start. `clock` is borrowed; pass the same clock the endpoint
+  /// stack uses so injected latency counts against the deadline.
+  void SetQueryDeadline(const Clock* clock, double deadline_seconds);
 
   /// Executes a parsed SELECT query across the federation.
   Result<FederatedResult> Execute(const sparql::SelectQuery& query) const;
@@ -50,9 +82,11 @@ class FederatedEngine {
   Result<FederatedResult> ExecuteText(std::string_view query_text) const;
 
  private:
-  const Endpoint* left_;
-  const Endpoint* right_;
+  const QueryEndpoint* left_;
+  const QueryEndpoint* right_;
   const LinkIndex* links_;
+  const Clock* clock_ = nullptr;
+  double deadline_seconds_ = kNoTimeout;
 };
 
 }  // namespace alex::fed

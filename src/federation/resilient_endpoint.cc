@@ -1,0 +1,87 @@
+#include "federation/resilient_endpoint.h"
+
+#include <algorithm>
+
+#include "obs/metrics.h"
+
+namespace alex::fed {
+namespace {
+
+struct ResilienceMetrics {
+  obs::Counter& retries =
+      obs::MetricsRegistry::Global().counter("fed.retries");
+  obs::Counter& timeouts =
+      obs::MetricsRegistry::Global().counter("fed.timeouts");
+  obs::Counter& breaker_open =
+      obs::MetricsRegistry::Global().counter("fed.breaker_open");
+  obs::Counter& breaker_trips =
+      obs::MetricsRegistry::Global().counter("fed.breaker_trips");
+  obs::Histogram& attempt_seconds =
+      obs::MetricsRegistry::Global().histogram("fed.attempt_seconds");
+
+  static ResilienceMetrics& Get() {
+    static ResilienceMetrics* metrics = new ResilienceMetrics();
+    return *metrics;
+  }
+};
+
+}  // namespace
+
+ResilientEndpoint::ResilientEndpoint(const QueryEndpoint* inner,
+                                     RetryPolicy retry,
+                                     CircuitBreakerConfig breaker,
+                                     uint64_t seed, Clock* clock)
+    : inner_(inner),
+      retry_(retry),
+      breaker_(breaker, clock),
+      rng_(seed),
+      clock_(clock) {}
+
+Status ResilientEndpoint::Probe(const PatternProbe& probe,
+                                const CallOptions& opts,
+                                const ProbeRowFn& fn) const {
+  ResilienceMetrics& metrics = ResilienceMetrics::Get();
+  const int max_attempts = std::max(retry_.max_attempts, 1);
+  Status last = Status::Unavailable(name() + ": no attempt made");
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    const double now = clock_->NowSeconds();
+    if (now >= opts.deadline_seconds) {
+      return Status::DeadlineExceeded(name() + ": query deadline exhausted");
+    }
+    if (!breaker_.AllowCall()) {
+      metrics.breaker_open.Add(1);
+      return Status::Unavailable(name() + ": circuit breaker open");
+    }
+    CallOptions attempt_opts = opts;
+    attempt_opts.timeout_seconds = std::min(
+        retry_.attempt_timeout_seconds, opts.deadline_seconds - now);
+
+    size_t rows_streamed = 0;
+    auto counting_fn = [&](const rdf::Term* s, const rdf::Term* p,
+                           const rdf::Term* o) {
+      ++rows_streamed;
+      return fn(s, p, o);
+    };
+    const size_t opened_before = breaker_.times_opened();
+    const Status st = inner_->Probe(probe, attempt_opts, counting_fn);
+    metrics.attempt_seconds.Observe(clock_->NowSeconds() - now);
+
+    if (st.ok()) {
+      breaker_.RecordSuccess();
+      return st;
+    }
+    breaker_.RecordFailure();
+    if (breaker_.times_opened() > opened_before) metrics.breaker_trips.Add(1);
+    if (st.code() == StatusCode::kDeadlineExceeded) metrics.timeouts.Add(1);
+    last = st;
+    if (rows_streamed > 0) return st;  // Mid-stream failure: never replay.
+    if (attempt == max_attempts) return st;
+    const double backoff = retry_.BackoffSeconds(attempt, &rng_);
+    if (clock_->NowSeconds() + backoff >= opts.deadline_seconds) return st;
+    clock_->SleepSeconds(backoff);
+    metrics.retries.Add(1);
+  }
+  return last;
+}
+
+}  // namespace alex::fed

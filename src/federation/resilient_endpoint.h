@@ -1,0 +1,64 @@
+#ifndef ALEX_FEDERATION_RESILIENT_ENDPOINT_H_
+#define ALEX_FEDERATION_RESILIENT_ENDPOINT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/clock.h"
+#include "common/retry.h"
+#include "common/rng.h"
+#include "federation/circuit_breaker.h"
+#include "federation/endpoint.h"
+
+namespace alex::fed {
+
+/// Fault-tolerant decorator over any QueryEndpoint: retries transient
+/// failures with capped exponential backoff + jitter, enforces a
+/// per-attempt timeout and the caller's per-query deadline, and fronts the
+/// endpoint with a circuit breaker so a dead endpoint costs one fast local
+/// rejection instead of a full retry ladder per probe.
+///
+/// Ordering of concerns per attempt:
+///   deadline check -> breaker admission -> attempt (budgeted) ->
+///   record outcome -> backoff (clock-driven) -> retry.
+///
+/// A failure that arrives after rows were already streamed to the caller is
+/// returned as-is, never retried: replaying the probe would duplicate rows
+/// in the caller's join. (The fault injector fails before delegating, so
+/// with it this path cannot trigger; it guards real transports.)
+///
+/// Metrics: fed.retries, fed.timeouts, fed.breaker_open (fast-fails while
+/// open), fed.breaker_trips, and the fed.attempt_seconds histogram of
+/// per-attempt virtual latency.
+///
+/// Thread-compatible, not thread-safe (Rng + breaker state); use one
+/// instance per query thread.
+class ResilientEndpoint final : public QueryEndpoint {
+ public:
+  /// `inner` and `clock` are borrowed and must outlive the wrapper. `seed`
+  /// feeds the backoff jitter stream.
+  ResilientEndpoint(const QueryEndpoint* inner, RetryPolicy retry,
+                    CircuitBreakerConfig breaker, uint64_t seed, Clock* clock);
+
+  const std::string& name() const override { return inner_->name(); }
+
+  bool CanAnswer(const sparql::TriplePatternAst& pattern) const override {
+    return inner_->CanAnswer(pattern);
+  }
+
+  Status Probe(const PatternProbe& probe, const CallOptions& opts,
+               const ProbeRowFn& fn) const override;
+
+  const CircuitBreaker& breaker() const { return breaker_; }
+
+ private:
+  const QueryEndpoint* inner_;
+  RetryPolicy retry_;
+  mutable CircuitBreaker breaker_;
+  mutable Rng rng_;
+  Clock* clock_;
+};
+
+}  // namespace alex::fed
+
+#endif  // ALEX_FEDERATION_RESILIENT_ENDPOINT_H_

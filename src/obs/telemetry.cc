@@ -3,6 +3,8 @@
 #include <cmath>
 #include <iomanip>
 
+#include "common/string_util.h"
+
 namespace alex::obs {
 namespace {
 
@@ -45,7 +47,8 @@ void WriteMetricsJsonFields(const MetricsSnapshot& snapshot, std::ostream& os,
   os << pad << "\"counters\": {";
   bool first = true;
   for (const auto& [name, value] : snapshot.counters) {
-    os << (first ? "\n" : ",\n") << pad1 << "\"" << name << "\": " << value;
+    os << (first ? "\n" : ",\n") << pad1 << "\"" << EscapeJson(name)
+       << "\": " << value;
     first = false;
   }
   os << (first ? "" : "\n" + pad) << "},\n";
@@ -53,10 +56,12 @@ void WriteMetricsJsonFields(const MetricsSnapshot& snapshot, std::ostream& os,
   os << pad << "\"gauges\": {";
   first = true;
   for (const auto& [name, value] : snapshot.gauges) {
-    os << (first ? "\n" : ",\n") << pad1 << "\"" << name << "\": " << value;
+    os << (first ? "\n" : ",\n") << pad1 << "\"" << EscapeJson(name)
+       << "\": " << value;
     auto max_it = snapshot.gauge_maxes.find(name);
     if (max_it != snapshot.gauge_maxes.end()) {
-      os << ",\n" << pad1 << "\"" << name << ".max\": " << max_it->second;
+      os << ",\n" << pad1 << "\"" << EscapeJson(name)
+         << ".max\": " << max_it->second;
     }
     first = false;
   }
@@ -65,7 +70,7 @@ void WriteMetricsJsonFields(const MetricsSnapshot& snapshot, std::ostream& os,
   os << pad << "\"histograms\": {";
   first = true;
   for (const auto& [name, hist] : snapshot.histograms) {
-    os << (first ? "\n" : ",\n") << pad1 << "\"" << name
+    os << (first ? "\n" : ",\n") << pad1 << "\"" << EscapeJson(name)
        << "\": {\"count\": " << hist.count << ", \"sum_seconds\": ";
     WriteDouble(os, hist.sum);
     os << ", \"mean_seconds\": ";
@@ -101,7 +106,8 @@ void RunTelemetry::WriteJson(std::ostream& os, int indent) const {
   os << pad1 << "\"phases\": {";
   bool first = true;
   for (const auto& [name, seconds] : phases) {
-    os << (first ? "\n" : ",\n") << pad2 << "\"" << name << "\": ";
+    os << (first ? "\n" : ",\n") << pad2 << "\"" << EscapeJson(name)
+       << "\": ";
     WriteDouble(os, seconds);
     first = false;
   }

@@ -82,6 +82,18 @@ Result<LinkSpec> ParseLinkSpec(std::string_view text) {
       return Status::ParseError("link spec line " + std::to_string(line_no) +
                                 ": " + msg);
     };
+    // Numbers are validated strictly: strtod with a discarded end pointer
+    // would silently read "0.9x" (or pure garbage) as a number, turning a
+    // typo in a spec file into a 0.0 weight/threshold.
+    auto parse_number = [&](const std::string& token, const char* what,
+                            double* out) -> Status {
+      std::optional<double> value = ParseDouble(token);
+      if (!value.has_value()) {
+        return fail(std::string("invalid ") + what + " '" + token + "'");
+      }
+      *out = *value;
+      return Status::OK();
+    };
     if (tokens[0] == "compare") {
       if (tokens.size() < 5 || tokens[3] != "using") {
         return fail("expected: compare <left> <right> using <metric>");
@@ -90,8 +102,8 @@ Result<LinkSpec> ParseLinkSpec(std::string_view text) {
       cmp.left_predicate = tokens[1];
       cmp.right_predicate = tokens[2];
       ALEX_ASSIGN_OR_RETURN(cmp.metric, ParseMetric(tokens[4]));
-      if (tokens.size() >= 7 && tokens[5] == "weight") {
-        cmp.weight = std::strtod(tokens[6].c_str(), nullptr);
+      if (tokens.size() == 7 && tokens[5] == "weight") {
+        ALEX_RETURN_NOT_OK(parse_number(tokens[6], "weight", &cmp.weight));
         if (cmp.weight <= 0.0) return fail("weight must be positive");
       } else if (tokens.size() != 5) {
         return fail("trailing tokens after metric");
@@ -105,7 +117,8 @@ Result<LinkSpec> ParseLinkSpec(std::string_view text) {
       else return fail("unknown aggregation '" + tokens[1] + "'");
     } else if (tokens[0] == "threshold") {
       if (tokens.size() != 2) return fail("expected: threshold <value>");
-      spec.threshold = std::strtod(tokens[1].c_str(), nullptr);
+      ALEX_RETURN_NOT_OK(
+          parse_number(tokens[1], "threshold", &spec.threshold));
       if (spec.threshold <= 0.0 || spec.threshold > 1.0) {
         return fail("threshold must be in (0, 1]");
       }

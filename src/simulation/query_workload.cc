@@ -35,6 +35,36 @@ FederatedWorkload MakeFederatedWorkload(const datagen::GeneratedPair& pair,
   return workload;
 }
 
+WorkloadRunStats ExecuteFederatedWorkload(const fed::FederatedEngine& engine,
+                                          const FederatedWorkload& workload,
+                                          Clock* clock,
+                                          double think_seconds) {
+  WorkloadRunStats stats;
+  stats.total = workload.queries.size();
+  for (const std::string& query : workload.queries) {
+    // Inter-query think time: without it, a burst of back-to-back queries
+    // holds virtual time still whenever every probe fast-fails, so breaker
+    // cooldowns can never elapse mid-workload.
+    if (clock != nullptr && think_seconds > 0.0) {
+      clock->SleepSeconds(think_seconds);
+    }
+    auto result = engine.ExecuteText(query);
+    if (!result.ok()) {
+      ++stats.failed;
+      continue;
+    }
+    if (result->degraded) ++stats.degraded;
+    if (result->NumRows() > 0) ++stats.answered;
+    stats.rows += result->NumRows();
+    for (const fed::ProvenancedRow& row : result->rows) {
+      stats.links_observed.insert(stats.links_observed.end(),
+                                  row.links_used.begin(),
+                                  row.links_used.end());
+    }
+  }
+  return stats;
+}
+
 fed::LinkIndex LinksFromPairs(
     const datagen::GeneratedPair& pair,
     const std::vector<feedback::PairKey>& pair_keys) {

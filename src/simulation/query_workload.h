@@ -4,7 +4,9 @@
 #include <string>
 #include <vector>
 
+#include "common/clock.h"
 #include "datagen/generator.h"
+#include "federation/federated_engine.h"
 #include "federation/link_index.h"
 
 namespace alex::simulation {
@@ -29,6 +31,32 @@ FederatedWorkload MakeFederatedWorkload(const datagen::GeneratedPair& pair,
 fed::LinkIndex LinksFromPairs(
     const datagen::GeneratedPair& pair,
     const std::vector<feedback::PairKey>& pair_keys);
+
+/// Fault-tolerant outcome of one workload execution. Degraded queries are
+/// first-class: their rows (and the links those rows crossed) still count,
+/// so the feedback loop keeps learning from partial answers instead of
+/// stalling whenever an endpoint misbehaves.
+struct WorkloadRunStats {
+  size_t total = 0;
+  size_t answered = 0;   // Queries that returned at least one row.
+  size_t degraded = 0;   // Queries flagged degraded (partial answer).
+  size_t failed = 0;     // Queries that returned an error outright.
+  size_t rows = 0;
+  /// Every sameAs link crossed by a returned row (with repeats): the
+  /// provenance stream ALEX's feedback loop consumes (Section 3.2).
+  std::vector<fed::SameAsLink> links_observed;
+};
+
+/// Executes every query of the workload against `engine`, tolerating
+/// per-query failures and collecting feedback provenance from whatever rows
+/// arrived. Deterministic given a deterministic engine/endpoint stack.
+/// When `clock` is set, `think_seconds` of client think time elapse before
+/// each query — the inter-arrival gap that lets circuit-breaker cooldowns
+/// run down between queries in simulated scenarios.
+WorkloadRunStats ExecuteFederatedWorkload(const fed::FederatedEngine& engine,
+                                          const FederatedWorkload& workload,
+                                          Clock* clock = nullptr,
+                                          double think_seconds = 0.0);
 
 }  // namespace alex::simulation
 

@@ -57,6 +57,29 @@ TEST(LinkSpecParseTest, Errors) {
   EXPECT_NE(err.status().message().find("line 2"), std::string::npos);
 }
 
+TEST(LinkSpecParseTest, CorruptNumbersAreParseErrors) {
+  // strtod with a discarded end pointer used to read "0.9x" as 0.9 and
+  // "abc" as 0.0 — a typo'd spec silently became a different spec. Each of
+  // these must now fail, naming the line and the offending token.
+  for (const char* bad : {"0.9x", "abc", "1e", ".", "nan", "inf", "1e999",
+                          "--1"}) {
+    auto spec = ParseLinkSpec(std::string("compare a b using exact\n") +
+                              "threshold " + bad + "\n");
+    ASSERT_FALSE(spec.ok()) << "threshold '" << bad << "' must not parse";
+    EXPECT_NE(spec.status().message().find("line 2"), std::string::npos)
+        << spec.status();
+    EXPECT_NE(spec.status().message().find(bad), std::string::npos)
+        << spec.status();
+  }
+  auto weight = ParseLinkSpec("compare a b using exact weight 2,5\n");
+  ASSERT_FALSE(weight.ok());
+  EXPECT_NE(weight.status().message().find("weight"), std::string::npos);
+  EXPECT_NE(weight.status().message().find("2,5"), std::string::npos);
+  // Tokens after the weight are trailing garbage, not silently ignored.
+  EXPECT_FALSE(
+      ParseLinkSpec("compare a b using exact weight 2 extra\n").ok());
+}
+
 class LinkSpecRunTest : public ::testing::Test {
  protected:
   void SetUp() override {

@@ -242,5 +242,36 @@ TEST(RunTelemetryTest, JsonAndCsvCarryPhasesAndMetrics) {
   EXPECT_NE(csv.str().find("phase,build_space,"), std::string::npos);
 }
 
+TEST(RunTelemetryTest, HostileNamesAreEscapedInJson) {
+  // Metric and phase names flow into JSON keys verbatim-ish; a name with a
+  // quote or newline used to produce unparseable output. Every key now goes
+  // through EscapeJson.
+  RunTelemetry telemetry;
+  telemetry.AddPhase("phase \"zero\"\nline2", 1.0);
+  telemetry.metrics.counters["evil\"name\\with\tstuff"] = 7;
+  telemetry.metrics.gauges["g\"auge"] = 1;
+  telemetry.metrics.gauge_maxes["g\"auge"] = 2;
+  HistogramSnapshot h;
+  h.counts = {1};
+  h.count = 1;
+  h.sum = 0.5;
+  telemetry.metrics.histograms["h\"ist"] = h;
+
+  std::ostringstream json;
+  telemetry.WriteJson(json);
+  const std::string text = json.str();
+  EXPECT_NE(text.find("\"phase \\\"zero\\\"\\nline2\""), std::string::npos);
+  EXPECT_NE(text.find("\"evil\\\"name\\\\with\\tstuff\": 7"),
+            std::string::npos);
+  EXPECT_NE(text.find("\"g\\\"auge\": 1"), std::string::npos);
+  EXPECT_NE(text.find("\"g\\\"auge.max\": 2"), std::string::npos);
+  EXPECT_NE(text.find("\"h\\\"ist\""), std::string::npos);
+  // No raw control characters survive anywhere in the document.
+  for (char c : text) {
+    EXPECT_TRUE(static_cast<unsigned char>(c) >= 0x20 || c == '\n')
+        << "raw control byte in JSON output";
+  }
+}
+
 }  // namespace
 }  // namespace alex::obs

@@ -1,0 +1,180 @@
+// RetryPolicy backoff, SimClock, and CircuitBreaker unit tests. Everything
+// here is deterministic and virtual-time-driven: no test sleeps.
+
+#include "common/retry.h"
+
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+#include "common/rng.h"
+#include "federation/circuit_breaker.h"
+
+namespace alex {
+namespace {
+
+TEST(RetryPolicyTest, BackoffGrowsExponentiallyWithoutJitter) {
+  RetryPolicy policy;
+  policy.initial_backoff_seconds = 0.1;
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff_seconds = 10.0;
+  policy.jitter_fraction = 0.0;
+  EXPECT_DOUBLE_EQ(policy.BackoffSeconds(1, nullptr), 0.1);
+  EXPECT_DOUBLE_EQ(policy.BackoffSeconds(2, nullptr), 0.2);
+  EXPECT_DOUBLE_EQ(policy.BackoffSeconds(3, nullptr), 0.4);
+  EXPECT_DOUBLE_EQ(policy.BackoffSeconds(4, nullptr), 0.8);
+}
+
+TEST(RetryPolicyTest, BackoffIsCapped) {
+  RetryPolicy policy;
+  policy.initial_backoff_seconds = 1.0;
+  policy.backoff_multiplier = 10.0;
+  policy.max_backoff_seconds = 5.0;
+  policy.jitter_fraction = 0.0;
+  EXPECT_DOUBLE_EQ(policy.BackoffSeconds(2, nullptr), 5.0);
+  EXPECT_DOUBLE_EQ(policy.BackoffSeconds(50, nullptr), 5.0);  // No overflow.
+}
+
+TEST(RetryPolicyTest, JitterIsBoundedAndDeterministic) {
+  RetryPolicy policy;
+  policy.initial_backoff_seconds = 1.0;
+  policy.backoff_multiplier = 1.0;
+  policy.jitter_fraction = 0.25;
+  Rng rng_a(99);
+  Rng rng_b(99);
+  for (int i = 0; i < 100; ++i) {
+    const double a = policy.BackoffSeconds(1, &rng_a);
+    EXPECT_GE(a, 0.75);
+    EXPECT_LT(a, 1.25);
+    // Same seed, same draw sequence: bit-for-bit reproducible.
+    EXPECT_DOUBLE_EQ(a, policy.BackoffSeconds(1, &rng_b));
+  }
+}
+
+TEST(RetryPolicyTest, ZeroFailuresClampedToOne) {
+  RetryPolicy policy;
+  policy.initial_backoff_seconds = 0.1;
+  policy.jitter_fraction = 0.0;
+  EXPECT_DOUBLE_EQ(policy.BackoffSeconds(0, nullptr),
+                   policy.BackoffSeconds(1, nullptr));
+}
+
+TEST(SimClockTest, SleepAdvancesVirtualTimeOnly) {
+  SimClock clock;
+  EXPECT_DOUBLE_EQ(clock.NowSeconds(), 0.0);
+  clock.SleepSeconds(30.0);  // Would be a real half-minute on SteadyClock.
+  EXPECT_DOUBLE_EQ(clock.NowSeconds(), 30.0);
+  clock.SleepSeconds(-5.0);  // Negative sleeps are no-ops, not time travel.
+  clock.SleepSeconds(0.0);
+  EXPECT_DOUBLE_EQ(clock.NowSeconds(), 30.0);
+  clock.AdvanceSeconds(0.5);
+  EXPECT_DOUBLE_EQ(clock.NowSeconds(), 30.5);
+}
+
+class CircuitBreakerTest : public ::testing::Test {
+ protected:
+  fed::CircuitBreakerConfig Config() {
+    fed::CircuitBreakerConfig config;
+    config.window = 8;
+    config.min_calls = 4;
+    config.failure_rate_threshold = 0.5;
+    config.cooldown_seconds = 2.0;
+    return config;
+  }
+
+  SimClock clock_;
+};
+
+TEST_F(CircuitBreakerTest, StaysClosedBelowThreshold) {
+  fed::CircuitBreaker breaker(Config(), &clock_);
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(breaker.AllowCall());
+    // 1-in-4 failures: 25% < the 50% threshold.
+    if (i % 4 == 0) breaker.RecordFailure();
+    else breaker.RecordSuccess();
+  }
+  EXPECT_EQ(breaker.state(), fed::CircuitBreaker::State::kClosed);
+  EXPECT_EQ(breaker.times_opened(), 0u);
+}
+
+TEST_F(CircuitBreakerTest, SingleEarlyFailureDoesNotTrip) {
+  // min_calls guards against a 1/1 = 100% failure rate on the first call.
+  fed::CircuitBreaker breaker(Config(), &clock_);
+  ASSERT_TRUE(breaker.AllowCall());
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), fed::CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(breaker.AllowCall());
+}
+
+TEST_F(CircuitBreakerTest, TripsOpenAndRejectsFast) {
+  fed::CircuitBreaker breaker(Config(), &clock_);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(breaker.AllowCall());
+    breaker.RecordFailure();
+  }
+  EXPECT_EQ(breaker.state(), fed::CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.times_opened(), 1u);
+  // While open and inside the cooldown, every admission is rejected.
+  clock_.AdvanceSeconds(1.0);
+  EXPECT_FALSE(breaker.AllowCall());
+  EXPECT_FALSE(breaker.AllowCall());
+}
+
+TEST_F(CircuitBreakerTest, HalfOpenAdmitsOneProbeThenRecloses) {
+  fed::CircuitBreaker breaker(Config(), &clock_);
+  for (int i = 0; i < 4; ++i) {
+    breaker.AllowCall();
+    breaker.RecordFailure();
+  }
+  ASSERT_EQ(breaker.state(), fed::CircuitBreaker::State::kOpen);
+  clock_.AdvanceSeconds(2.0);  // Cooldown elapses.
+  EXPECT_TRUE(breaker.AllowCall());  // The single half-open probe.
+  EXPECT_EQ(breaker.state(), fed::CircuitBreaker::State::kHalfOpen);
+  EXPECT_FALSE(breaker.AllowCall());  // Concurrent second probe rejected.
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.state(), fed::CircuitBreaker::State::kClosed);
+  // The window was cleared: the old failures don't instantly re-trip it.
+  ASSERT_TRUE(breaker.AllowCall());
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), fed::CircuitBreaker::State::kClosed);
+}
+
+TEST_F(CircuitBreakerTest, HalfOpenFailureReopensAndRestartsCooldown) {
+  fed::CircuitBreaker breaker(Config(), &clock_);
+  for (int i = 0; i < 4; ++i) {
+    breaker.AllowCall();
+    breaker.RecordFailure();
+  }
+  clock_.AdvanceSeconds(2.0);
+  ASSERT_TRUE(breaker.AllowCall());  // Half-open probe...
+  breaker.RecordFailure();           // ...fails.
+  EXPECT_EQ(breaker.state(), fed::CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.times_opened(), 2u);
+  clock_.AdvanceSeconds(1.0);        // Cooldown restarted: not elapsed yet.
+  EXPECT_FALSE(breaker.AllowCall());
+  clock_.AdvanceSeconds(1.0);
+  EXPECT_TRUE(breaker.AllowCall());  // New half-open probe after the restart.
+}
+
+TEST_F(CircuitBreakerTest, WindowIsRolling) {
+  // Old failures fall out of the window as successes arrive, so a burst of
+  // failures long ago cannot trip the breaker now.
+  fed::CircuitBreakerConfig config = Config();
+  config.window = 4;
+  fed::CircuitBreaker breaker(config, &clock_);
+  for (int i = 0; i < 3; ++i) {
+    breaker.AllowCall();
+    breaker.RecordFailure();
+  }
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(breaker.AllowCall());
+    breaker.RecordSuccess();
+  }
+  EXPECT_EQ(breaker.state(), fed::CircuitBreaker::State::kClosed);
+  // Window now holds 4 successes; one failure is a 25% rate — still closed.
+  breaker.AllowCall();
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), fed::CircuitBreaker::State::kClosed);
+}
+
+}  // namespace
+}  // namespace alex

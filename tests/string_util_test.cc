@@ -56,6 +56,50 @@ TEST(StringUtilTest, StartsEndsWith) {
   EXPECT_TRUE(EndsWith("x", ""));
 }
 
+TEST(StringUtilTest, EscapeJsonHostileStrings) {
+  EXPECT_EQ(EscapeJson("plain name-42"), "plain name-42");
+  EXPECT_EQ(EscapeJson("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(EscapeJson("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(EscapeJson("line\nbreak\ttab\rret"),
+            "line\\nbreak\\ttab\\rret");
+  EXPECT_EQ(EscapeJson(std::string("nul\0byte", 8)), "nul\\u0000byte");
+  EXPECT_EQ(EscapeJson("\x01\x1f"), "\\u0001\\u001f");
+  EXPECT_EQ(EscapeJson("\b\f"), "\\b\\f");
+  // Non-ASCII bytes (UTF-8 continuation etc.) pass through untouched.
+  EXPECT_EQ(EscapeJson("café"), "café");
+  EXPECT_EQ(EscapeJson(""), "");
+}
+
+TEST(StringUtilTest, ParseDoubleStrict) {
+  EXPECT_EQ(ParseDouble("0.9"), 0.9);
+  EXPECT_EQ(ParseDouble("-1.5e2"), -150.0);
+  EXPECT_EQ(ParseDouble("42"), 42.0);
+  // Partial consumption, garbage, and non-finite values are all rejected —
+  // the failure modes a discarded strtod end pointer let through.
+  EXPECT_FALSE(ParseDouble("0.9x").has_value());
+  EXPECT_FALSE(ParseDouble("abc").has_value());
+  EXPECT_FALSE(ParseDouble("").has_value());
+  EXPECT_FALSE(ParseDouble("1e").has_value());
+  EXPECT_FALSE(ParseDouble(" 1").has_value());
+  EXPECT_FALSE(ParseDouble("1 ").has_value());
+  EXPECT_FALSE(ParseDouble("nan").has_value());
+  EXPECT_FALSE(ParseDouble("inf").has_value());
+  EXPECT_FALSE(ParseDouble("1e999").has_value());
+}
+
+TEST(StringUtilTest, ParseUint64Strict) {
+  EXPECT_EQ(ParseUint64("0"), 0u);
+  EXPECT_EQ(ParseUint64("42"), 42u);
+  EXPECT_EQ(ParseUint64("18446744073709551615"), UINT64_MAX);
+  EXPECT_FALSE(ParseUint64("").has_value());
+  EXPECT_FALSE(ParseUint64("-1").has_value());
+  EXPECT_FALSE(ParseUint64("+1").has_value());
+  EXPECT_FALSE(ParseUint64("1O").has_value());  // The classic typo.
+  EXPECT_FALSE(ParseUint64("1.5").has_value());
+  EXPECT_FALSE(ParseUint64(" 7").has_value());
+  EXPECT_FALSE(ParseUint64("18446744073709551616").has_value());  // Overflow.
+}
+
 TEST(StringUtilTest, WordTokensLowercasesAndSplitsOnNonAlnum) {
   EXPECT_EQ(WordTokens("LeBron James"),
             (std::vector<std::string>{"lebron", "james"}));

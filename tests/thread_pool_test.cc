@@ -2,6 +2,8 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -69,6 +71,57 @@ TEST(ThreadPoolTest, ParallelForZeroIterations) {
   ThreadPool pool(2);
   ParallelFor(&pool, 0, [](size_t) { FAIL() << "must not be called"; });
   SUCCEED();
+}
+
+TEST(ThreadPoolTest, ThrowingTaskRethrownFromWait) {
+  // A task exception used to escape WorkerLoop and std::terminate the whole
+  // process (with in_flight_ left dangling). It must instead surface from
+  // Wait() on the submitting thread.
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 10; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Submit([] { throw std::runtime_error("task boom"); });
+  for (int i = 0; i < 10; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  try {
+    pool.Wait();
+    FAIL() << "Wait() must rethrow the task exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_EQ(std::string(e.what()), "task boom");
+  }
+  // Every non-throwing task still ran: the worker decremented in_flight_ for
+  // the throwing task too, so Wait() was able to drain.
+  EXPECT_EQ(counter.load(), 20);
+}
+
+TEST(ThreadPoolTest, FirstOfManyExceptionsWins) {
+  ThreadPool pool(4);
+  std::atomic<int> throws{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.Submit([&throws] {
+      throws.fetch_add(1);
+      throw std::runtime_error("boom");
+    });
+  }
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  EXPECT_EQ(throws.load(), 8);  // All tasks ran despite the failures.
+}
+
+TEST(ThreadPoolTest, PoolUsableAfterTaskException) {
+  // The error slot is cleared by the Wait() that reports it; the next cycle
+  // starts clean.
+  ThreadPool pool(2);
+  pool.Submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 25; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();  // Must neither hang nor rethrow the stale exception.
+  EXPECT_EQ(counter.load(), 25);
 }
 
 TEST(ThreadPoolTest, DestructorJoinsCleanly) {
