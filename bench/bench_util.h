@@ -158,6 +158,18 @@ class TelemetrySidecar {
     telemetry_.AddPhase(name, seconds);
   }
 
+  /// Attaches one bench-level result field to the sidecar (emitted under
+  /// "fields"): headline numbers a dashboard should track without parsing
+  /// the bench's stdout — cache hit rates, speedups, compile times.
+  void AddField(const std::string& name, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    fields_.emplace_back(name, buf);
+  }
+  void AddField(const std::string& name, uint64_t value) {
+    fields_.emplace_back(name, std::to_string(value));
+  }
+
   ~TelemetrySidecar() {
     telemetry_.wall_seconds = wall_.ElapsedSeconds();
     telemetry_.metrics =
@@ -171,6 +183,14 @@ class TelemetrySidecar {
       return;
     }
     out << "{\n  \"bench\": \"" << EscapeJson(bench_name_) << "\",\n";
+    if (!fields_.empty()) {
+      out << "  \"fields\": {";
+      for (size_t i = 0; i < fields_.size(); ++i) {
+        out << (i == 0 ? "" : ", ") << "\"" << EscapeJson(fields_[i].first)
+            << "\": " << fields_[i].second;
+      }
+      out << "},\n";
+    }
     out << "  \"telemetry\":\n";
     telemetry_.WriteJson(out, 1);
     out << ",\n  \"runs\": [";
@@ -203,6 +223,8 @@ class TelemetrySidecar {
   obs::MetricsSnapshot metrics_before_;
   obs::RunTelemetry telemetry_;
   std::vector<std::pair<std::string, obs::RunTelemetry>> runs_;
+  /// (name, pre-rendered JSON value) pairs from AddField.
+  std::vector<std::pair<std::string, std::string>> fields_;
 };
 
 }  // namespace alex::bench

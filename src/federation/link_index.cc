@@ -10,7 +10,13 @@ const std::vector<std::string>& EmptyVec() {
   return *kEmpty;
 }
 
-bool EraseValue(std::vector<std::string>* v, const std::string& value) {
+const std::vector<LinkIndex::IriId>& EmptyIdVec() {
+  static const auto* kEmpty = new std::vector<LinkIndex::IriId>();
+  return *kEmpty;
+}
+
+template <typename T>
+bool EraseValue(std::vector<T>* v, const T& value) {
   auto it = std::find(v->begin(), v->end(), value);
   if (it == v->end()) return false;
   v->erase(it);
@@ -19,11 +25,25 @@ bool EraseValue(std::vector<std::string>* v, const std::string& value) {
 
 }  // namespace
 
+LinkIndex::IriId LinkIndex::InternIri(const std::string& iri) {
+  auto it = iri_ids_.find(iri);
+  if (it != iri_ids_.end()) return it->second;
+  const IriId id = static_cast<IriId>(iri_terms_.size());
+  iri_terms_.push_back(rdf::Term::Iri(iri));
+  iri_ids_.emplace(iri, id);
+  return id;
+}
+
 bool LinkIndex::Add(const std::string& left_iri, const std::string& right_iri) {
   if (Contains(left_iri, right_iri)) return false;
   left_to_right_[left_iri].push_back(right_iri);
   right_to_left_[right_iri].push_back(left_iri);
+  const IriId lid = InternIri(left_iri);
+  const IriId rid = InternIri(right_iri);
+  left_ids_[lid].push_back(rid);
+  right_ids_[rid].push_back(lid);
   ++size_;
+  ++epoch_;
   return true;
 }
 
@@ -38,7 +58,21 @@ bool LinkIndex::Remove(const std::string& left_iri,
     EraseValue(&rit->second, left_iri);
     if (rit->second.empty()) right_to_left_.erase(rit);
   }
+  // Mirror in the id view (ids themselves are never retired).
+  const IriId lid = IdOf(left_iri);
+  const IriId rid = IdOf(right_iri);
+  auto lit = left_ids_.find(lid);
+  if (lit != left_ids_.end()) {
+    EraseValue(&lit->second, rid);
+    if (lit->second.empty()) left_ids_.erase(lit);
+  }
+  auto ridit = right_ids_.find(rid);
+  if (ridit != right_ids_.end()) {
+    EraseValue(&ridit->second, lid);
+    if (ridit->second.empty()) right_ids_.erase(ridit);
+  }
   --size_;
+  ++epoch_;
   return true;
 }
 
@@ -60,6 +94,21 @@ const std::vector<std::string>& LinkIndex::LeftsFor(
     const std::string& right_iri) const {
   auto it = right_to_left_.find(right_iri);
   return it == right_to_left_.end() ? EmptyVec() : it->second;
+}
+
+LinkIndex::IriId LinkIndex::IdOf(const std::string& iri) const {
+  auto it = iri_ids_.find(iri);
+  return it == iri_ids_.end() ? kInvalidIriId : it->second;
+}
+
+const std::vector<LinkIndex::IriId>& LinkIndex::RightIdsFor(IriId left) const {
+  auto it = left_ids_.find(left);
+  return it == left_ids_.end() ? EmptyIdVec() : it->second;
+}
+
+const std::vector<LinkIndex::IriId>& LinkIndex::LeftIdsFor(IriId right) const {
+  auto it = right_ids_.find(right);
+  return it == right_ids_.end() ? EmptyIdVec() : it->second;
 }
 
 std::vector<SameAsLink> LinkIndex::AllLinks() const {

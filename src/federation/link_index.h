@@ -1,9 +1,13 @@
 #ifndef ALEX_FEDERATION_LINK_INDEX_H_
 #define ALEX_FEDERATION_LINK_INDEX_H_
 
+#include <cstdint>
+#include <deque>
 #include <string>
 #include <unordered_map>
 #include <vector>
+
+#include "rdf/term.h"
 
 namespace alex::fed {
 
@@ -23,8 +27,27 @@ struct SameAsLink {
 /// This is the artifact ALEX maintains: the federated engine reads it to
 /// answer cross-dataset queries, and ALEX mutates it as feedback arrives
 /// (adding explored links, removing rejected ones).
+///
+/// Two views coexist:
+///  - the string view (`RightsFor`/`LeftsFor`), kept for the legacy
+///    execution path and external callers;
+///  - an interned id view: every IRI that ever appeared in a link gets a
+///    dense IriId with a stable `rdf::Term` behind it, and adjacency is
+///    id -> id. The compiled execution path expands sameAs co-referents
+///    through this view, so the innermost join loop allocates no strings.
+/// Both views are mutated together and enumerate co-referents in identical
+/// (insertion) order, which keeps the two execution paths bit-identical.
+///
+/// `epoch()` increments on every successful Add/Remove — the invalidation
+/// signal probe caches watch (see fed::CachingEndpoint) so link mutations
+/// between episodes are visible to the next query immediately.
 class LinkIndex {
  public:
+  /// Dense id of an IRI interned by this index. Ids are never reused;
+  /// TermOf()/IriOf() references stay valid across Add/Remove.
+  using IriId = uint32_t;
+  static constexpr IriId kInvalidIriId = UINT32_MAX;
+
   LinkIndex() = default;
 
   /// Adds a link; duplicate adds are ignored. Returns true if added.
@@ -42,6 +65,28 @@ class LinkIndex {
   /// Left-side co-referents of a right entity (empty vector if none).
   const std::vector<std::string>& LeftsFor(const std::string& right_iri) const;
 
+  /// Id of an IRI seen in some link (past or present), or kInvalidIriId.
+  IriId IdOf(const std::string& iri) const;
+
+  /// The interned IRI as a stable Term (always TermKind::kIri).
+  const rdf::Term& TermOf(IriId id) const { return iri_terms_[id]; }
+
+  /// The interned IRI string.
+  const std::string& IriOf(IriId id) const { return iri_terms_[id].value; }
+
+  /// Right-side co-referent ids of a left IRI id, in the same order as
+  /// RightsFor. Empty for unknown/unlinked ids.
+  const std::vector<IriId>& RightIdsFor(IriId left) const;
+
+  /// Left-side co-referent ids of a right IRI id, in the same order as
+  /// LeftsFor. Empty for unknown/unlinked ids.
+  const std::vector<IriId>& LeftIdsFor(IriId right) const;
+
+  /// Mutation epoch: bumped by every successful Add/Remove. Caches keyed on
+  /// query/probe results derived from this index compare epochs to decide
+  /// staleness.
+  uint64_t epoch() const { return epoch_; }
+
   /// Total number of links.
   size_t size() const { return size_; }
 
@@ -49,8 +94,18 @@ class LinkIndex {
   std::vector<SameAsLink> AllLinks() const;
 
  private:
+  IriId InternIri(const std::string& iri);
+
   std::unordered_map<std::string, std::vector<std::string>> left_to_right_;
   std::unordered_map<std::string, std::vector<std::string>> right_to_left_;
+
+  // Id view. iri_terms_ is a deque so TermOf references survive interning.
+  std::unordered_map<std::string, IriId> iri_ids_;
+  std::deque<rdf::Term> iri_terms_;
+  std::unordered_map<IriId, std::vector<IriId>> left_ids_;
+  std::unordered_map<IriId, std::vector<IriId>> right_ids_;
+
+  uint64_t epoch_ = 0;
   size_t size_ = 0;
 };
 

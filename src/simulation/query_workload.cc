@@ -1,8 +1,10 @@
 #include "simulation/query_workload.h"
 
 #include <algorithm>
+#include <optional>
 
 #include "common/rng.h"
+#include "obs/metrics.h"
 #include "similarity/value.h"
 
 namespace alex::simulation {
@@ -35,34 +37,71 @@ FederatedWorkload MakeFederatedWorkload(const datagen::GeneratedPair& pair,
   return workload;
 }
 
+namespace {
+
+/// Folds one query result into the running stats, in workload order.
+void AccumulateResult(const Result<fed::FederatedResult>& result,
+                      WorkloadRunStats* stats) {
+  if (!result.ok()) {
+    ++stats->failed;
+    return;
+  }
+  if (result->degraded) ++stats->degraded;
+  if (result->NumRows() > 0) ++stats->answered;
+  stats->rows += result->NumRows();
+  for (const fed::ProvenancedRow& row : result->rows) {
+    stats->links_observed.insert(stats->links_observed.end(),
+                                 row.links_used.begin(),
+                                 row.links_used.end());
+  }
+}
+
+}  // namespace
+
 WorkloadRunStats ExecuteFederatedWorkload(const fed::FederatedEngine& engine,
                                           const FederatedWorkload& workload,
-                                          Clock* clock,
-                                          double think_seconds) {
+                                          const WorkloadExecOptions& options) {
   WorkloadRunStats stats;
   stats.total = workload.queries.size();
+
+  // Parallel path: fan queries across the pool, merge in workload order so
+  // the outcome is indistinguishable from a sequential run. Only taken
+  // without a clock — simulated time must advance deterministically, which
+  // per-query think time under concurrency cannot.
+  if (options.pool != nullptr && options.clock == nullptr &&
+      workload.queries.size() > 1) {
+    static obs::Counter& parallel_queries =
+        obs::MetricsRegistry::Global().counter("fed.parallel_queries");
+    parallel_queries.Add(workload.queries.size());
+    std::vector<std::optional<Result<fed::FederatedResult>>> results(
+        workload.queries.size());
+    ParallelFor(options.pool, workload.queries.size(), [&](size_t i) {
+      results[i] = engine.ExecuteText(workload.queries[i]);
+    });
+    for (const auto& result : results) AccumulateResult(*result, &stats);
+    return stats;
+  }
+
   for (const std::string& query : workload.queries) {
     // Inter-query think time: without it, a burst of back-to-back queries
     // holds virtual time still whenever every probe fast-fails, so breaker
     // cooldowns can never elapse mid-workload.
-    if (clock != nullptr && think_seconds > 0.0) {
-      clock->SleepSeconds(think_seconds);
+    if (options.clock != nullptr && options.think_seconds > 0.0) {
+      options.clock->SleepSeconds(options.think_seconds);
     }
-    auto result = engine.ExecuteText(query);
-    if (!result.ok()) {
-      ++stats.failed;
-      continue;
-    }
-    if (result->degraded) ++stats.degraded;
-    if (result->NumRows() > 0) ++stats.answered;
-    stats.rows += result->NumRows();
-    for (const fed::ProvenancedRow& row : result->rows) {
-      stats.links_observed.insert(stats.links_observed.end(),
-                                  row.links_used.begin(),
-                                  row.links_used.end());
-    }
+    AccumulateResult(engine.ExecuteText(query), &stats);
   }
   return stats;
+}
+
+WorkloadRunStats ExecuteFederatedWorkload(const fed::FederatedEngine& engine,
+                                          const FederatedWorkload& workload,
+                                          Clock* clock,
+                                          double think_seconds) {
+  WorkloadExecOptions options;
+  options.clock = clock;
+  options.think_seconds = think_seconds;
+  return ExecuteFederatedWorkload(engine, workload, options);
 }
 
 fed::LinkIndex LinksFromPairs(

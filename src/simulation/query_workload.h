@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/clock.h"
+#include "common/thread_pool.h"
 #include "datagen/generator.h"
 #include "federation/federated_engine.h"
 #include "federation/link_index.h"
@@ -47,12 +48,33 @@ struct WorkloadRunStats {
   std::vector<fed::SameAsLink> links_observed;
 };
 
+/// How to execute a workload.
+struct WorkloadExecOptions {
+  /// When set, `think_seconds` of client think time elapse before each
+  /// query — the inter-arrival gap that lets circuit-breaker cooldowns run
+  /// down between queries in simulated scenarios.
+  Clock* clock = nullptr;
+  double think_seconds = 0.0;
+  /// When set (and `clock` is null — SimClock is not thread-safe), queries
+  /// fan out across the pool and results merge back in workload order, so
+  /// stats and `links_observed` are byte-identical to a sequential run.
+  /// The endpoint stack must be thread-safe (plain Endpoints over stores
+  /// with pre-built indexes are; call TripleStore::EnsureIndexes first).
+  ThreadPool* pool = nullptr;
+};
+
 /// Executes every query of the workload against `engine`, tolerating
 /// per-query failures and collecting feedback provenance from whatever rows
-/// arrived. Deterministic given a deterministic engine/endpoint stack.
-/// When `clock` is set, `think_seconds` of client think time elapse before
-/// each query — the inter-arrival gap that lets circuit-breaker cooldowns
-/// run down between queries in simulated scenarios.
+/// arrived. Deterministic given a deterministic engine/endpoint stack —
+/// including in parallel mode, whose merge is by query index.
+/// Queries go through FederatedEngine::ExecuteText, so in compiled mode
+/// each distinct query text is parsed and planned once per engine
+/// (fed.plan_cache_hits counts the repeats) instead of once per call.
+WorkloadRunStats ExecuteFederatedWorkload(
+    const fed::FederatedEngine& engine, const FederatedWorkload& workload,
+    const WorkloadExecOptions& options);
+
+/// Back-compat sequential overload.
 WorkloadRunStats ExecuteFederatedWorkload(const fed::FederatedEngine& engine,
                                           const FederatedWorkload& workload,
                                           Clock* clock = nullptr,

@@ -72,23 +72,37 @@ std::vector<const TriplePatternAst*> OrderPatterns(
   return ordered;
 }
 
-bool FiltersPassFor(const EvalContext& ctx,
-                    const std::vector<const FilterAst*>& filters,
-                    const Binding& binding, size_t just_bound) {
-  for (const FilterAst* f : filters) {
-    auto it = ctx.var_index.find(f->var.name);
+/// Filters indexed by the variable they guard: slot -> the filters to check
+/// when that variable binds (query order preserved). Built once per filter
+/// scope, so the per-binding check below touches only the relevant filters
+/// instead of rescanning every FILTER of the query.
+using FiltersBySlot = std::vector<std::vector<const FilterAst*>>;
+
+FiltersBySlot GroupFiltersBySlot(const EvalContext& ctx,
+                                 const std::vector<FilterAst>& filters,
+                                 size_t num_vars) {
+  FiltersBySlot by_slot(num_vars);
+  for (const FilterAst& f : filters) {
+    auto it = ctx.var_index.find(f.var.name);
     if (it == ctx.var_index.end()) continue;  // Filter on unused var: ignore.
-    if (it->second != just_bound) continue;
-    if (!binding[it->second].has_value()) continue;
-    if (!CompareTerms(*binding[it->second], f->op, f->value)) return false;
+    by_slot[it->second].push_back(&f);
+  }
+  return by_slot;
+}
+
+bool FiltersPassFor(const FiltersBySlot& filters, const Binding& binding,
+                    size_t just_bound) {
+  if (!binding[just_bound].has_value()) return true;
+  const Term& value = *binding[just_bound];
+  for (const FilterAst* f : filters[just_bound]) {
+    if (!CompareTerms(value, f->op, f->value)) return false;
   }
   return true;
 }
 
 /// Recursively matches patterns[pi..] extending `binding`; calls `emit` for
 /// each complete solution. Returns false to stop early (LIMIT reached).
-bool MatchPatterns(const EvalContext& ctx,
-                   const std::vector<const FilterAst*>& filters,
+bool MatchPatterns(const EvalContext& ctx, const FiltersBySlot& filters,
                    const std::vector<const TriplePatternAst*>& patterns,
                    size_t pi, Binding* binding,
                    const std::function<bool(const Binding&)>& emit) {
@@ -144,7 +158,7 @@ bool MatchPatterns(const EvalContext& ctx,
     if (!consistent) return true;
     for (auto& [vi, value] : newly_bound) {
       (*binding)[vi] = value;
-      if (!FiltersPassFor(ctx, filters, *binding, vi)) {
+      if (!FiltersPassFor(filters, *binding, vi)) {
         for (auto& [uvi, uval] : newly_bound) (*binding)[uvi].reset();
         return true;
       }
@@ -163,13 +177,6 @@ std::string RowKey(const std::vector<Term>& row) {
     key += '\x1e';
   }
   return key;
-}
-
-std::vector<const FilterAst*> FilterPtrs(
-    const std::vector<FilterAst>& filters) {
-  std::vector<const FilterAst*> out;
-  for (const FilterAst& f : filters) out.push_back(&f);
-  return out;
 }
 
 }  // namespace
@@ -240,8 +247,8 @@ Result<QueryResult> Evaluate(const SelectQuery& query,
     }
   }
 
-  const std::vector<const FilterAst*> query_filters =
-      FilterPtrs(query.filters);
+  const FiltersBySlot query_filters =
+      GroupFiltersBySlot(ctx, query.filters, mentioned.size());
 
   // --- Phase 1: enumerate base solutions. ---
   std::vector<Binding> solutions;
@@ -274,8 +281,13 @@ Result<QueryResult> Evaluate(const SelectQuery& query,
 
   // --- Phase 2: OPTIONAL blocks (left joins), in order. ---
   for (const OptionalBlock& block : query.optionals) {
-    std::vector<const FilterAst*> block_filters = query_filters;
-    for (const FilterAst& f : block.filters) block_filters.push_back(&f);
+    FiltersBySlot block_filters = query_filters;
+    const FiltersBySlot extra =
+        GroupFiltersBySlot(ctx, block.filters, mentioned.size());
+    for (size_t i = 0; i < extra.size(); ++i) {
+      block_filters[i].insert(block_filters[i].end(), extra[i].begin(),
+                              extra[i].end());
+    }
     std::vector<Binding> extended;
     for (Binding& base : solutions) {
       std::vector<bool> bound(mentioned.size(), false);

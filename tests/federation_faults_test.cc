@@ -22,6 +22,7 @@
 #include "federation/endpoint.h"
 #include "federation/fault_injection.h"
 #include "federation/federated_engine.h"
+#include "federation/probe_cache.h"
 #include "federation/resilient_endpoint.h"
 #include "obs/metrics.h"
 
@@ -297,6 +298,140 @@ TEST_F(FederationFaultsTest, QueryDeadlineExpiryDegradesInsteadOfFailing) {
         return e.code == StatusCode::kDeadlineExceeded;
       });
   ASSERT_NE(deadline_error, r->errors.end());
+}
+
+/// Full observable state of a result, for cross-mode equivalence checks:
+/// row values, link provenance, degraded flag, per-endpoint error detail.
+std::string ResultDigest(const Result<FederatedResult>& r) {
+  if (!r.ok()) {
+    return "error:" + std::to_string(static_cast<int>(r.status().code())) +
+           ":" + std::string(r.status().message());
+  }
+  std::string d = r->degraded ? "degraded|" : "ok|";
+  for (const EndpointError& e : r->errors) {
+    d += e.endpoint + ":" + std::to_string(static_cast<int>(e.code)) + ":" +
+         std::to_string(e.failed_probes) + ";";
+  }
+  for (const ProvenancedRow& row : r->rows) {
+    d += "row:";
+    for (const Term& t : row.values) d += t.ToNTriples() + "\x1e";
+    for (const SameAsLink& l : row.links_used) {
+      d += l.left_iri + "->" + l.right_iri + "\x1f";
+    }
+  }
+  return d;
+}
+
+TEST_F(FederationFaultsTest, HealthyStackAllModesAndCacheStatesAgree) {
+  // On a healthy stack, all four configurations must be bit-identical:
+  // legacy strings, compiled, compiled over a cold probe cache, and
+  // compiled over a warm probe cache.
+  BuildStack(FaultProfile::Healthy());
+  CachingEndpoint cached_left(resilient_left_.get(), ProbeCacheConfig(),
+                              [this] { return links_.epoch(); });
+  CachingEndpoint cached_right(resilient_right_.get(), ProbeCacheConfig(),
+                               [this] { return links_.epoch(); });
+  FederatedEngine caching_engine(&cached_left, &cached_right, &links_);
+
+  const std::vector<std::string> queries = {
+      kSpanningQuery,
+      "SELECT ?who ?o WHERE { ?who <http://l/worksFor> ?org . "
+      "?org ?p ?o . }",
+      "SELECT DISTINCT ?o WHERE { <http://l/acme> ?p ?o . }",
+  };
+  for (const std::string& query : queries) {
+    engine_->set_execution_mode(
+        FederatedEngine::ExecutionMode::kLegacyStrings);
+    const std::string legacy = ResultDigest(engine_->ExecuteText(query));
+    engine_->set_execution_mode(FederatedEngine::ExecutionMode::kCompiled);
+    const std::string compiled = ResultDigest(engine_->ExecuteText(query));
+    const std::string cache_cold =
+        ResultDigest(caching_engine.ExecuteText(query));
+    const std::string cache_warm =
+        ResultDigest(caching_engine.ExecuteText(query));
+    EXPECT_EQ(legacy, compiled) << query;
+    EXPECT_EQ(legacy, cache_cold) << query;
+    EXPECT_EQ(legacy, cache_warm) << query;
+  }
+  EXPECT_GT(cached_left.hits() + cached_right.hits(), 0u);
+}
+
+TEST_F(FederationFaultsTest, FaultInjectedModesAgreeAcrossFreshStacks) {
+  // Under fault injection, a fresh same-seeded stack per mode must produce
+  // identical results: the compiled path (with or without a cold cache in
+  // front) issues the exact probe sequence the legacy path does, so the
+  // injected fault draws line up one-for-one. Degradation detail included.
+  RetryPolicy retry;
+  retry.max_attempts = 1;  // No retries: maximize observable degradation.
+  const std::vector<std::string> queries = {
+      kSpanningQuery,
+      "SELECT ?who ?o WHERE { ?who <http://l/worksFor> ?org . "
+      "?org ?p ?o . }",
+  };
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    for (const std::string& query : queries) {
+      auto run = [&](FederatedEngine::ExecutionMode mode, bool with_cache) {
+        SimClock clock;
+        FaultInjectedEndpoint fl(left_ep_.get(), FaultProfile::Flaky(),
+                                 seed * 10 + 1, &clock);
+        FaultInjectedEndpoint fr(right_ep_.get(), FaultProfile::Flaky(),
+                                 seed * 10 + 2, &clock);
+        ResilientEndpoint rl(&fl, retry, CircuitBreakerConfig(),
+                             seed * 10 + 3, &clock);
+        ResilientEndpoint rr(&fr, retry, CircuitBreakerConfig(),
+                             seed * 10 + 4, &clock);
+        CachingEndpoint cl(&rl);
+        CachingEndpoint cr(&rr);
+        FederatedEngine engine(
+            with_cache ? static_cast<const QueryEndpoint*>(&cl) : &rl,
+            with_cache ? static_cast<const QueryEndpoint*>(&cr) : &rr,
+            &links_);
+        engine.set_execution_mode(mode);
+        return ResultDigest(engine.ExecuteText(query));
+      };
+      const std::string legacy =
+          run(FederatedEngine::ExecutionMode::kLegacyStrings, false);
+      const std::string compiled =
+          run(FederatedEngine::ExecutionMode::kCompiled, false);
+      const std::string cache_cold =
+          run(FederatedEngine::ExecutionMode::kCompiled, true);
+      EXPECT_EQ(legacy, compiled) << "seed " << seed << ": " << query;
+      EXPECT_EQ(legacy, cache_cold) << "seed " << seed << ": " << query;
+    }
+  }
+}
+
+TEST_F(FederationFaultsTest, LinkMutationAfterEpisodeIsVisibleThroughCache) {
+  // An episode loop mutates the LinkIndex between queries (EndEpisode
+  // applying feedback). The probe cache must not serve answers computed
+  // against the old link set: epoch invalidation makes the mutation
+  // visible to the very next query.
+  BuildStack(FaultProfile::Healthy());
+  CachingEndpoint cached_left(resilient_left_.get(), ProbeCacheConfig(),
+                              [this] { return links_.epoch(); });
+  CachingEndpoint cached_right(resilient_right_.get(), ProbeCacheConfig(),
+                               [this] { return links_.epoch(); });
+  FederatedEngine engine(&cached_left, &cached_right, &links_);
+
+  auto before = engine.ExecuteText(kSpanningQuery);
+  ASSERT_TRUE(before.ok()) << before.status();
+  auto warm = engine.ExecuteText(kSpanningQuery);
+  ASSERT_TRUE(warm.ok());
+  ASSERT_EQ(warm->NumRows(), before->NumRows());
+
+  // New link discovered by ALEX: the spanning query must widen immediately.
+  right_.AddLiteralTriple("http://r/acme-two", "http://r/hq",
+                          Term::Literal("Miami"));
+  links_.Add("http://l/acme", "http://r/acme-two");
+  auto after = engine.ExecuteText(kSpanningQuery);
+  ASSERT_TRUE(after.ok()) << after.status();
+  EXPECT_GT(after->NumRows(), before->NumRows());
+
+  // Link retracted (negative feedback): the extra rows disappear again.
+  links_.Remove("http://l/acme", "http://r/acme-two");
+  auto reverted = engine.ExecuteText(kSpanningQuery);
+  ASSERT_TRUE(reverted.ok());
+  EXPECT_EQ(ResultDigest(reverted), ResultDigest(before));
 }
 
 TEST_F(FederationFaultsTest, AttemptTimeoutConvertsStallsToFastFailures) {
