@@ -3,15 +3,28 @@
 //
 // Usage:
 //   run_scenario [scenario] [episode_size] [step_size] [error_rate]
-//                [epsilon] [max_links_per_action]
+//                [epsilon] [max_links_per_action] [flags...]
 //   run_scenario --list
+//
+// Flags (anywhere after the positionals):
+//   --checkpoint-dir <dir>    where snapshots go (default: alex-checkpoints)
+//   --checkpoint-every <k>    write a snapshot every k episodes (0 = off)
+//   --checkpoint-keep <n>     retained snapshot depth (default: 3)
+//   --resume <path>           resume from a checkpoint file, directory, or
+//                             MANIFEST (newest retained snapshot)
+//   --max-episodes <n>        episode budget (useful with --resume)
 //
 // Example:
 //   ./build/examples/run_scenario dbpedia_drugbank 1000 0.05 0.0
+//   ./build/examples/run_scenario dbpedia_drugbank 1000 0.05 0.0 0.1 0 \
+//       --checkpoint-every 10 --checkpoint-dir /tmp/ckpt
+//   ./build/examples/run_scenario dbpedia_drugbank 1000 0.05 0.0 0.1 0 \
+//       --resume /tmp/ckpt
 
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "datagen/scenarios.h"
 #include "simulation/report.h"
@@ -22,7 +35,41 @@ int main(int argc, char** argv) {
   using namespace alex;
   InitLoggingFromEnv();
 
-  const std::string name = argc > 1 ? argv[1] : "dbpedia_nytimes";
+  // Split positional operands from --flag value pairs.
+  std::vector<std::string> positional;
+  simulation::SimulationConfig config;
+  size_t checkpoint_every = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto flag_value = [&](const char* flag) -> const char* {
+      if (arg != flag) return nullptr;
+      if (i + 1 >= argc) {
+        std::cerr << flag << " requires a value\n";
+        std::exit(1);
+      }
+      return argv[++i];
+    };
+    if (const char* v = flag_value("--checkpoint-dir")) {
+      config.checkpoint_dir = v;
+    } else if (const char* v = flag_value("--checkpoint-every")) {
+      checkpoint_every = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = flag_value("--checkpoint-keep")) {
+      config.checkpoint_keep = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = flag_value("--resume")) {
+      config.resume_from = v;
+    } else if (const char* v = flag_value("--max-episodes")) {
+      config.alex.max_episodes = std::strtoull(v, nullptr, 10);
+    } else if (arg.rfind("--", 0) == 0 && arg != "--list") {
+      std::cerr << "unknown flag '" << arg << "'\n";
+      return 1;
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  config.checkpoint_every_k_episodes = checkpoint_every;
+
+  const std::string name = !positional.empty() ? positional[0]
+                                               : "dbpedia_nytimes";
   if (name == "--list") {
     for (const auto& s : datagen::AllScenarios()) {
       std::cout << s.name << "\n";
@@ -36,18 +83,34 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  simulation::SimulationConfig config;
   config.scenario = scenario;
-  if (argc > 2) config.alex.episode_size = std::strtoull(argv[2], nullptr, 10);
-  if (argc > 3) config.alex.step_size = std::strtod(argv[3], nullptr);
-  if (argc > 4) config.feedback_error_rate = std::strtod(argv[4], nullptr);
-  if (argc > 5) config.alex.epsilon = std::strtod(argv[5], nullptr);
-  if (argc > 6) {
-    config.alex.max_links_per_action = std::strtoull(argv[6], nullptr, 10);
+  if (positional.size() > 1) {
+    config.alex.episode_size = std::strtoull(positional[1].c_str(), nullptr, 10);
+  }
+  if (positional.size() > 2) {
+    config.alex.step_size = std::strtod(positional[2].c_str(), nullptr);
+  }
+  if (positional.size() > 3) {
+    config.feedback_error_rate = std::strtod(positional[3].c_str(), nullptr);
+  }
+  if (positional.size() > 4) {
+    config.alex.epsilon = std::strtod(positional[4].c_str(), nullptr);
+  }
+  if (positional.size() > 5) {
+    config.alex.max_links_per_action =
+        std::strtoull(positional[5].c_str(), nullptr, 10);
   }
 
   simulation::Simulation sim(config);
   const simulation::RunResult result = sim.Run();
+  if (!result.resume_error.ok()) {
+    std::cerr << "resume failed: " << result.resume_error << "\n";
+    return 2;
+  }
+  if (result.resumed_from_episode > 0) {
+    std::cout << "# resumed from episode " << result.resumed_from_episode
+              << "\n";
+  }
   simulation::PrintEpisodeSeries(result, std::cout);
   std::cout << "\n";
   simulation::PrintRunSummary(result, std::cout);

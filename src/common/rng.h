@@ -1,6 +1,7 @@
 #ifndef ALEX_COMMON_RNG_H_
 #define ALEX_COMMON_RNG_H_
 
+#include <array>
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
@@ -58,6 +59,15 @@ class Rng {
   /// Derives an independent child generator; the parent advances once.
   /// Used to hand one deterministic stream to each partition/thread.
   Rng Fork() { return Rng(Next()); }
+
+  /// The raw generator state, for checkpointing. A generator restored with
+  /// RestoreState() produces the exact output sequence the saved one would
+  /// have produced next.
+  using State = std::array<uint64_t, 4>;
+  State SaveState() const { return {state_[0], state_[1], state_[2], state_[3]}; }
+  void RestoreState(const State& state) {
+    for (size_t i = 0; i < state.size(); ++i) state_[i] = state[i];
+  }
 
  private:
   uint64_t state_[4];

@@ -1,0 +1,115 @@
+#ifndef ALEX_CORE_CHECKPOINT_H_
+#define ALEX_CORE_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/binary_io.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "core/config.h"
+
+namespace alex::core::ckpt {
+
+/// Durable checkpoint container format.
+///
+/// Layout (all integers little-endian, see common/binary_io.h):
+///   magic            "ALEXCKP1" (8 bytes)
+///   u32  format_version        (kFormatVersion)
+///   u64  config_fingerprint    (ConfigFingerprint of the producing run)
+///   u8   payload_kind          (PayloadKind)
+///   u64  payload_size
+///   u64  payload_checksum      (FNV-1a 64 over the payload bytes)
+///   payload bytes
+///
+/// Readers reject, with a Status and without touching any live state:
+///   - a wrong magic or a blob shorter than the header (ParseError)
+///   - an unknown format version (InvalidArgument)
+///   - a fingerprint mismatch against the resuming run's config
+///     (InvalidArgument) — resuming under different engine tunables would
+///     silently diverge from the uninterrupted run
+///   - a payload whose size or checksum does not match (ParseError).
+
+inline constexpr std::string_view kMagic = "ALEXCKP1";
+inline constexpr uint32_t kFormatVersion = 1;
+
+/// What a checkpoint blob contains.
+enum class PayloadKind : uint8_t {
+  kEngine = 1,       // One AlexEngine's state.
+  kPartitioned = 2,  // PartitionedAlex: every partition engine.
+  kSimulation = 3,   // Full simulation run state (engines + oracle + series).
+  kLinkIndex = 4,    // A federation LinkIndex snapshot.
+};
+
+/// 64-bit FNV-1a over a byte string; the payload integrity check.
+uint64_t Checksum(std::string_view bytes);
+
+/// Fingerprint of every AlexConfig field that influences engine behaviour.
+/// A checkpoint taken under one config must not be restored under another:
+/// the restored Q-tables and ε schedule would be mixed with different
+/// thresholds/partitioning and the run would silently diverge.
+uint64_t ConfigFingerprint(const AlexConfig& config);
+
+/// Frames `payload` with the header above.
+std::string WrapPayload(PayloadKind kind, uint64_t config_fingerprint,
+                        std::string_view payload);
+
+/// Validates a framed blob and returns its payload. `expected_fingerprint`
+/// is the resuming run's ConfigFingerprint.
+Result<std::string> UnwrapPayload(std::string_view blob,
+                                  PayloadKind expected_kind,
+                                  uint64_t expected_fingerprint);
+
+/// Manages a directory of retained checkpoints.
+///
+/// Writes are crash-consistent: the blob goes to a temporary file that is
+/// fsynced and atomically renamed into place, then the MANIFEST (a text
+/// file listing retained checkpoint file names, newest first) is rewritten
+/// the same way and the directory entry is fsynced. A crash at any point
+/// leaves either the previous manifest (pointing at complete older
+/// checkpoints) or the new one — never a manifest naming a torn file.
+/// Checkpoints that fall off the retention window are deleted after the
+/// manifest no longer references them.
+///
+/// Instrumented via the metrics registry: `ckpt.writes`, `ckpt.bytes`,
+/// `ckpt.write_failures` counters and the `ckpt.write_seconds` histogram.
+class CheckpointManager {
+ public:
+  /// `keep` is the retention depth (minimum 1).
+  explicit CheckpointManager(std::string dir, size_t keep = 3);
+
+  /// Atomically writes one checkpoint blob and updates the manifest.
+  /// On success `*final_path` (if non-null) names the checkpoint file.
+  Status Write(std::string_view blob, std::string* final_path = nullptr);
+
+  /// Path of the newest retained checkpoint, per the manifest.
+  Result<std::string> LatestPath() const;
+
+  /// All retained checkpoint paths, newest first.
+  std::vector<std::string> RetainedPaths() const;
+
+  const std::string& dir() const { return dir_; }
+
+  /// Reads a whole checkpoint file. ParseError/IOError on failure.
+  static Result<std::string> ReadBlob(const std::string& path);
+
+  /// Resolves a `--resume` operand: a checkpoint file path is returned
+  /// as-is; a directory (or a MANIFEST path) resolves to the newest
+  /// checkpoint it retains.
+  static Result<std::string> ResolveLatest(const std::string& dir_or_file);
+
+ private:
+  std::string ManifestPath() const;
+  Status WriteManifest(const std::vector<std::string>& names);
+
+  std::string dir_;
+  size_t keep_;
+  uint64_t next_seq_ = 1;
+  std::vector<std::string> retained_;  // File names, newest first.
+};
+
+}  // namespace alex::core::ckpt
+
+#endif  // ALEX_CORE_CHECKPOINT_H_

@@ -25,7 +25,13 @@ struct AlexConfig {
   /// ε of the ε-greedy policy (Section 4.4.1).
   double epsilon = 0.05;
 
-  /// GLIE ε decay: when true, the effective ε in episode k is ε/k.
+  /// GLIE ε decay: when true, after k completed episodes the policy runs
+  /// with ε/k — episode 1 explores with the full ε, episode 2 with ε/1,
+  /// episode 3 with ε/2, and in general episode k+1 with ε/k. The decay is
+  /// applied at the end of each episode (AlexEngine::EndEpisode), dividing
+  /// by the number of episodes completed so far; an earlier off-by-one
+  /// divided by `completed + 1`, so the very first decay already halved ε
+  /// and every subsequent episode ran one schedule step ahead.
   /// Monte Carlo ε-greedy control converges to the greedy policy only if
   /// exploration decays (Sutton & Barto, the paper's [22]); a constant ε
   /// keeps re-adding rolled-back junk links forever and the candidate set

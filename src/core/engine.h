@@ -63,6 +63,21 @@ class AlexEngine {
   /// reporting.
   size_t total_explored_links() const { return ever_explored_.size(); }
 
+  size_t episodes_completed() const { return episodes_completed_; }
+
+  /// Serializes the engine's full learning state: the policy (Q tables,
+  /// greedy map, ε, RNG stream), episode counters, candidate/blacklist/
+  /// provenance sets, rollback accounting, and the in-episode first-visit
+  /// bookkeeping. The link space is NOT serialized — it is a deterministic
+  /// function of the datasets and is rebuilt on restore.
+  void SaveState(BinaryWriter* w) const;
+
+  /// Restores an engine saved with SaveState() into this engine (which must
+  /// be built over an equivalent link space — enforced by the checkpoint
+  /// header's config fingerprint, not here). All-or-nothing: on a corrupt
+  /// or truncated snapshot the engine is left exactly as it was.
+  Status LoadState(BinaryReader* r);
+
  private:
   void Explore(PairKey state, FeatureKey action);
   void Rollback(const StateAction& generator);

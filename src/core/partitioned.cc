@@ -1,5 +1,6 @@
 #include "core/partitioned.h"
 
+#include <algorithm>
 #include <thread>
 
 #include "common/thread_pool.h"
@@ -176,7 +177,10 @@ std::unordered_set<PairKey> PartitionedAlex::Candidates() const {
 std::vector<PairKey> PartitionedAlex::CandidateVector() const {
   // Pre-size one flat vector and let every partition copy its snapshot into
   // its own disjoint slice concurrently. Left entities are partitioned, so
-  // no pair appears in two slices.
+  // no pair appears in two slices. Each slice is sorted in the same task:
+  // the result must depend only on the candidate set, not on the hash
+  // sets' insertion history, or a checkpoint-resumed run would feed the
+  // oracle a permuted sequence and diverge from the uninterrupted run.
   const size_t n = engines_.size();
   std::vector<size_t> offsets(n + 1, 0);
   for (size_t p = 0; p < n; ++p) {
@@ -186,6 +190,8 @@ std::vector<PairKey> PartitionedAlex::CandidateVector() const {
   ParallelFor(pool(), n, [this, &offsets, &out](size_t p) {
     size_t i = offsets[p];
     for (PairKey key : engines_[p]->candidates()) out[i++] = key;
+    std::sort(out.begin() + static_cast<ptrdiff_t>(offsets[p]),
+              out.begin() + static_cast<ptrdiff_t>(offsets[p + 1]));
   });
   return out;
 }
@@ -212,6 +218,53 @@ LinkSpace::BuildStats PartitionedAlex::AggregatedSpaceStats() const {
     total.features_indexed += s.features_indexed;
   }
   return total;
+}
+
+void PartitionedAlex::SaveState(BinaryWriter* w) const {
+  w->WriteU64(engines_.size());
+  w->WriteU64(left_->num_entities());
+  for (const auto& engine : engines_) {
+    BinaryWriter ew;
+    engine->SaveState(&ew);
+    w->WriteBytes(ew.buffer());
+  }
+}
+
+Status PartitionedAlex::LoadState(BinaryReader* r) {
+  uint64_t num_partitions = 0;
+  ALEX_RETURN_NOT_OK(r->ReadU64(&num_partitions));
+  if (num_partitions != engines_.size()) {
+    return Status::InvalidArgument(
+        "checkpoint has " + std::to_string(num_partitions) +
+        " partitions, this instance has " + std::to_string(engines_.size()));
+  }
+  uint64_t num_left = 0;
+  ALEX_RETURN_NOT_OK(r->ReadU64(&num_left));
+  if (num_left != left_->num_entities()) {
+    return Status::InvalidArgument(
+        "checkpoint was taken over a left dataset with " +
+        std::to_string(num_left) + " entities, this one has " +
+        std::to_string(left_->num_entities()));
+  }
+  // Stage every partition into a fresh engine before swapping anything in:
+  // a payload that corrupts mid-stream must not leave partition 0 restored
+  // and partition 1 untouched.
+  std::vector<std::unique_ptr<AlexEngine>> staged;
+  staged.reserve(engines_.size());
+  for (size_t p = 0; p < engines_.size(); ++p) {
+    std::string_view payload;
+    ALEX_RETURN_NOT_OK(r->ReadBytesView(&payload));
+    BinaryReader er(payload);
+    staged.push_back(
+        std::make_unique<AlexEngine>(spaces_[p].get(), config_, 0));
+    ALEX_RETURN_NOT_OK(staged[p]->LoadState(&er));
+    if (!er.AtEnd()) {
+      return Status::ParseError("partition " + std::to_string(p) +
+                                " payload has trailing bytes");
+    }
+  }
+  engines_ = std::move(staged);
+  return Status::OK();
 }
 
 }  // namespace alex::core

@@ -57,6 +57,11 @@ class PartitionedAlex {
   /// Union of all partitions' candidate sets. Per-partition snapshots are
   /// gathered in parallel on the worker pool.
   std::unordered_set<PairKey> Candidates() const;
+  /// Same union as a vector in canonical order: partition-major, sorted
+  /// within each partition. The order is a function of the candidate SET
+  /// only — not of hash-table iteration history — so a checkpoint-restored
+  /// run samples feedback from the exact sequence the uninterrupted run
+  /// would have seen.
   std::vector<PairKey> CandidateVector() const;
   size_t NumCandidates() const;
 
@@ -76,6 +81,18 @@ class PartitionedAlex {
 
   /// Aggregated link-space stats (Figure 5 reports partition 0's).
   LinkSpace::BuildStats AggregatedSpaceStats() const;
+
+  /// Serializes every partition engine's state plus the partition layout
+  /// (count and left-entity total, for restore-time validation). Spaces are
+  /// rebuilt, not serialized — see AlexEngine::SaveState.
+  void SaveState(BinaryWriter* w) const;
+
+  /// Restores a snapshot saved by SaveState() into this instance, which
+  /// must have been constructed over the same datasets and config (and had
+  /// Build() run). All-or-nothing across partitions: every engine payload
+  /// is staged into a fresh engine first, and the live engines are only
+  /// swapped out after the entire snapshot parsed cleanly.
+  Status LoadState(BinaryReader* r);
 
  private:
   ThreadPool* pool() const;

@@ -1,6 +1,7 @@
 #include "core/policy.h"
 
 #include <algorithm>
+#include <tuple>
 #include <unordered_set>
 
 namespace alex::core {
@@ -70,6 +71,10 @@ void EpsilonGreedyPolicy::RecordReturn(const StateAction& sa, double reward) {
 
 void EpsilonGreedyPolicy::Improve(const std::vector<PairKey>& episode_states) {
   // argmax_a Q(s, a) for every episode state, in one pass over the returns.
+  // Exact-Q ties break towards the smallest action key: the winner must not
+  // depend on the hash table's iteration order, or a checkpoint-restored
+  // policy (same contents, different insertion history) could improve to a
+  // different greedy map than the uninterrupted run.
   const std::unordered_set<PairKey> in_episode(episode_states.begin(),
                                                episode_states.end());
   std::unordered_map<PairKey, std::pair<FeatureKey, double>> best;
@@ -77,7 +82,8 @@ void EpsilonGreedyPolicy::Improve(const std::vector<PairKey>& episode_states) {
     if (!in_episode.count(sa.state)) continue;
     const double q = stats.q();
     auto it = best.find(sa.state);
-    if (it == best.end() || q > it->second.second) {
+    if (it == best.end() || q > it->second.second ||
+        (q == it->second.second && sa.action < it->second.first)) {
       best[sa.state] = {sa.action, q};
     }
   }
@@ -115,6 +121,104 @@ std::optional<FeatureKey> EpsilonGreedyPolicy::GreedyAction(
   auto it = greedy_.find(state);
   if (it == greedy_.end()) return std::nullopt;
   return it->second;
+}
+
+void EpsilonGreedyPolicy::SaveState(BinaryWriter* w) const {
+  w->WriteDouble(epsilon_);
+  for (uint64_t word : rng_.SaveState()) w->WriteU64(word);
+
+  // Tables go out sorted by key so equal policies serialize to equal bytes
+  // regardless of their hash tables' insertion histories.
+  std::vector<std::pair<StateAction, Stats>> returns(returns_.begin(),
+                                                     returns_.end());
+  std::sort(returns.begin(), returns.end(), [](const auto& a, const auto& b) {
+    return std::tie(a.first.state, a.first.action) <
+           std::tie(b.first.state, b.first.action);
+  });
+  w->WriteU64(returns.size());
+  for (const auto& [sa, stats] : returns) {
+    w->WriteU64(sa.state);
+    w->WriteU64(sa.action);
+    w->WriteDouble(stats.sum);
+    w->WriteU64(stats.count);
+  }
+
+  std::vector<std::pair<FeatureKey, Stats>> global(global_returns_.begin(),
+                                                   global_returns_.end());
+  std::sort(global.begin(), global.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  w->WriteU64(global.size());
+  for (const auto& [action, stats] : global) {
+    w->WriteU64(action);
+    w->WriteDouble(stats.sum);
+    w->WriteU64(stats.count);
+  }
+
+  std::vector<std::pair<PairKey, FeatureKey>> greedy(greedy_.begin(),
+                                                     greedy_.end());
+  std::sort(greedy.begin(), greedy.end());
+  w->WriteU64(greedy.size());
+  for (const auto& [state, action] : greedy) {
+    w->WriteU64(state);
+    w->WriteU64(action);
+  }
+}
+
+Status EpsilonGreedyPolicy::LoadState(BinaryReader* r) {
+  // Parse everything into locals first; commit only on full success so a
+  // corrupt snapshot cannot leave the policy half-restored.
+  double epsilon = 0.0;
+  ALEX_RETURN_NOT_OK(r->ReadDouble(&epsilon));
+  Rng::State rng_state;
+  for (uint64_t& word : rng_state) ALEX_RETURN_NOT_OK(r->ReadU64(&word));
+
+  uint64_t n = 0;
+  ALEX_RETURN_NOT_OK(r->ReadU64(&n));
+  std::unordered_map<StateAction, Stats, StateActionHash> returns;
+  returns.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    StateAction sa;
+    Stats stats;
+    ALEX_RETURN_NOT_OK(r->ReadU64(&sa.state));
+    ALEX_RETURN_NOT_OK(r->ReadU64(&sa.action));
+    ALEX_RETURN_NOT_OK(r->ReadDouble(&stats.sum));
+    uint64_t count = 0;
+    ALEX_RETURN_NOT_OK(r->ReadU64(&count));
+    stats.count = static_cast<size_t>(count);
+    returns.emplace(sa, stats);
+  }
+
+  ALEX_RETURN_NOT_OK(r->ReadU64(&n));
+  std::unordered_map<FeatureKey, Stats> global;
+  global.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    FeatureKey action = 0;
+    Stats stats;
+    ALEX_RETURN_NOT_OK(r->ReadU64(&action));
+    ALEX_RETURN_NOT_OK(r->ReadDouble(&stats.sum));
+    uint64_t count = 0;
+    ALEX_RETURN_NOT_OK(r->ReadU64(&count));
+    stats.count = static_cast<size_t>(count);
+    global.emplace(action, stats);
+  }
+
+  ALEX_RETURN_NOT_OK(r->ReadU64(&n));
+  std::unordered_map<PairKey, FeatureKey> greedy;
+  greedy.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    PairKey state = 0;
+    FeatureKey action = 0;
+    ALEX_RETURN_NOT_OK(r->ReadU64(&state));
+    ALEX_RETURN_NOT_OK(r->ReadU64(&action));
+    greedy.emplace(state, action);
+  }
+
+  epsilon_ = epsilon;
+  rng_.RestoreState(rng_state);
+  returns_ = std::move(returns);
+  global_returns_ = std::move(global);
+  greedy_ = std::move(greedy);
+  return Status::OK();
 }
 
 }  // namespace alex::core

@@ -6,7 +6,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/binary_io.h"
 #include "common/rng.h"
+#include "common/status.h"
 #include "core/feature.h"
 #include "feedback/ground_truth.h"
 
@@ -27,9 +29,16 @@ struct StateAction {
 
 struct StateActionHash {
   size_t operator()(const StateAction& sa) const {
-    // 64-bit mix of the two keys.
+    // 64-bit mix of the two keys, finalized splitmix64-style before the
+    // narrowing cast: on a 32-bit size_t the cast keeps only the low word,
+    // and without finalization those bits carry almost none of the
+    // high-half entropy of `state` (PairKey packs the left entity in the
+    // high 32 bits), collapsing whole entity ranges onto shared buckets.
     uint64_t h = sa.state * 0x9e3779b97f4a7c15ULL;
     h ^= sa.action + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+    h ^= h >> 31;
     return static_cast<size_t>(h);
   }
 };
@@ -94,6 +103,15 @@ class EpsilonGreedyPolicy {
   std::vector<std::pair<FeatureKey, double>> GlobalActionValues() const;
 
   size_t num_states() const { return greedy_.size(); }
+
+  /// Serializes the full policy state — ε, the RNG stream, the per-state
+  /// and global return tables, and the greedy map — in a canonical (sorted)
+  /// order, so identical policies produce identical bytes.
+  void SaveState(BinaryWriter* w) const;
+
+  /// Restores a policy saved with SaveState(). All-or-nothing: on any
+  /// parse error the policy is left untouched.
+  Status LoadState(BinaryReader* r);
 
  private:
   struct Stats {

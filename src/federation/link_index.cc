@@ -111,6 +111,116 @@ const std::vector<LinkIndex::IriId>& LinkIndex::LeftIdsFor(IriId right) const {
   return it == right_ids_.end() ? EmptyIdVec() : it->second;
 }
 
+void LinkIndex::SaveState(BinaryWriter* w) const {
+  // IRI table in id order fixes the interning; adjacency is then pure ids.
+  w->WriteU64(iri_terms_.size());
+  for (const rdf::Term& term : iri_terms_) w->WriteBytes(term.value);
+
+  // Adjacency lists keyed by id, sorted by key for canonical bytes; the
+  // vectors' element order is the co-referent enumeration order and is
+  // preserved verbatim.
+  auto write_adjacency =
+      [w](const std::unordered_map<IriId, std::vector<IriId>>& adj) {
+        std::vector<IriId> keys;
+        keys.reserve(adj.size());
+        for (const auto& [id, targets] : adj) keys.push_back(id);
+        std::sort(keys.begin(), keys.end());
+        w->WriteU64(keys.size());
+        for (IriId id : keys) {
+          const std::vector<IriId>& targets = adj.at(id);
+          w->WriteU32(id);
+          w->WriteU64(targets.size());
+          for (IriId t : targets) w->WriteU32(t);
+        }
+      };
+  write_adjacency(left_ids_);
+  write_adjacency(right_ids_);
+  w->WriteU64(epoch_);
+  w->WriteU64(size_);
+}
+
+Status LinkIndex::LoadState(BinaryReader* r) {
+  uint64_t num_iris = 0;
+  ALEX_RETURN_NOT_OK(r->ReadU64(&num_iris));
+  std::deque<rdf::Term> terms;
+  std::unordered_map<std::string, IriId> ids;
+  ids.reserve(num_iris);
+  for (uint64_t i = 0; i < num_iris; ++i) {
+    std::string iri;
+    ALEX_RETURN_NOT_OK(r->ReadBytes(&iri));
+    ids.emplace(iri, static_cast<IriId>(i));
+    terms.push_back(rdf::Term::Iri(std::move(iri)));
+  }
+
+  auto read_adjacency =
+      [r, num_iris](std::unordered_map<IriId, std::vector<IriId>>* adj,
+                    uint64_t* edge_total) -> Status {
+    uint64_t keys = 0;
+    ALEX_RETURN_NOT_OK(r->ReadU64(&keys));
+    adj->clear();
+    adj->reserve(keys);
+    for (uint64_t i = 0; i < keys; ++i) {
+      uint32_t id = 0;
+      ALEX_RETURN_NOT_OK(r->ReadU32(&id));
+      if (id >= num_iris) {
+        return Status::ParseError("link index: adjacency key id " +
+                                  std::to_string(id) + " out of range");
+      }
+      uint64_t len = 0;
+      ALEX_RETURN_NOT_OK(r->ReadU64(&len));
+      std::vector<IriId>& targets = (*adj)[id];
+      targets.resize(len);
+      for (uint64_t j = 0; j < len; ++j) {
+        ALEX_RETURN_NOT_OK(r->ReadU32(&targets[j]));
+        if (targets[j] >= num_iris) {
+          return Status::ParseError("link index: adjacency target id " +
+                                    std::to_string(targets[j]) +
+                                    " out of range");
+        }
+      }
+      *edge_total += len;
+    }
+    return Status::OK();
+  };
+  std::unordered_map<IriId, std::vector<IriId>> left_ids, right_ids;
+  uint64_t left_edges = 0, right_edges = 0;
+  ALEX_RETURN_NOT_OK(read_adjacency(&left_ids, &left_edges));
+  ALEX_RETURN_NOT_OK(read_adjacency(&right_ids, &right_edges));
+
+  uint64_t epoch = 0, size = 0;
+  ALEX_RETURN_NOT_OK(r->ReadU64(&epoch));
+  ALEX_RETURN_NOT_OK(r->ReadU64(&size));
+  if (left_edges != size || right_edges != size) {
+    return Status::ParseError(
+        "link index: edge counts disagree with recorded size");
+  }
+
+  // Rebuild the string views from the id views so the two stay mirrored.
+  std::unordered_map<std::string, std::vector<std::string>> l2r, r2l;
+  l2r.reserve(left_ids.size());
+  r2l.reserve(right_ids.size());
+  for (const auto& [lid, rights] : left_ids) {
+    std::vector<std::string>& out = l2r[terms[lid].value];
+    out.reserve(rights.size());
+    for (IriId rid : rights) out.push_back(terms[rid].value);
+  }
+  for (const auto& [rid, lefts] : right_ids) {
+    std::vector<std::string>& out = r2l[terms[rid].value];
+    out.reserve(lefts.size());
+    for (IriId lid : lefts) out.push_back(terms[lid].value);
+  }
+
+  left_to_right_ = std::move(l2r);
+  right_to_left_ = std::move(r2l);
+  iri_ids_ = std::move(ids);
+  iri_terms_ = std::move(terms);
+  left_ids_ = std::move(left_ids);
+  right_ids_ = std::move(right_ids);
+  epoch_ = epoch;
+  size_ = static_cast<size_t>(size);
+  return Status::OK();
+}
+
 std::vector<SameAsLink> LinkIndex::AllLinks() const {
   std::vector<SameAsLink> out;
   out.reserve(size_);

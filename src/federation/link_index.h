@@ -7,6 +7,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/binary_io.h"
+#include "common/status.h"
 #include "rdf/term.h"
 
 namespace alex::fed {
@@ -92,6 +94,18 @@ class LinkIndex {
 
   /// Snapshot of all links.
   std::vector<SameAsLink> AllLinks() const;
+
+  /// Serializes the whole index — interned IRI table (in id order), both
+  /// id-adjacency views with their per-key co-referent order, and the
+  /// mutation epoch — so a restored index is bit-identical: same IriIds,
+  /// same co-referent enumeration order, same epoch (probe caches keyed on
+  /// the epoch stay coherent across a restart).
+  void SaveState(BinaryWriter* w) const;
+
+  /// Restores a snapshot saved by SaveState() into this index, replacing
+  /// its contents. All-or-nothing: on a corrupt payload the index is left
+  /// untouched.
+  Status LoadState(BinaryReader* r);
 
  private:
   IriId InternIri(const std::string& iri);

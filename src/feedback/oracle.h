@@ -40,6 +40,11 @@ class Oracle {
 
   double error_rate() const { return error_rate_; }
 
+  /// The oracle's RNG stream, for checkpoint/resume: a restored oracle
+  /// samples and mis-judges exactly as the saved one would have.
+  Rng::State SaveRngState() const { return rng_.SaveState(); }
+  void RestoreRngState(const Rng::State& state) { rng_.RestoreState(state); }
+
  private:
   const GroundTruth* truth_;
   double error_rate_;

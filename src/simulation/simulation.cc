@@ -2,8 +2,10 @@
 
 #include <algorithm>
 
+#include "common/binary_io.h"
 #include "common/logging.h"
 #include "common/stopwatch.h"
+#include "core/checkpoint.h"
 #include "feedback/oracle.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -24,6 +26,126 @@ size_t SymmetricDifferenceSize(const std::unordered_set<PairKey>& a,
     if (!a.count(k)) ++diff;
   }
   return diff;
+}
+
+obs::Counter& ResumeCounter() {
+  return obs::MetricsRegistry::Global().counter("ckpt.resumes");
+}
+
+/// Simulation checkpoint payload (kind kSimulation): the boundary episode,
+/// the oracle's RNG stream, the per-episode series so far, and the embedded
+/// PartitionedAlex snapshot. Everything else a resumed run needs (datasets,
+/// link spaces, PARIS links) is deterministically regenerated.
+std::string SerializeSimulationState(size_t boundary_episode,
+                                     const feedback::Oracle& oracle,
+                                     uint64_t oracle_seed,
+                                     const RunResult& result,
+                                     const PartitionedAlex& alex) {
+  BinaryWriter w;
+  w.WriteU64(boundary_episode);
+  for (uint64_t word : oracle.SaveRngState()) w.WriteU64(word);
+  w.WriteDouble(oracle.error_rate());
+  w.WriteU64(oracle_seed);
+  w.WriteU64(result.relaxed_episode);
+  w.WriteU64(result.episodes.size());
+  for (const EpisodeRecord& rec : result.episodes) {
+    w.WriteU64(rec.episode);
+    w.WriteDouble(rec.metrics.precision);
+    w.WriteDouble(rec.metrics.recall);
+    w.WriteDouble(rec.metrics.f_measure);
+    w.WriteU64(rec.metrics.correct);
+    w.WriteU64(rec.metrics.candidates);
+    w.WriteU64(rec.metrics.ground_truth);
+    w.WriteU64(rec.links_changed);
+    w.WriteU64(rec.positive_feedback);
+    w.WriteU64(rec.negative_feedback);
+    w.WriteU64(rec.links_added);
+    w.WriteU64(rec.links_removed);
+    w.WriteU64(rec.rollbacks);
+    w.WriteDouble(rec.seconds);
+  }
+  BinaryWriter alex_payload;
+  alex.SaveState(&alex_payload);
+  w.WriteBytes(alex_payload.buffer());
+  return w.Release();
+}
+
+/// Restores a kSimulation payload. Fills `*boundary_episode`, the oracle
+/// RNG, `result->episodes`/`relaxed_episode`, and the engines in `*alex`.
+Status RestoreSimulationState(std::string_view payload, const
+                              SimulationConfig& config, size_t* boundary_episode,
+                              feedback::Oracle* oracle, RunResult* result,
+                              PartitionedAlex* alex) {
+  BinaryReader r(payload);
+  uint64_t boundary = 0;
+  ALEX_RETURN_NOT_OK(r.ReadU64(&boundary));
+  Rng::State oracle_rng;
+  for (uint64_t& word : oracle_rng) ALEX_RETURN_NOT_OK(r.ReadU64(&word));
+  double error_rate = 0.0;
+  uint64_t oracle_seed = 0;
+  ALEX_RETURN_NOT_OK(r.ReadDouble(&error_rate));
+  ALEX_RETURN_NOT_OK(r.ReadU64(&oracle_seed));
+  if (error_rate != config.feedback_error_rate ||
+      oracle_seed != config.oracle_seed) {
+    return Status::InvalidArgument(
+        "checkpoint oracle settings (error_rate/seed) differ from the "
+        "resuming run's");
+  }
+  uint64_t relaxed = 0;
+  ALEX_RETURN_NOT_OK(r.ReadU64(&relaxed));
+  uint64_t num_records = 0;
+  ALEX_RETURN_NOT_OK(r.ReadU64(&num_records));
+  if (num_records != boundary + 1) {
+    return Status::ParseError("checkpoint episode series length " +
+                              std::to_string(num_records) +
+                              " does not match boundary episode " +
+                              std::to_string(boundary));
+  }
+  std::vector<EpisodeRecord> records;
+  records.reserve(num_records);
+  for (uint64_t i = 0; i < num_records; ++i) {
+    EpisodeRecord rec;
+    uint64_t v = 0;
+    ALEX_RETURN_NOT_OK(r.ReadU64(&v));
+    rec.episode = v;
+    ALEX_RETURN_NOT_OK(r.ReadDouble(&rec.metrics.precision));
+    ALEX_RETURN_NOT_OK(r.ReadDouble(&rec.metrics.recall));
+    ALEX_RETURN_NOT_OK(r.ReadDouble(&rec.metrics.f_measure));
+    ALEX_RETURN_NOT_OK(r.ReadU64(&v));
+    rec.metrics.correct = v;
+    ALEX_RETURN_NOT_OK(r.ReadU64(&v));
+    rec.metrics.candidates = v;
+    ALEX_RETURN_NOT_OK(r.ReadU64(&v));
+    rec.metrics.ground_truth = v;
+    ALEX_RETURN_NOT_OK(r.ReadU64(&v));
+    rec.links_changed = v;
+    ALEX_RETURN_NOT_OK(r.ReadU64(&v));
+    rec.positive_feedback = v;
+    ALEX_RETURN_NOT_OK(r.ReadU64(&v));
+    rec.negative_feedback = v;
+    ALEX_RETURN_NOT_OK(r.ReadU64(&v));
+    rec.links_added = v;
+    ALEX_RETURN_NOT_OK(r.ReadU64(&v));
+    rec.links_removed = v;
+    ALEX_RETURN_NOT_OK(r.ReadU64(&v));
+    rec.rollbacks = v;
+    ALEX_RETURN_NOT_OK(r.ReadDouble(&rec.seconds));
+    records.push_back(rec);
+  }
+  std::string_view alex_payload;
+  ALEX_RETURN_NOT_OK(r.ReadBytesView(&alex_payload));
+  if (!r.AtEnd()) {
+    return Status::ParseError("checkpoint has trailing bytes");
+  }
+  BinaryReader ar(alex_payload);
+  ALEX_RETURN_NOT_OK(alex->LoadState(&ar));
+
+  // Engines restored; commit the driver-level pieces.
+  oracle->RestoreRngState(oracle_rng);
+  result->episodes = std::move(records);
+  result->relaxed_episode = static_cast<size_t>(relaxed);
+  *boundary_episode = static_cast<size_t>(boundary);
+  return Status::OK();
 }
 
 }  // namespace
@@ -108,8 +230,65 @@ RunResult Simulation::Run() {
   feedback::Oracle oracle(&data_.truth, config_.feedback_error_rate,
                           config_.oracle_seed);
 
+  const uint64_t fingerprint = core::ckpt::ConfigFingerprint(config_.alex);
+  size_t start_episode = 1;
+
+  // Resume: restore the engines, the oracle stream, and the episode series
+  // from the newest (or named) checkpoint, then continue the loop exactly
+  // where the checkpointing run left off. A failed restore aborts the run
+  // with `resume_error` set — continuing fresh would silently diverge.
+  if (!config_.resume_from.empty()) {
+    Status st;
+    auto path = core::ckpt::CheckpointManager::ResolveLatest(config_.resume_from);
+    if (!path.ok()) st = path.status();
+    if (st.ok()) {
+      auto blob = core::ckpt::CheckpointManager::ReadBlob(*path);
+      if (!blob.ok()) {
+        st = blob.status();
+      } else {
+        auto payload = core::ckpt::UnwrapPayload(
+            *blob, core::ckpt::PayloadKind::kSimulation, fingerprint);
+        if (!payload.ok()) {
+          st = payload.status();
+        } else {
+          size_t boundary = 0;
+          st = RestoreSimulationState(*payload, config_, &boundary, &oracle,
+                                      &result, &alex);
+          if (st.ok()) {
+            start_episode = boundary + 1;
+            result.resumed_from_episode = boundary;
+            previous = alex.Candidates();
+            ResumeCounter().Add(1);
+            ALEX_LOG(kInfo) << "resumed '" << result.scenario_name
+                            << "' from episode " << boundary << " ("
+                            << *path << ")";
+          }
+        }
+      }
+    }
+    if (!st.ok()) {
+      ALEX_LOG(kError) << "resume from '" << config_.resume_from
+                       << "' failed: " << st;
+      result.resume_error = st;
+      result.total_seconds = total_watch.ElapsedSeconds();
+      telemetry.wall_seconds = result.total_seconds;
+      telemetry.metrics =
+          obs::MetricsRegistry::Global().Snapshot().DeltaSince(metrics_before);
+      return result;
+    }
+  }
+
+  std::unique_ptr<core::ckpt::CheckpointManager> ckpt_manager;
+  if (config_.checkpoint_every_k_episodes > 0) {
+    ckpt_manager = std::make_unique<core::ckpt::CheckpointManager>(
+        config_.checkpoint_dir.empty() ? "alex-checkpoints"
+                                       : config_.checkpoint_dir,
+        config_.checkpoint_keep);
+  }
+
   // 4. Policy evaluation / policy improvement iterations.
-  for (size_t episode = 1; episode <= config_.alex.max_episodes; ++episode) {
+  for (size_t episode = start_episode; episode <= config_.alex.max_episodes;
+       ++episode) {
     ALEX_TRACE_SPAN("simulation", "Episode");
     Stopwatch episode_watch;
     {
@@ -145,6 +324,8 @@ RunResult Simulation::Run() {
     result.episodes.push_back(record);
 
     if (observer_) observer_(episode, alex);
+    // Phases are disjoint by contract; end "evaluate" before "checkpoint".
+    evaluate_phase.Stop();
 
     if (result.relaxed_episode == 0 && !previous.empty() &&
         static_cast<double>(record.links_changed) <
@@ -152,6 +333,25 @@ RunResult Simulation::Run() {
                 static_cast<double>(previous.size())) {
       result.relaxed_episode = episode;
     }
+
+    // Durable snapshot at the episode boundary: engine + oracle + series
+    // (after the relaxed-convergence bookkeeping so the saved series is
+    // exactly the uninterrupted run's view of this boundary). A write
+    // failure is logged and the run continues — older retained checkpoints
+    // stay valid behind the manifest.
+    if (ckpt_manager && episode % config_.checkpoint_every_k_episodes == 0) {
+      obs::PhaseTimer ckpt_phase(&telemetry, "checkpoint");
+      const std::string blob = core::ckpt::WrapPayload(
+          core::ckpt::PayloadKind::kSimulation, fingerprint,
+          SerializeSimulationState(episode, oracle, config_.oracle_seed,
+                                   result, alex));
+      const Status st = ckpt_manager->Write(blob);
+      if (!st.ok()) {
+        ALEX_LOG(kWarning) << "checkpoint write at episode " << episode
+                           << " failed: " << st;
+      }
+    }
+
     if (record.links_changed == 0) {
       result.converged_episode = episode;
       previous = current;

@@ -24,6 +24,23 @@ struct SimulationConfig {
   /// Fraction of feedback items whose verdict is flipped (Appendix C).
   double feedback_error_rate = 0.0;
   uint64_t oracle_seed = 99;
+
+  /// Durable checkpoint/resume (see core/checkpoint.h and DESIGN.md
+  /// "Checkpoint & resume"). When `checkpoint_every_k_episodes` > 0 the run
+  /// writes a crash-consistent snapshot of the full engine + oracle state
+  /// into `checkpoint_dir` after every k-th episode, retaining the newest
+  /// `checkpoint_keep` snapshots behind a manifest.
+  size_t checkpoint_every_k_episodes = 0;
+  std::string checkpoint_dir;
+  size_t checkpoint_keep = 3;
+
+  /// When non-empty, the run restores from this checkpoint (a file, a
+  /// checkpoint directory, or a MANIFEST path — the newest retained
+  /// snapshot is used) instead of starting at episode 1, and then continues
+  /// bit-identically to the uninterrupted run at every episode boundary.
+  /// The scenario/config must match the checkpointing run (enforced via
+  /// the config fingerprint in the checkpoint header).
+  std::string resume_from;
 };
 
 /// Quality and activity after one episode. Record 0 is the initial (PARIS)
@@ -73,6 +90,14 @@ struct RunResult {
   /// metrics-registry delta observed during the run. Serialized by the
   /// benches as a *.telemetry.json sidecar.
   obs::RunTelemetry telemetry;
+  /// Episode boundary this run resumed from (0 = fresh run). The episode
+  /// series before this point was restored from the checkpoint.
+  size_t resumed_from_episode = 0;
+  /// Non-OK when `resume_from` was set but the checkpoint could not be
+  /// restored (missing, corrupt, truncated, or config-mismatched). The run
+  /// aborts after episode 0 rather than silently diverging from the
+  /// checkpointing run.
+  Status resume_error;
 
   /// Precondition: the run produced at least one episode record (Run()
   /// always records episode 0). Guard hand-built results before calling.

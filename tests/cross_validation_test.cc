@@ -80,7 +80,8 @@ TEST(CrossValidationTest, BinaryAndTextFormatsAgree) {
 }
 
 TEST(CrossValidationTest, EpsilonDecayIsObservable) {
-  // Minimal space; the engine's policy ε must follow ε0 / (episodes + 1).
+  // Minimal space; the engine's policy ε must follow the GLIE schedule
+  // ε0 / k after k completed episodes (see AlexConfig::epsilon_decay).
   rdf::Dataset left{"l"}, right{"r"};
   left.AddLiteralTriple("http://l/e", "http://l/name",
                         rdf::Term::Literal("Solo Entity"));
@@ -97,9 +98,9 @@ TEST(CrossValidationTest, EpsilonDecayIsObservable) {
   core::AlexEngine engine(&space, config, 3);
   EXPECT_DOUBLE_EQ(engine.policy().epsilon(), 0.1);
   engine.EndEpisode();
-  EXPECT_DOUBLE_EQ(engine.policy().epsilon(), 0.1 / 2);
+  EXPECT_DOUBLE_EQ(engine.policy().epsilon(), 0.1 / 1);
   engine.EndEpisode();
-  EXPECT_DOUBLE_EQ(engine.policy().epsilon(), 0.1 / 3);
+  EXPECT_DOUBLE_EQ(engine.policy().epsilon(), 0.1 / 2);
 
   core::AlexConfig fixed = config;
   fixed.epsilon_decay = false;

@@ -225,6 +225,26 @@ TEST_F(EngineTest, PositiveFeedbackReadmitsRejectedLink) {
   EXPECT_FALSE(engine.IsBlacklisted(PackPair(L(0), R(0))));
 }
 
+TEST_F(EngineTest, EpsilonDecayFollowsGlieSchedule) {
+  // Pins the corrected GLIE schedule over the first five episodes: after k
+  // completed episodes the policy runs with ε0 / k, so episode 1 explores
+  // with the full ε0 and episode k+1 with ε0 / k. The previous divisor
+  // (episodes + 1) skipped the full-ε0 phase entirely — see
+  // AlexConfig::epsilon_decay.
+  AlexConfig config = config_;
+  config.epsilon = 0.4;
+  config.epsilon_decay = true;
+  AlexEngine engine(&space_, config, 7);
+  EXPECT_DOUBLE_EQ(engine.policy().epsilon(), 0.4);  // Episode 1: full ε0.
+  const double expected[] = {0.4 / 1, 0.4 / 2, 0.4 / 3, 0.4 / 4, 0.4 / 5};
+  for (int k = 1; k <= 5; ++k) {
+    engine.EndEpisode();
+    EXPECT_DOUBLE_EQ(engine.policy().epsilon(), expected[k - 1])
+        << "after EndEpisode #" << k;
+    EXPECT_EQ(engine.episodes_completed(), static_cast<size_t>(k));
+  }
+}
+
 TEST_F(EngineTest, MaxLinksPerActionCapsYield) {
   config_.max_links_per_action = 2;
   AlexEngine engine(&space_, config_, 1);

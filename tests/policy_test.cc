@@ -183,5 +183,28 @@ TEST(PolicyTest, SetEpsilonTakesEffect) {
   }
 }
 
+TEST(PolicyTest, StateActionHashSpreadsLowBits) {
+  // The hash is truncated to size_t by the container; on 32-bit targets
+  // only the low word survives. The splitmix-style finalizer must push
+  // entropy from the high-bit-only structure of packed keys into the low
+  // 32 bits — without it, states differing only in the left EntityId
+  // (high half of PairKey) collide catastrophically after truncation.
+  StateActionHash hash;
+  std::set<uint32_t> low_words;
+  constexpr int kStates = 64;
+  constexpr int kActions = 16;
+  for (uint64_t l = 0; l < kStates; ++l) {
+    for (uint64_t a = 0; a < kActions; ++a) {
+      // States vary only in the high 32 bits; actions only in the high
+      // 32 bits of FeatureKey — worst case for a truncating hash.
+      StateAction sa{l << 32, a << 32};
+      low_words.insert(static_cast<uint32_t>(hash(sa) & 0xffffffffULL));
+    }
+  }
+  // All distinct inputs should land on distinct low words; allow a tiny
+  // budget for genuine 32-bit birthday collisions (expected ~0.1 here).
+  EXPECT_GE(low_words.size(), static_cast<size_t>(kStates * kActions - 2));
+}
+
 }  // namespace
 }  // namespace alex::core
