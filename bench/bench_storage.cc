@@ -1,0 +1,301 @@
+// Storage-layer benchmark: uncompressed TripleStore vs block-compressed
+// CompressedTripleStore (in-memory and disk-backed tiers) across synthetic
+// triple workloads.
+//
+// Usage: bench_storage [max_triples] [patterns] [cache_mb] [block_size]
+//   max_triples  largest workload size (default 10M; the 0.1M/1M/10M sweep
+//                is clipped to it, so CI can run a reduced sweep)
+//   patterns     lookup patterns per size (default 2000)
+//   cache_mb     disk-tier decoded-block cache budget (default 64)
+//   block_size   triples per compressed block (default 1024)
+//
+// Emits one JSON document on stdout plus the bench_storage.telemetry.json
+// sidecar. Exits non-zero if any arm's match digest diverges from the
+// uncompressed reference (the backends must be bit-identical), or if the
+// compressed tier misses the <= 40% bytes/triple target at >= 1M triples.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "obs/metrics.h"
+#include "datagen/generator.h"
+#include "rdf/compact_dictionary.h"
+#include "rdf/compressed_store.h"
+#include "rdf/dictionary.h"
+#include "rdf/triple_store.h"
+
+namespace alex {
+namespace {
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+void FnvMix(uint64_t* h, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    *h ^= (v >> (8 * i)) & 0xff;
+    *h *= kFnvPrime;
+  }
+}
+
+struct ArmResult {
+  std::string name;
+  double build_seconds = 0;
+  size_t memory_bytes = 0;
+  double bytes_per_triple = 0;
+  double match_seconds = 0;
+  size_t matched = 0;
+  uint64_t digest = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_evictions = 0;
+  bool has_cache = false;
+};
+
+/// Runs every pattern through the source, folding each matched triple into
+/// an order-sensitive digest. Identical content + identical iteration order
+/// (the equivalence contract) => identical digest.
+ArmResult RunQueries(std::string name, const rdf::TripleSource& source,
+                     const std::vector<rdf::TriplePattern>& patterns) {
+  ArmResult r;
+  r.name = std::move(name);
+  uint64_t digest = kFnvOffset;
+  size_t matched = 0;
+  Stopwatch watch;
+  for (const rdf::TriplePattern& p : patterns) {
+    FnvMix(&digest, 0x9e3779b97f4a7c15ull);  // Pattern separator.
+    source.ForEachMatch(p, [&digest, &matched](const rdf::Triple& t) {
+      FnvMix(&digest, t.subject);
+      FnvMix(&digest, t.predicate);
+      FnvMix(&digest, t.object);
+      ++matched;
+      return true;
+    });
+  }
+  r.match_seconds = watch.ElapsedSeconds();
+  r.matched = matched;
+  r.digest = digest;
+  return r;
+}
+
+void PrintArmJson(const ArmResult& r, size_t num_patterns, bool last) {
+  std::printf(
+      "      {\"name\": \"%s\", \"build_seconds\": %.4f, "
+      "\"memory_bytes\": %zu, \"bytes_per_triple\": %.3f, "
+      "\"match_seconds\": %.4f, \"patterns_per_sec\": %.1f, "
+      "\"matched\": %zu, \"digest\": \"%016llx\"",
+      r.name.c_str(), r.build_seconds, r.memory_bytes, r.bytes_per_triple,
+      r.match_seconds,
+      r.match_seconds > 0 ? static_cast<double>(num_patterns) / r.match_seconds
+                          : 0.0,
+      r.matched, static_cast<unsigned long long>(r.digest));
+  if (r.has_cache) {
+    std::printf(
+        ", \"cache_hits\": %llu, \"cache_misses\": %llu, "
+        "\"cache_evictions\": %llu",
+        static_cast<unsigned long long>(r.cache_hits),
+        static_cast<unsigned long long>(r.cache_misses),
+        static_cast<unsigned long long>(r.cache_evictions));
+  }
+  std::printf("}%s\n", last ? "" : ",");
+}
+
+int Run(int argc, char** argv) {
+  const size_t max_triples =
+      bench::ParseUintArg(argc, argv, 1, 10000000, "max_triples");
+  const size_t num_patterns =
+      bench::ParseUintArg(argc, argv, 2, 2000, "patterns");
+  const size_t cache_mb = bench::ParseUintArg(argc, argv, 3, 64, "cache_mb");
+  const size_t block_size =
+      bench::ParseUintArg(argc, argv, 4, 1024, "block_size");
+
+  bench::TelemetrySidecar sidecar("bench_storage");
+
+  std::vector<size_t> sizes;
+  for (size_t n : {size_t{100000}, size_t{1000000}, size_t{10000000}}) {
+    if (n <= max_triples) sizes.push_back(n);
+  }
+  if (sizes.empty()) sizes.push_back(max_triples);
+
+  rdf::CompressedStoreOptions opts;
+  opts.block_size = block_size;
+  opts.cache_budget_bytes = cache_mb << 20;
+
+  bool all_equivalent = true;
+  bool ratio_ok = true;
+
+  std::printf("{\n  \"bench\": \"bench_storage\",\n");
+  std::printf("  \"block_size\": %zu,\n  \"cache_budget_mb\": %zu,\n",
+              block_size, cache_mb);
+  std::printf("  \"sizes\": [\n");
+
+  for (size_t si = 0; si < sizes.size(); ++si) {
+    const size_t n = sizes[si];
+    datagen::TripleWorkloadConfig workload;
+    workload.seed = 42 + n;
+    workload.num_triples = n;
+    const std::vector<rdf::Triple> triples =
+        datagen::GenerateTripleWorkload(workload);
+    const std::vector<rdf::TriplePattern> patterns =
+        datagen::GeneratePatternWorkload(triples, num_patterns, 1234 + n);
+
+    std::vector<ArmResult> arms;
+
+    // Arm 1: uncompressed reference.
+    {
+      Stopwatch watch;
+      rdf::TripleStore store;
+      for (const rdf::Triple& t : triples) store.Add(t);
+      store.EnsureIndexes();
+      const double build = watch.ElapsedSeconds();
+      ArmResult r = RunQueries("uncompressed", store, patterns);
+      r.build_seconds = build;
+      r.memory_bytes = store.MemoryBytes();
+      r.bytes_per_triple =
+          static_cast<double>(r.memory_bytes) / static_cast<double>(store.size());
+      sidecar.AddPhase("uncompressed_" + std::to_string(n),
+                       build + r.match_seconds);
+      arms.push_back(r);
+    }
+
+    // Arm 2: block-compressed, in memory.
+    {
+      Stopwatch watch;
+      const auto store = rdf::CompressedTripleStore::FromTriples(triples, opts);
+      const double build = watch.ElapsedSeconds();
+      ArmResult r = RunQueries("compressed", store, patterns);
+      r.build_seconds = build;
+      r.memory_bytes = store.MemoryBytes();
+      r.bytes_per_triple = store.BytesPerTriple();
+      sidecar.AddPhase("compressed_" + std::to_string(n),
+                       build + r.match_seconds);
+      arms.push_back(r);
+    }
+
+    // Arm 3: disk-backed tier through the LRU block cache.
+    {
+      const std::string path = "bench_storage.blocks";
+      auto& registry = obs::MetricsRegistry::Global();
+      const uint64_t hits0 = registry.counter("rdf.block_cache_hits").Value();
+      const uint64_t miss0 = registry.counter("rdf.block_cache_misses").Value();
+      const uint64_t evict0 =
+          registry.counter("rdf.block_cache_evictions").Value();
+      Stopwatch watch;
+      {
+        const auto mem = rdf::CompressedTripleStore::FromTriples(triples, opts);
+        const Status st = mem.WriteFile(path);
+        if (!st.ok()) {
+          std::fprintf(stderr, "disk arm failed: %s\n", st.ToString().c_str());
+          return 1;
+        }
+      }
+      auto opened = rdf::CompressedTripleStore::OpenFile(path, opts);
+      if (!opened.ok()) {
+        std::fprintf(stderr, "disk arm open failed: %s\n",
+                     opened.status().ToString().c_str());
+        return 1;
+      }
+      const double build = watch.ElapsedSeconds();
+      ArmResult r = RunQueries("disk", *opened, patterns);
+      r.build_seconds = build;
+      r.memory_bytes = opened->MemoryBytes();
+      r.bytes_per_triple = opened->BytesPerTriple();
+      r.has_cache = true;
+      r.cache_hits = registry.counter("rdf.block_cache_hits").Value() - hits0;
+      r.cache_misses =
+          registry.counter("rdf.block_cache_misses").Value() - miss0;
+      r.cache_evictions =
+          registry.counter("rdf.block_cache_evictions").Value() - evict0;
+      sidecar.AddPhase("disk_" + std::to_string(n), build + r.match_seconds);
+      arms.push_back(r);
+      std::remove(path.c_str());
+    }
+
+    const ArmResult& reference = arms[0];
+    bool equivalent = true;
+    for (const ArmResult& r : arms) {
+      if (r.digest != reference.digest || r.matched != reference.matched) {
+        equivalent = false;
+        all_equivalent = false;
+        std::fprintf(stderr,
+                     "EQUIVALENCE MISMATCH at %zu triples: arm %s digest "
+                     "%016llx != reference %016llx\n",
+                     n, r.name.c_str(),
+                     static_cast<unsigned long long>(r.digest),
+                     static_cast<unsigned long long>(reference.digest));
+      }
+    }
+    const double ratio = reference.bytes_per_triple > 0
+                             ? arms[1].bytes_per_triple /
+                                   reference.bytes_per_triple
+                             : 0.0;
+    if (n >= 1000000 && ratio > 0.40) {
+      ratio_ok = false;
+      std::fprintf(stderr,
+                   "COMPRESSION TARGET MISSED at %zu triples: ratio %.3f > "
+                   "0.40\n",
+                   n, ratio);
+    }
+
+    std::printf("    {\"num_triples\": %zu, \"patterns\": %zu,\n",
+                triples.size(), patterns.size());
+    std::printf("     \"arms\": [\n");
+    for (size_t ai = 0; ai < arms.size(); ++ai) {
+      PrintArmJson(arms[ai], patterns.size(), ai + 1 == arms.size());
+    }
+    std::printf("     ],\n");
+    std::printf("     \"compressed_ratio\": %.4f, \"equivalent\": %s}%s\n",
+                ratio, equivalent ? "true" : "false",
+                si + 1 == sizes.size() ? "" : ",");
+
+    sidecar.AddField("bytes_per_triple_uncompressed_" + std::to_string(n),
+                     reference.bytes_per_triple);
+    sidecar.AddField("bytes_per_triple_compressed_" + std::to_string(n),
+                     arms[1].bytes_per_triple);
+    sidecar.AddField("compressed_ratio_" + std::to_string(n), ratio);
+  }
+  std::printf("  ],\n");
+
+  // Dictionary arm: hash-indexed Dictionary vs front-coded CompactDictionary
+  // over a shared-prefix IRI pool (id-preserving, so both serve the same
+  // encoded triples).
+  {
+    rdf::Dictionary dict;
+    const size_t num_terms = std::min<size_t>(std::max(max_triples / 10,
+                                                       size_t{1000}),
+                                              size_t{1000000});
+    for (size_t i = 0; i < num_terms; ++i) {
+      dict.InternIri("http://example.org/resource/entity/" +
+                     std::to_string(i));
+    }
+    Stopwatch watch;
+    const auto compact = rdf::CompactDictionary::Build(dict);
+    const double build = watch.ElapsedSeconds();
+    const size_t dict_bytes = dict.ApproxMemoryBytes();
+    const size_t compact_bytes = compact.ApproxMemoryBytes();
+    const double ratio = dict_bytes > 0 ? static_cast<double>(compact_bytes) /
+                                              static_cast<double>(dict_bytes)
+                                        : 0.0;
+    std::printf(
+        "  \"dictionary\": {\"terms\": %zu, \"build_seconds\": %.4f, "
+        "\"dict_bytes\": %zu, \"compact_bytes\": %zu, \"ratio\": %.4f},\n",
+        num_terms, build, dict_bytes, compact_bytes, ratio);
+    sidecar.AddField("dictionary_ratio", ratio);
+    sidecar.AddPhase("dictionary", build);
+  }
+
+  const bool ok = all_equivalent && ratio_ok;
+  std::printf("  \"equivalent\": %s,\n  \"ratio_ok\": %s,\n  \"ok\": %s\n}\n",
+              all_equivalent ? "true" : "false", ratio_ok ? "true" : "false",
+              ok ? "true" : "false");
+  sidecar.AddField("ok", static_cast<uint64_t>(ok ? 1 : 0));
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace alex
+
+int main(int argc, char** argv) { return alex::Run(argc, argv); }

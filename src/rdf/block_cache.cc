@@ -1,0 +1,97 @@
+#include "rdf/block_cache.h"
+
+#include "obs/metrics.h"
+
+namespace alex::rdf {
+namespace {
+
+obs::Counter& CacheHits() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Global().counter("rdf.block_cache_hits");
+  return c;
+}
+obs::Counter& CacheMisses() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Global().counter("rdf.block_cache_misses");
+  return c;
+}
+obs::Counter& CacheEvictions() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Global().counter("rdf.block_cache_evictions");
+  return c;
+}
+
+}  // namespace
+
+BlockCache::BlockCache(size_t budget_bytes) : budget_bytes_(budget_bytes) {}
+
+BlockCache::BlockPtr BlockCache::GetOrLoad(uint64_t key,
+                                           const Loader& loader) {
+  uint64_t epoch_at_miss = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      CacheHits().Add();
+      return it->second->block;
+    }
+    epoch_at_miss = epoch_;
+  }
+  CacheMisses().Add();
+  BlockPtr block = loader();
+  if (block == nullptr) return nullptr;
+  const size_t block_bytes = block->ApproxBytes();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (epoch_ != epoch_at_miss) {
+    // Invalidated while loading: serve the caller its (still-consistent at
+    // load time) block, but never publish it into the new epoch.
+    return block;
+  }
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    // A racing loader for the same key landed first; reuse its entry.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return it->second->block;
+  }
+  lru_.push_front(Entry{key, block, block_bytes});
+  index_.emplace(key, lru_.begin());
+  bytes_ += block_bytes;
+  EvictToBudgetLocked();
+  return block;
+}
+
+void BlockCache::EvictToBudgetLocked() {
+  while (bytes_ > budget_bytes_ && lru_.size() > 1) {
+    const Entry& victim = lru_.back();
+    bytes_ -= victim.bytes;
+    index_.erase(victim.key);
+    lru_.pop_back();
+    CacheEvictions().Add();
+  }
+}
+
+void BlockCache::Invalidate() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++epoch_;
+  lru_.clear();
+  index_.clear();
+  bytes_ = 0;
+}
+
+uint64_t BlockCache::epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return epoch_;
+}
+
+size_t BlockCache::bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_;
+}
+
+size_t BlockCache::entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+}  // namespace alex::rdf

@@ -1,0 +1,169 @@
+#include "rdf/block_format.h"
+
+namespace alex::rdf::blockfmt {
+namespace {
+
+// Tag byte layout: mode << 6 | value6. value6 == 63 escapes to a varint
+// holding (value - 63).
+constexpr uint8_t kModeSameAB = 0;  // delta on c; b, a unchanged.
+constexpr uint8_t kModeSameA = 1;   // delta on b; absolute c.
+constexpr uint8_t kModeNewA = 2;    // delta on a; absolute b, c.
+constexpr uint8_t kTagEscape = 63;
+
+void EmitTag(std::string* out, uint8_t mode, uint64_t value) {
+  if (value < kTagEscape) {
+    out->push_back(static_cast<char>((mode << 6) | static_cast<uint8_t>(value)));
+  } else {
+    out->push_back(static_cast<char>((mode << 6) | kTagEscape));
+    AppendVarint(out, value - kTagEscape);
+  }
+}
+
+const char* ReadTag(const char* p, const char* end, uint8_t* mode,
+                    uint64_t* value) {
+  if (p == end) return nullptr;
+  const uint8_t tag = static_cast<uint8_t>(*p++);
+  *mode = tag >> 6;
+  *value = tag & 0x3f;
+  if (*value == kTagEscape) {
+    uint64_t extra = 0;
+    p = DecodeVarint(p, end, &extra);
+    if (p == nullptr) return nullptr;
+    *value = kTagEscape + extra;
+  }
+  return p;
+}
+
+}  // namespace
+
+void AppendVarint(std::string* out, uint64_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<char>(v | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<char>(v));
+}
+
+const char* DecodeVarint(const char* p, const char* end, uint64_t* v) {
+  uint64_t result = 0;
+  int shift = 0;
+  while (p != end && shift < 64) {
+    const uint8_t byte = static_cast<uint8_t>(*p++);
+    result |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      *v = result;
+      return p;
+    }
+    shift += 7;
+  }
+  return nullptr;  // Truncated or longer than 64 bits.
+}
+
+uint64_t Fnv1a64(std::string_view bytes) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (char c : bytes) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+std::string EncodeBlock(const Key3* keys, size_t n) {
+  std::string out;
+  if (n == 0) return out;
+  out.reserve(n * 4);
+  AppendVarint(&out, keys[0].a);
+  AppendVarint(&out, keys[0].b);
+  AppendVarint(&out, keys[0].c);
+  for (size_t i = 1; i < n; ++i) {
+    const Key3& prev = keys[i - 1];
+    const Key3& cur = keys[i];
+    if (cur.a == prev.a && cur.b == prev.b) {
+      // Strictly increasing keys make every delta >= 1; bias by one so the
+      // common +1 step fits the tag byte.
+      EmitTag(&out, kModeSameAB, static_cast<uint64_t>(cur.c - prev.c) - 1);
+    } else if (cur.a == prev.a) {
+      EmitTag(&out, kModeSameA, static_cast<uint64_t>(cur.b - prev.b) - 1);
+      AppendVarint(&out, cur.c);
+    } else {
+      EmitTag(&out, kModeNewA, static_cast<uint64_t>(cur.a - prev.a) - 1);
+      AppendVarint(&out, cur.b);
+      AppendVarint(&out, cur.c);
+    }
+  }
+  return out;
+}
+
+Status DecodeBlock(std::string_view bytes, uint32_t count,
+                   std::vector<Key3>* rows) {
+  rows->clear();
+  if (count == 0) {
+    return bytes.empty()
+               ? Status::OK()
+               : Status::ParseError("empty block carries payload bytes");
+  }
+  rows->reserve(count);
+  const char* p = bytes.data();
+  const char* end = bytes.data() + bytes.size();
+  uint64_t a = 0, b = 0, c = 0;
+  p = DecodeVarint(p, end, &a);
+  if (p != nullptr) p = DecodeVarint(p, end, &b);
+  if (p != nullptr) p = DecodeVarint(p, end, &c);
+  if (p == nullptr || a > UINT32_MAX || b > UINT32_MAX || c > UINT32_MAX) {
+    return Status::ParseError("corrupt block header triple");
+  }
+  rows->push_back(Key3{static_cast<TermId>(a), static_cast<TermId>(b),
+                       static_cast<TermId>(c)});
+  for (uint32_t i = 1; i < count; ++i) {
+    uint8_t mode = 0;
+    uint64_t delta = 0;
+    p = ReadTag(p, end, &mode, &delta);
+    if (p == nullptr) return Status::ParseError("truncated block tag");
+    const Key3& prev = rows->back();
+    Key3 cur = prev;
+    uint64_t value = 0;
+    switch (mode) {
+      case kModeSameAB:
+        value = static_cast<uint64_t>(prev.c) + delta + 1;
+        if (value > UINT32_MAX) return Status::ParseError("c delta overflow");
+        cur.c = static_cast<TermId>(value);
+        break;
+      case kModeSameA: {
+        value = static_cast<uint64_t>(prev.b) + delta + 1;
+        if (value > UINT32_MAX) return Status::ParseError("b delta overflow");
+        cur.b = static_cast<TermId>(value);
+        uint64_t abs_c = 0;
+        p = DecodeVarint(p, end, &abs_c);
+        if (p == nullptr || abs_c > UINT32_MAX) {
+          return Status::ParseError("corrupt absolute c");
+        }
+        cur.c = static_cast<TermId>(abs_c);
+        break;
+      }
+      case kModeNewA: {
+        value = static_cast<uint64_t>(prev.a) + delta + 1;
+        if (value > UINT32_MAX) return Status::ParseError("a delta overflow");
+        cur.a = static_cast<TermId>(value);
+        uint64_t abs_b = 0, abs_c = 0;
+        p = DecodeVarint(p, end, &abs_b);
+        if (p != nullptr) p = DecodeVarint(p, end, &abs_c);
+        if (p == nullptr || abs_b > UINT32_MAX || abs_c > UINT32_MAX) {
+          return Status::ParseError("corrupt absolute b/c");
+        }
+        cur.b = static_cast<TermId>(abs_b);
+        cur.c = static_cast<TermId>(abs_c);
+        break;
+      }
+      default:
+        return Status::ParseError("unknown block tag mode");
+    }
+    if (!(prev < cur)) {
+      return Status::ParseError("block keys not strictly increasing");
+    }
+    rows->push_back(cur);
+  }
+  if (p != end) return Status::ParseError("trailing bytes after block rows");
+  return Status::OK();
+}
+
+}  // namespace alex::rdf::blockfmt

@@ -1,0 +1,109 @@
+#ifndef ALEX_RDF_BLOCK_FORMAT_H_
+#define ALEX_RDF_BLOCK_FORMAT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <tuple>
+#include <vector>
+
+#include "common/status.h"
+#include "rdf/triple.h"
+
+namespace alex::rdf {
+
+/// The three sort orders the storage layer materializes; every triple
+/// pattern shape is answered from the ordering whose sort prefix covers the
+/// bound components (same routing as TripleStore's three indexes).
+enum class TripleOrder : uint8_t { kSpo = 0, kPos = 1, kOsp = 2 };
+
+inline constexpr size_t kNumTripleOrders = 3;
+
+namespace blockfmt {
+
+/// A triple's components permuted into one ordering's comparison order:
+/// `a` is the most-significant sort component. Rotated keys compare with
+/// plain lexicographic order regardless of which ordering produced them.
+struct Key3 {
+  TermId a = 0;
+  TermId b = 0;
+  TermId c = 0;
+
+  friend bool operator==(const Key3&, const Key3&) = default;
+  friend bool operator<(const Key3& x, const Key3& y) {
+    return std::tie(x.a, x.b, x.c) < std::tie(y.a, y.b, y.c);
+  }
+  friend bool operator<=(const Key3& x, const Key3& y) { return !(y < x); }
+};
+
+inline Key3 Rotate(const Triple& t, TripleOrder order) {
+  switch (order) {
+    case TripleOrder::kSpo:
+      return Key3{t.subject, t.predicate, t.object};
+    case TripleOrder::kPos:
+      return Key3{t.predicate, t.object, t.subject};
+    case TripleOrder::kOsp:
+      return Key3{t.object, t.subject, t.predicate};
+  }
+  return Key3{};
+}
+
+inline Triple Unrotate(const Key3& k, TripleOrder order) {
+  switch (order) {
+    case TripleOrder::kSpo:
+      return Triple{k.a, k.b, k.c};
+    case TripleOrder::kPos:
+      return Triple{k.c, k.a, k.b};
+    case TripleOrder::kOsp:
+      return Triple{k.b, k.c, k.a};
+  }
+  return Triple{};
+}
+
+/// One decoded block: its rotated keys, strictly increasing. Cached by the
+/// disk tier's BlockCache; decoded on demand by the in-memory tier.
+struct DecodedBlock {
+  std::vector<Key3> rows;
+
+  size_t ApproxBytes() const { return sizeof(*this) + rows.size() * sizeof(Key3); }
+};
+
+/// Per-block catalog entry ("fence"): the first/last key bound the block so
+/// pattern lookups binary-search the fences and decode only touched blocks.
+/// `offset`/`length` locate the payload inside the ordering's byte region;
+/// `checksum` (FNV-1a 64 of the payload bytes) rejects silent corruption.
+struct BlockMeta {
+  Key3 first;
+  Key3 last;
+  uint32_t count = 0;
+  uint64_t offset = 0;
+  uint32_t length = 0;
+  uint64_t checksum = 0;
+};
+
+/// Appends `v` LEB128-encoded (7 bits per byte, high bit = continuation).
+void AppendVarint(std::string* out, uint64_t v);
+
+/// Decodes one varint from [p, end). Returns the next position, or nullptr
+/// on truncation/overlong input.
+const char* DecodeVarint(const char* p, const char* end, uint64_t* v);
+
+uint64_t Fnv1a64(std::string_view bytes);
+
+/// Encodes `n` strictly increasing rotated keys as one block:
+/// the first key as three absolute varints, then per key a tag byte
+/// (mode in the top 2 bits, a small delta in the low 6, 63 escaping to a
+/// varint) choosing between same-(a,b) `c`-delta, same-`a` `b`-delta +
+/// absolute `c`, and `a`-delta + absolute `b`, `c`.
+std::string EncodeBlock(const Key3* keys, size_t n);
+
+/// Decodes a block of `count` keys, validating bounds, strict ordering, and
+/// that the payload is fully consumed. On error `rows` is unspecified.
+Status DecodeBlock(std::string_view bytes, uint32_t count,
+                   std::vector<Key3>* rows);
+
+}  // namespace blockfmt
+}  // namespace alex::rdf
+
+#endif  // ALEX_RDF_BLOCK_FORMAT_H_

@@ -1,0 +1,77 @@
+#ifndef ALEX_RDF_COMPACT_DICTIONARY_H_
+#define ALEX_RDF_COMPACT_DICTIONARY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rdf/dictionary.h"
+#include "rdf/term.h"
+
+namespace alex::rdf {
+
+/// Read-only, front-coded term pool: the dictionary counterpart of the
+/// block-compressed triple store.
+///
+/// Terms are sorted (Term::operator<: kind, value, datatype, language) and
+/// their values front-coded — each entry stores only the suffix after the
+/// longest common prefix with its predecessor, with an uncompressed restart
+/// every kBucket entries so random access decodes at most one bucket.
+/// Datatype/language strings are deduplicated into a side table. TermIds are
+/// PRESERVED from the source Dictionary, so encoded triples remain valid
+/// against either dictionary.
+///
+/// term(id) materializes a Term by value (the pool holds no whole Term to
+/// reference); Lookup binary-searches bucket heads then decodes forward.
+/// Immutable once built; reads are thread-safe.
+class CompactDictionary {
+ public:
+  /// Entries per front-coding bucket (uncompressed restart interval).
+  static constexpr size_t kBucket = 16;
+
+  CompactDictionary() = default;
+
+  /// Builds the pool from `dict`, preserving every TermId.
+  static CompactDictionary Build(const Dictionary& dict);
+
+  /// Materializes the term for a valid id. Id must be < size().
+  Term term(TermId id) const;
+
+  /// Returns the id for `term` if present.
+  std::optional<TermId> Lookup(const Term& term) const;
+
+  size_t size() const { return pos_of_id_.size(); }
+
+  /// Approximate resident bytes (blob, side tables, id maps).
+  size_t ApproxMemoryBytes() const;
+
+ private:
+  struct DecodedEntry {
+    size_t sorted_pos = 0;
+    TermKind kind = TermKind::kIri;
+    uint32_t datatype_index = 0;  // 0 = none, else side_strings_[idx - 1].
+    uint32_t language_index = 0;
+  };
+
+  /// Decodes bucket `bucket`, invoking fn(entry, value) per term in sorted
+  /// order until fn returns false. `value` is reused storage.
+  template <typename Fn>
+  void DecodeBucket(size_t bucket, Fn&& fn) const;
+
+  /// Three-way comparison of a decoded entry against `target`, following
+  /// Term::operator< component order.
+  int CompareDecoded(const DecodedEntry& entry, const std::string& value,
+                     const Term& target) const;
+
+  std::string blob_;                       // Front-coded entry stream.
+  std::vector<uint64_t> restarts_;         // Blob offset of each bucket head.
+  std::vector<std::string> side_strings_;  // Unique datatype/language values.
+  std::vector<TermId> sorted_ids_;         // Sorted position -> TermId.
+  std::vector<uint32_t> pos_of_id_;        // TermId -> sorted position.
+};
+
+}  // namespace alex::rdf
+
+#endif  // ALEX_RDF_COMPACT_DICTIONARY_H_

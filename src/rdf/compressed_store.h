@@ -1,0 +1,150 @@
+#ifndef ALEX_RDF_COMPRESSED_STORE_H_
+#define ALEX_RDF_COMPRESSED_STORE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "rdf/block_cache.h"
+#include "rdf/block_format.h"
+#include "rdf/triple_source.h"
+
+namespace alex::rdf {
+
+struct CompressedStoreOptions {
+  /// Triples per block. Larger blocks compress better (fences amortize, the
+  /// absolute-value header amortizes) but decode more per touched pattern.
+  size_t block_size = 1024;
+
+  /// Decoded-block budget of the disk tier's LRU cache (OpenFile only).
+  size_t cache_budget_bytes = 64ull << 20;
+};
+
+/// Columnar, block-compressed triple storage: the large-KB backend behind
+/// TripleSource.
+///
+/// Triples are kept in all three orderings (SPO, POS, OSP), each as a
+/// sequence of fixed-size blocks, delta + LEB128(varint) encoded with
+/// per-block (first,last) fences. A pattern lookup binary-searches the
+/// fences of the ordering whose sort prefix covers the bound components and
+/// decodes only the touched blocks — the same index routing as TripleStore,
+/// at a fraction of the resident bytes (see `rdf.bytes_per_triple`).
+///
+/// Two tiers share the layout:
+///  - in-memory: payloads live in RAM; touched blocks are decoded on demand
+///    (per access — the CPU cost traded for the smaller footprint);
+///  - disk-backed (WriteFile/OpenFile): payloads stay in one block file and
+///    are pulled through a bounded LRU BlockCache with epoch-safe
+///    invalidation, so working sets far larger than RAM stay queryable.
+///
+/// Immutable once built; reads are thread-safe. Decode time lands in the
+/// `rdf.block_decode_seconds` histogram, disk-tier cache traffic in
+/// `rdf.block_cache_{hits,misses,evictions}`.
+class CompressedTripleStore final : public TripleSource {
+ public:
+  CompressedTripleStore() = default;
+
+  CompressedTripleStore(CompressedTripleStore&&) = default;
+  CompressedTripleStore& operator=(CompressedTripleStore&&) = default;
+
+  /// Builds the in-memory tier from any source's full contents.
+  static CompressedTripleStore Build(const TripleSource& source,
+                                     const CompressedStoreOptions& options = {});
+
+  /// Builds the in-memory tier from raw triples (sorted + deduplicated
+  /// internally). Triples must not contain kInvalidTermId components.
+  static CompressedTripleStore FromTriples(
+      std::vector<Triple> triples, const CompressedStoreOptions& options = {});
+
+  /// Serializes the block layout to one file (see block_format.h for the
+  /// per-block encoding; the container header/fence tables go through the
+  /// bounds-checked common/binary_io writers).
+  Status WriteFile(const std::string& path) const;
+
+  /// Opens a block file as a disk-backed store: fences resident, payloads
+  /// read lazily through the LRU cache. Rejects bad magic, truncated files,
+  /// corrupt fence tables, and out-of-range block extents with ParseError.
+  static Result<CompressedTripleStore> OpenFile(
+      const std::string& path, const CompressedStoreOptions& options = {});
+
+  // TripleSource interface.
+  size_t size() const override { return static_cast<size_t>(num_triples_); }
+  void ForEachMatch(const TriplePattern& pattern,
+                    const std::function<bool(const Triple&)>& fn) const override;
+  std::vector<TermId> DistinctPredicates() const override;
+  std::vector<TermId> DistinctSubjects() const override;
+
+  /// Resident bytes: fences + (in-memory tier) payloads, or (disk tier)
+  /// fences + the cache's current decoded bytes.
+  size_t MemoryBytes() const;
+
+  /// Compressed payload bytes across the three orderings (identical for
+  /// both tiers; excludes fences).
+  size_t PayloadBytes() const;
+
+  /// Resident storage bytes per triple (fences + payload for the in-memory
+  /// tier). The headline figure vs TripleStore::MemoryBytes()/size().
+  double BytesPerTriple() const;
+
+  size_t block_size() const { return options_.block_size; }
+  size_t NumBlocks(TripleOrder order) const {
+    return orderings_[static_cast<size_t>(order)].blocks.size();
+  }
+  bool disk_backed() const { return disk_ != nullptr; }
+
+  /// Disk tier only: drops every cached block and starts a new cache epoch
+  /// (no-op for the in-memory tier). Readers in flight keep their decoded
+  /// blocks; nothing stale is re-served.
+  void InvalidateCache();
+
+  /// Disk tier only: the block cache, for tests and bench introspection.
+  const BlockCache* cache() const { return disk_ ? &disk_->cache : nullptr; }
+
+ private:
+  struct Ordering {
+    std::vector<blockfmt::BlockMeta> blocks;
+    /// In-memory tier payload; empty for the disk tier.
+    std::string payload;
+    /// Disk tier: this ordering's payload region offset within the file's
+    /// payload section.
+    uint64_t region_offset = 0;
+  };
+
+  struct DiskState {
+    explicit DiskState(size_t budget) : cache(budget) {}
+    std::string path;
+    uint64_t payload_start = 0;  // File offset of the payload section.
+    mutable std::mutex io_mu;
+    mutable std::ifstream file;
+    mutable BlockCache cache;
+  };
+
+  static void EncodeOrdering(const std::vector<Triple>& spo_sorted,
+                             TripleOrder order, size_t block_size,
+                             Ordering* out);
+
+  BlockCache::BlockPtr GetBlock(TripleOrder order, size_t index) const;
+  BlockCache::BlockPtr LoadBlock(TripleOrder order, size_t index) const;
+
+  /// Scans [lo, hi] of one ordering; returns false if fn stopped early.
+  bool ScanRange(TripleOrder order, const blockfmt::Key3& lo,
+                 const blockfmt::Key3& hi, const TriplePattern& pattern,
+                 const std::function<bool(const Triple&)>& fn) const;
+
+  std::vector<TermId> DistinctLeading(TripleOrder order) const;
+
+  CompressedStoreOptions options_;
+  uint64_t num_triples_ = 0;
+  Ordering orderings_[kNumTripleOrders];
+  std::unique_ptr<DiskState> disk_;
+};
+
+}  // namespace alex::rdf
+
+#endif  // ALEX_RDF_COMPRESSED_STORE_H_

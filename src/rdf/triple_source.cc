@@ -1,0 +1,33 @@
+#include "rdf/triple_source.h"
+
+namespace alex::rdf {
+
+bool TripleSource::Contains(const Triple& t) const {
+  bool found = false;
+  ForEachMatch(TriplePattern{t.subject, t.predicate, t.object},
+               [&found](const Triple&) {
+                 found = true;
+                 return false;
+               });
+  return found;
+}
+
+size_t TripleSource::CountMatches(const TriplePattern& pattern) const {
+  size_t n = 0;
+  ForEachMatch(pattern, [&n](const Triple&) {
+    ++n;
+    return true;
+  });
+  return n;
+}
+
+std::vector<Triple> TripleSource::Match(const TriplePattern& pattern) const {
+  std::vector<Triple> out;
+  ForEachMatch(pattern, [&out](const Triple& t) {
+    out.push_back(t);
+    return true;
+  });
+  return out;
+}
+
+}  // namespace alex::rdf

@@ -1,0 +1,57 @@
+#ifndef ALEX_RDF_TRIPLE_SOURCE_H_
+#define ALEX_RDF_TRIPLE_SOURCE_H_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "rdf/triple.h"
+
+namespace alex::rdf {
+
+/// Read interface over a set of dictionary-encoded triples.
+///
+/// Both storage backends implement it — the uncompressed TripleStore (three
+/// sorted vectors, the executable equivalence reference) and the
+/// block-compressed CompressedTripleStore (optionally disk-backed) — so the
+/// SPARQL evaluator, federation endpoint probes, and the entity index run
+/// unchanged against either. Implementations must answer every method with
+/// identical results for identical content; the storage tests and
+/// bench_storage enforce that bit-for-bit.
+///
+/// Thread-compatibility contract: all methods are safe to call concurrently
+/// once the underlying store is no longer being mutated.
+class TripleSource {
+ public:
+  virtual ~TripleSource() = default;
+
+  /// Number of distinct triples.
+  virtual size_t size() const = 0;
+  bool empty() const { return size() == 0; }
+
+  /// Calls fn for every triple matching the pattern (wildcards =
+  /// kInvalidTermId) in SPO order within the chosen index; stops early if fn
+  /// returns false.
+  virtual void ForEachMatch(
+      const TriplePattern& pattern,
+      const std::function<bool(const Triple&)>& fn) const = 0;
+
+  /// Returns true if the exact triple is present.
+  virtual bool Contains(const Triple& t) const;
+
+  /// Number of triples matching the pattern.
+  virtual size_t CountMatches(const TriplePattern& pattern) const;
+
+  /// Returns all triples matching the pattern.
+  std::vector<Triple> Match(const TriplePattern& pattern) const;
+
+  /// Distinct predicate ids present, sorted ascending.
+  virtual std::vector<TermId> DistinctPredicates() const = 0;
+
+  /// Distinct subject ids present, sorted ascending.
+  virtual std::vector<TermId> DistinctSubjects() const = 0;
+};
+
+}  // namespace alex::rdf
+
+#endif  // ALEX_RDF_TRIPLE_SOURCE_H_

@@ -24,13 +24,69 @@ struct TripleStore::LessOsp {
   }
 };
 
+TripleStore::TripleStore(const TripleStore& other)
+    : pending_(other.pending_),
+      spo_(other.spo_),
+      pos_(other.pos_),
+      osp_(other.osp_) {
+  dirty_.store(other.dirty_.load(std::memory_order_acquire),
+               std::memory_order_release);
+}
+
+TripleStore& TripleStore::operator=(const TripleStore& other) {
+  if (this == &other) return *this;
+  pending_ = other.pending_;
+  spo_ = other.spo_;
+  pos_ = other.pos_;
+  osp_ = other.osp_;
+  dirty_.store(other.dirty_.load(std::memory_order_acquire),
+               std::memory_order_release);
+  return *this;
+}
+
+TripleStore::TripleStore(TripleStore&& other) noexcept
+    : pending_(std::move(other.pending_)),
+      spo_(std::move(other.spo_)),
+      pos_(std::move(other.pos_)),
+      osp_(std::move(other.osp_)) {
+  dirty_.store(other.dirty_.load(std::memory_order_acquire),
+               std::memory_order_release);
+  other.dirty_.store(false, std::memory_order_release);
+}
+
+TripleStore& TripleStore::operator=(TripleStore&& other) noexcept {
+  if (this == &other) return *this;
+  pending_ = std::move(other.pending_);
+  spo_ = std::move(other.spo_);
+  pos_ = std::move(other.pos_);
+  osp_ = std::move(other.osp_);
+  dirty_.store(other.dirty_.load(std::memory_order_acquire),
+               std::memory_order_release);
+  other.dirty_.store(false, std::memory_order_release);
+  return *this;
+}
+
 void TripleStore::Add(const Triple& t) {
   pending_.push_back(t);
-  dirty_ = true;
+  dirty_.store(true, std::memory_order_release);
+}
+
+void TripleStore::Clear() {
+  std::vector<Triple>().swap(pending_);
+  std::vector<Triple>().swap(spo_);
+  std::vector<Triple>().swap(pos_);
+  std::vector<Triple>().swap(osp_);
+  dirty_.store(false, std::memory_order_release);
 }
 
 void TripleStore::EnsureIndexes() const {
-  if (!dirty_) return;
+  // Double-checked build: the fast path is one acquire load; a cold
+  // concurrent first read serializes on the mutex and rechecks, so exactly
+  // one thread sorts while the rest wait instead of racing on the mutable
+  // index vectors.
+  if (!dirty_.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(build_mu_);
+  if (!dirty_.load(std::memory_order_relaxed)) return;
   spo_.insert(spo_.end(), pending_.begin(), pending_.end());
   pending_.clear();
   std::sort(spo_.begin(), spo_.end(), LessSpo{});
@@ -39,7 +95,7 @@ void TripleStore::EnsureIndexes() const {
   std::sort(pos_.begin(), pos_.end(), LessPos{});
   osp_ = spo_;
   std::sort(osp_.begin(), osp_.end(), LessOsp{});
-  dirty_ = false;
+  dirty_.store(false, std::memory_order_release);
 }
 
 size_t TripleStore::size() const {
@@ -50,6 +106,13 @@ size_t TripleStore::size() const {
 bool TripleStore::Contains(const Triple& t) const {
   EnsureIndexes();
   return std::binary_search(spo_.begin(), spo_.end(), t, LessSpo{});
+}
+
+size_t TripleStore::MemoryBytes() const {
+  EnsureIndexes();
+  return (pending_.capacity() + spo_.capacity() + pos_.capacity() +
+          osp_.capacity()) *
+         sizeof(Triple);
 }
 
 namespace {
@@ -113,24 +176,6 @@ void TripleStore::ForEachMatch(
   for (const Triple& t : spo_) {
     if (!fn(t)) return;
   }
-}
-
-std::vector<Triple> TripleStore::Match(const TriplePattern& pattern) const {
-  std::vector<Triple> out;
-  ForEachMatch(pattern, [&out](const Triple& t) {
-    out.push_back(t);
-    return true;
-  });
-  return out;
-}
-
-size_t TripleStore::CountMatches(const TriplePattern& pattern) const {
-  size_t n = 0;
-  ForEachMatch(pattern, [&n](const Triple&) {
-    ++n;
-    return true;
-  });
-  return n;
 }
 
 std::vector<TermId> TripleStore::DistinctPredicates() const {

@@ -1,15 +1,20 @@
 #ifndef ALEX_RDF_TRIPLE_STORE_H_
 #define ALEX_RDF_TRIPLE_STORE_H_
 
+#include <atomic>
 #include <cstddef>
 #include <functional>
+#include <mutex>
 #include <vector>
 
 #include "rdf/triple.h"
+#include "rdf/triple_source.h"
 
 namespace alex::rdf {
 
-/// In-memory triple store with SPO, POS, and OSP sorted indexes.
+/// In-memory triple store with SPO, POS, and OSP sorted indexes — the
+/// uncompressed TripleSource backend and the equivalence reference for
+/// CompressedTripleStore.
 ///
 /// Triples are dictionary-encoded (TermId components). Insertion appends;
 /// indexes are (re)built lazily on first lookup after a mutation, with
@@ -17,42 +22,55 @@ namespace alex::rdf {
 /// sort order makes the bound components a prefix, so lookups are two binary
 /// searches plus a scan of the matching range.
 ///
-/// Thread-compatible: concurrent reads are safe once indexes are built (call
-/// `EnsureIndexes()` or perform any read before sharing across threads);
-/// mutation requires external synchronization.
-class TripleStore {
+/// Thread-compatible: concurrent reads are safe, including a cold first read
+/// — the lazy index build is guarded by a dirty flag + mutex double-check,
+/// so concurrent Match/ForEachMatch calls racing on an unbuilt index
+/// serialize the build instead of mutating shared state unsynchronized.
+/// Mutation (Add) still requires external synchronization against both
+/// readers and other writers.
+class TripleStore final : public TripleSource {
  public:
   TripleStore() = default;
+
+  // The build guard (mutex + atomic) is not copyable/movable, so spell out
+  // value semantics over the index vectors. Copying or moving a store that
+  // is concurrently mutated requires external synchronization, same as Add.
+  TripleStore(const TripleStore& other);
+  TripleStore& operator=(const TripleStore& other);
+  TripleStore(TripleStore&& other) noexcept;
+  TripleStore& operator=(TripleStore&& other) noexcept;
 
   /// Appends a triple; duplicates are tolerated and removed at index build.
   void Add(const Triple& t);
   void Add(TermId s, TermId p, TermId o) { Add(Triple{s, p, o}); }
 
+  /// Removes all triples and releases index memory.
+  void Clear();
+
   /// Number of distinct triples.
-  size_t size() const;
-  bool empty() const { return size() == 0; }
+  size_t size() const override;
 
   /// Returns true if the exact triple is present.
-  bool Contains(const Triple& t) const;
-
-  /// Returns all triples matching the pattern (wildcards = kInvalidTermId).
-  std::vector<Triple> Match(const TriplePattern& pattern) const;
+  bool Contains(const Triple& t) const override;
 
   /// Calls fn for every matching triple; stops early if fn returns false.
   void ForEachMatch(const TriplePattern& pattern,
-                    const std::function<bool(const Triple&)>& fn) const;
-
-  /// Number of triples matching the pattern.
-  size_t CountMatches(const TriplePattern& pattern) const;
+                    const std::function<bool(const Triple&)>& fn) const override;
 
   /// Distinct predicate ids present in the store, sorted ascending.
-  std::vector<TermId> DistinctPredicates() const;
+  std::vector<TermId> DistinctPredicates() const override;
 
   /// Distinct subject ids present in the store, sorted ascending.
-  std::vector<TermId> DistinctSubjects() const;
+  std::vector<TermId> DistinctSubjects() const override;
 
-  /// Builds indexes now (idempotent). Useful before sharing across threads.
+  /// Builds indexes now (idempotent, thread-safe). Still useful before
+  /// sharing across threads: it front-loads the one-time sort cost.
   void EnsureIndexes() const;
+
+  /// Resident bytes of the three indexes plus pending appends (capacity,
+  /// not size: what the allocator actually holds). The uncompressed
+  /// baseline for the storage bench's bytes/triple comparison.
+  size_t MemoryBytes() const;
 
  private:
   // Index orderings.
@@ -65,7 +83,9 @@ class TripleStore {
   mutable std::vector<Triple> spo_;
   mutable std::vector<Triple> pos_;
   mutable std::vector<Triple> osp_;
-  mutable bool dirty_ = false;
+  // Lazy-build guard: acquire-load fast path, mutex-serialized build.
+  mutable std::atomic<bool> dirty_{false};
+  mutable std::mutex build_mu_;
 };
 
 }  // namespace alex::rdf

@@ -119,6 +119,53 @@ TEST(BinaryIoTest, RejectsTruncation) {
   }
 }
 
+TEST(BinaryIoTest, RoundTripsNearMaxTermIdTriples) {
+  // The dictionary caps real ids well below UINT32_MAX, but the triple
+  // section must round-trip any id the dictionary declares — exercise the
+  // top of the range the format can actually carry.
+  Dictionary dict;
+  TripleStore store;
+  for (int i = 0; i < 300; ++i) {
+    dict.InternIri("http://big/" + std::to_string(i));
+  }
+  const TermId top = static_cast<TermId>(dict.size() - 1);
+  store.Add(top, top - 1, top - 2);
+  store.Add(0, top, top);
+  std::ostringstream out;
+  ASSERT_TRUE(WriteBinaryDataset(dict, store, out).ok());
+  Dictionary d2;
+  TripleStore s2;
+  std::istringstream in(out.str());
+  ASSERT_TRUE(ReadBinaryDataset(in, &d2, &s2).ok());
+  EXPECT_TRUE(s2.Contains(Triple{top, top - 1, top - 2}));
+  EXPECT_TRUE(s2.Contains(Triple{0, top, top}));
+}
+
+TEST(BinaryIoTest, RejectsCorruptLengthField) {
+  // Blow up a length prefix so it claims far more bytes than remain; the
+  // bounds-checked reader must fail before allocating or overreading.
+  Dictionary dict;
+  TripleStore store;
+  dict.InternIri("http://victim");
+  std::ostringstream out;
+  ASSERT_TRUE(WriteBinaryDataset(dict, store, out).ok());
+  std::string bytes = out.str();
+  // The term value's u64 length prefix is the first varint-free length
+  // field after the magic + counts; force every length-prefix candidate to
+  // a huge value and require a clean ParseError each time.
+  bool rejected_any = false;
+  for (size_t off = 8; off + 8 <= bytes.size(); ++off) {
+    std::string mutated = bytes;
+    for (int i = 0; i < 8; ++i) mutated[off + i] = '\x7f';
+    Dictionary d2;
+    TripleStore s2;
+    std::istringstream in(mutated);
+    const Status st = ReadBinaryDataset(in, &d2, &s2);
+    if (!st.ok()) rejected_any = true;
+  }
+  EXPECT_TRUE(rejected_any);
+}
+
 TEST(BinaryIoTest, RejectsOutOfRangeTripleIds) {
   // Hand-craft: magic + 1 term + 1 triple with id 7.
   std::ostringstream out;

@@ -1,0 +1,97 @@
+#include "rdf/compact_dictionary.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace alex::rdf {
+namespace {
+
+Dictionary MixedDictionary() {
+  Dictionary dict;
+  dict.InternIri("http://example.org/person/42");
+  dict.InternIri("http://example.org/person/7");
+  dict.InternLiteral("Ada Lovelace");
+  dict.Intern(Term::TypedLiteral("1815", std::string(kXsdInteger)));
+  dict.Intern(Term::TypedLiteral("3.14", std::string(kXsdDouble)));
+  dict.Intern(Term::LangLiteral("bonjour", "fr"));
+  dict.Intern(Term::LangLiteral("hello", "en"));
+  dict.Intern(Term::Blank("b0"));
+  dict.InternIri("http://example.org/place/1");
+  dict.InternLiteral("");  // Empty lexical form.
+  return dict;
+}
+
+TEST(CompactDictionaryTest, PreservesIdsAndTerms) {
+  const Dictionary dict = MixedDictionary();
+  const CompactDictionary compact = CompactDictionary::Build(dict);
+  ASSERT_EQ(compact.size(), dict.size());
+  for (TermId id = 0; id < dict.size(); ++id) {
+    EXPECT_EQ(compact.term(id), dict.term(id)) << "id " << id;
+  }
+}
+
+TEST(CompactDictionaryTest, LookupFindsEveryTermAndOnlyThose) {
+  const Dictionary dict = MixedDictionary();
+  const CompactDictionary compact = CompactDictionary::Build(dict);
+  for (TermId id = 0; id < dict.size(); ++id) {
+    auto found = compact.Lookup(dict.term(id));
+    ASSERT_TRUE(found.has_value()) << "id " << id;
+    EXPECT_EQ(*found, id);
+  }
+  EXPECT_FALSE(compact.Lookup(Term::Iri("http://absent")).has_value());
+  EXPECT_FALSE(compact.Lookup(Term::Literal("Ada")).has_value());
+  // Same lexical form, different kind/datatype/language must not collide.
+  EXPECT_FALSE(compact.Lookup(Term::Iri("Ada Lovelace")).has_value());
+  EXPECT_FALSE(compact.Lookup(Term::LangLiteral("hello", "de")).has_value());
+}
+
+TEST(CompactDictionaryTest, EmptyDictionary) {
+  const Dictionary dict;
+  const CompactDictionary compact = CompactDictionary::Build(dict);
+  EXPECT_EQ(compact.size(), 0u);
+  EXPECT_FALSE(compact.Lookup(Term::Iri("http://a")).has_value());
+}
+
+TEST(CompactDictionaryTest, LargeSharedPrefixPoolRoundTripsAndShrinks) {
+  // IRIs with long shared prefixes — the case front-coding exists for.
+  Dictionary dict;
+  Rng rng(11);
+  for (size_t i = 0; i < 5000; ++i) {
+    dict.InternIri("http://example.org/resource/entity/" +
+                   std::to_string(rng.UniformInt(1000000)));
+  }
+  const CompactDictionary compact = CompactDictionary::Build(dict);
+  ASSERT_EQ(compact.size(), dict.size());
+  // Spot-check round trips across the whole range plus exhaustive Lookup.
+  for (TermId id = 0; id < dict.size(); ++id) {
+    EXPECT_EQ(compact.term(id), dict.term(id));
+    EXPECT_EQ(compact.Lookup(dict.term(id)), std::optional<TermId>(id));
+  }
+  EXPECT_LT(compact.ApproxMemoryBytes(), dict.ApproxMemoryBytes() / 2)
+      << "front-coded pool should be well under half the hash-indexed "
+         "dictionary";
+}
+
+TEST(CompactDictionaryTest, BucketBoundaries) {
+  // Exactly one bucket, one entry past a restart, and a partial tail.
+  for (size_t n : {CompactDictionary::kBucket, CompactDictionary::kBucket + 1,
+                   3 * CompactDictionary::kBucket - 5}) {
+    Dictionary dict;
+    for (size_t i = 0; i < n; ++i) {
+      dict.InternIri("http://x/" + std::to_string(i));
+    }
+    const CompactDictionary compact = CompactDictionary::Build(dict);
+    ASSERT_EQ(compact.size(), n);
+    for (TermId id = 0; id < n; ++id) {
+      EXPECT_EQ(compact.term(id), dict.term(id)) << "n=" << n << " id=" << id;
+      EXPECT_EQ(compact.Lookup(dict.term(id)), std::optional<TermId>(id));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace alex::rdf

@@ -1,5 +1,7 @@
 #include "rdf/dictionary.h"
 
+#include <utility>
+
 #include <gtest/gtest.h>
 
 namespace alex::rdf {
@@ -65,6 +67,63 @@ TEST(DictionaryTest, ManyTerms) {
   auto id = dict.Lookup(Term::Iri("http://x/537"));
   ASSERT_TRUE(id.has_value());
   EXPECT_EQ(dict.term(*id).value, "http://x/537");
+}
+
+
+// The index hashes/compares TermIds through the term vector; these tests
+// pin down that the vector's address stays valid across moves and that a
+// copy re-points its functors at its own storage.
+TEST(DictionaryTest, MoveKeepsIndexValid) {
+  Dictionary dict;
+  for (int i = 0; i < 200; ++i) {
+    dict.InternIri("http://move/" + std::to_string(i));
+  }
+  Dictionary moved(std::move(dict));
+  EXPECT_EQ(moved.size(), 200u);
+  auto id = moved.Lookup(Term::Iri("http://move/123"));
+  ASSERT_TRUE(id.has_value());
+  EXPECT_EQ(moved.term(*id).value, "http://move/123");
+  // Interning through the moved-to dictionary keeps working.
+  EXPECT_EQ(moved.InternIri("http://move/123"), *id);
+  EXPECT_EQ(moved.InternIri("http://move/new"), 200u);
+
+  Dictionary assigned = Dictionary();
+  assigned = std::move(moved);
+  EXPECT_TRUE(assigned.Lookup(Term::Iri("http://move/42")).has_value());
+  EXPECT_EQ(assigned.InternIri("http://move/another"), 201u);
+}
+
+TEST(DictionaryTest, CopyIsIndependent) {
+  Dictionary dict;
+  for (int i = 0; i < 50; ++i) {
+    dict.InternIri("http://copy/" + std::to_string(i));
+  }
+  Dictionary copy(dict);
+  EXPECT_EQ(copy.size(), dict.size());
+  EXPECT_EQ(copy.Lookup(Term::Iri("http://copy/7")),
+            dict.Lookup(Term::Iri("http://copy/7")));
+  // Diverge: new terms in the copy must not appear in the original.
+  copy.InternIri("http://copy/only-in-copy");
+  EXPECT_TRUE(copy.Lookup(Term::Iri("http://copy/only-in-copy")).has_value());
+  EXPECT_FALSE(dict.Lookup(Term::Iri("http://copy/only-in-copy")).has_value());
+  // And the original keeps interning with its own id sequence.
+  EXPECT_EQ(dict.InternIri("http://copy/50"), 50u);
+
+  Dictionary assigned;
+  assigned.InternIri("http://other");
+  assigned = dict;
+  EXPECT_EQ(assigned.size(), dict.size());
+  EXPECT_TRUE(assigned.Lookup(Term::Iri("http://copy/49")).has_value());
+  EXPECT_FALSE(assigned.Lookup(Term::Iri("http://other")).has_value());
+}
+
+TEST(DictionaryTest, ApproxMemoryBytesGrowsWithContent) {
+  Dictionary dict;
+  const size_t empty_bytes = dict.ApproxMemoryBytes();
+  for (int i = 0; i < 100; ++i) {
+    dict.InternIri("http://mem/" + std::to_string(i));
+  }
+  EXPECT_GT(dict.ApproxMemoryBytes(), empty_bytes);
 }
 
 }  // namespace

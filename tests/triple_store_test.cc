@@ -5,7 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+
 #include "common/rng.h"
+#include "common/thread_pool.h"
 
 namespace alex::rdf {
 namespace {
@@ -164,6 +167,49 @@ TEST_P(TripleStorePropertyTest, MatchesAgreeWithBruteForce) {
     std::vector<Triple> actual = store.Match(p);
     std::sort(actual.begin(), actual.end());
     EXPECT_EQ(actual, expected) << "trial " << trial;
+  }
+}
+
+
+// Cold-start concurrency: many threads issue the first reads against a
+// freshly mutated store, so the lazy index build races. The dirty-flag +
+// mutex double-check must serialize exactly one build. Run under TSan via
+// the "sanitize" label.
+TEST(TripleStoreConcurrencyTest, ConcurrentColdReadsAreSafe) {
+  for (int round = 0; round < 20; ++round) {
+    TripleStore store;
+    Rng rng(1000 + round);
+    for (int i = 0; i < 500; ++i) {
+      store.Add(Triple{static_cast<TermId>(rng.UniformInt(40)),
+                       static_cast<TermId>(rng.UniformInt(8)),
+                       static_cast<TermId>(rng.UniformInt(60))});
+    }
+    const size_t expected = store.Match(TriplePattern{}).size();
+    // Dirty the indexes again so every reader starts cold.
+    store.Add(Triple{1000, 1000, 1000});
+
+    ThreadPool pool(8);
+    std::atomic<size_t> total{0};
+    std::atomic<bool> mismatch{false};
+    for (int t = 0; t < 8; ++t) {
+      pool.Submit([&store, &total, &mismatch, expected, t] {
+        size_t seen = 0;
+        TriplePattern p;
+        if (t % 2 == 0) p.subject = static_cast<TermId>(t);
+        store.ForEachMatch(p, [&seen](const Triple&) {
+          ++seen;
+          return true;
+        });
+        if (t % 2 != 0 && seen != expected + 1) mismatch.store(true);
+        total.fetch_add(seen);
+        // Mixed reads through the other virtual entry points.
+        if (store.size() != expected + 1) mismatch.store(true);
+        if (store.DistinctPredicates().empty()) mismatch.store(true);
+      });
+    }
+    pool.Wait();
+    EXPECT_FALSE(mismatch.load()) << "round " << round;
+    EXPECT_GT(total.load(), 0u);
   }
 }
 
