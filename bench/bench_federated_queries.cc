@@ -22,12 +22,19 @@
 // Output: one JSON object on stdout. Cache hit rates and plan-compile times
 // are included both in the JSON and in the telemetry sidecar fields.
 //
-// Usage: bench_federated_queries [queries=300] [reps=3] [smoke=0]
+// Usage: bench_federated_queries [queries=300] [reps=3] [smoke=0] [trace=0]
 //   smoke=1 skips the expensive quality arms (ALEX training + PARIS) and is
 //   what CI runs reduced, e.g. `bench_federated_queries 30 2 1`.
+//   trace=1 adds a traced arm AFTER the timed perf arms (so spans never
+//   pollute the timing): one untraced + one runtime-traced pass over the
+//   workload, reporting the runtime overhead of enabled tracing, writing
+//   the span tree to bench_federated_queries.trace.json (via the sidecar)
+//   and the registry state to bench_federated_queries.prom (Prometheus
+//   text exposition). CI validates both artifacts.
 
 #include <algorithm>
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -109,6 +116,8 @@ int main(int argc, char** argv) {
   const size_t reps = bench::ParseUintArg(argc, argv, 2, 3, "reps");
   const bool smoke =
       bench::ParseUintArg(argc, argv, 3, 0, "smoke", /*min_value=*/0) != 0;
+  const bool trace =
+      bench::ParseUintArg(argc, argv, 4, 0, "trace", /*min_value=*/0) != 0;
 
   Stopwatch generate_watch;
   simulation::SimulationConfig config;
@@ -256,6 +265,47 @@ int main(int argc, char** argv) {
   }
   telemetry.AddPhase("perf", perf_watch.ElapsedSeconds());
 
+  // --- Traced arm (trace=1), after the timed arms so spans never pollute
+  // the perf numbers. Paired passes over one engine: runtime-disabled then
+  // runtime-enabled, giving the marginal cost of live tracing on identical
+  // (warm-cache) work. The recorder stays populated so the sidecar writes
+  // bench_federated_queries.trace.json at exit.
+  double traced_seconds = 0.0;
+  double untraced_seconds = 0.0;
+  uint64_t trace_events = 0;
+  if (trace) {
+    Stopwatch trace_watch;
+    fed::FederatedEngine engine(&cached_left, &cached_right, &truth_index);
+    {
+      Stopwatch watch;
+      simulation::ExecuteFederatedWorkload(engine, workload);
+      untraced_seconds = watch.ElapsedSeconds();
+    }
+    obs::TraceRecorder& recorder = obs::TraceRecorder::Global();
+    recorder.Clear();
+    recorder.SetEnabled(true);
+    {
+      Stopwatch watch;
+      simulation::ExecuteFederatedWorkload(engine, workload);
+      traced_seconds = watch.ElapsedSeconds();
+    }
+    recorder.SetEnabled(false);
+    trace_events = recorder.Events().size();
+    telemetry.AddPhase("traced", trace_watch.ElapsedSeconds());
+
+    std::ofstream prom("bench_federated_queries.prom");
+    obs::WritePrometheusText(obs::MetricsRegistry::Global().Snapshot(), prom);
+  }
+  const double trace_overhead_pct =
+      untraced_seconds > 0.0
+          ? 100.0 * (traced_seconds - untraced_seconds) / untraced_seconds
+          : 0.0;
+#ifdef ALEX_TRACING_ENABLED
+  const bool tracing_compiled_in = true;
+#else
+  const bool tracing_compiled_in = false;
+#endif
+
   const obs::MetricsSnapshot perf_delta =
       obs::MetricsRegistry::Global().Snapshot().DeltaSince(perf_before);
   auto counter = [&perf_delta](const char* name) -> uint64_t {
@@ -289,6 +339,10 @@ int main(int argc, char** argv) {
   telemetry.AddField("plan_compile_seconds_mean", compile_mean);
   telemetry.AddField("speedup_fast", speedup_fast);
   telemetry.AddField("speedup_parallel", speedup_parallel);
+  if (trace) {
+    telemetry.AddField("trace_events", trace_events);
+    telemetry.AddField("trace_runtime_overhead_pct", trace_overhead_pct);
+  }
 
   std::printf("{\n");
   std::printf("  \"bench\": \"federated_queries\",\n");
@@ -331,6 +385,17 @@ int main(int argc, char** argv) {
   std::printf("    \"parallel_queries\": %llu\n",
               static_cast<unsigned long long>(
                   counter("fed.parallel_queries")));
+  std::printf("  },\n");
+  std::printf("  \"tracing\": {\n");
+  std::printf("    \"compiled_in\": %s,\n",
+              tracing_compiled_in ? "true" : "false");
+  std::printf("    \"traced\": %s,\n", trace ? "true" : "false");
+  std::printf("    \"untraced_seconds\": %.6f,\n", untraced_seconds);
+  std::printf("    \"traced_seconds\": %.6f,\n", traced_seconds);
+  std::printf("    \"trace_runtime_overhead_pct\": %.2f,\n",
+              trace_overhead_pct);
+  std::printf("    \"trace_events\": %llu\n",
+              static_cast<unsigned long long>(trace_events));
   std::printf("  },\n");
   std::printf("  \"mismatches\": %zu,\n", mismatches);
   std::printf("  \"equivalent\": %s\n", equivalent ? "true" : "false");

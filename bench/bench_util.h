@@ -12,6 +12,7 @@
 #include "common/stopwatch.h"
 #include "common/string_util.h"
 #include "obs/metrics.h"
+#include "obs/query_stats.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "simulation/simulation.h"
@@ -190,6 +191,15 @@ class TelemetrySidecar {
             << "\": " << fields_[i].second;
       }
       out << "},\n";
+    }
+    // Slow-query exemplars: the top-K slowest federated queries the global
+    // QueryLog saw during the bench, each with its trace id (0 = untraced)
+    // so a dashboard can jump from "this query was slow" to its span tree
+    // in the .trace.json.
+    if (obs::QueryLog::Global().Totals().queries > 0) {
+      out << "  \"slow_queries\": ";
+      obs::QueryLog::Global().WriteSlowestJson(out, "  ");
+      out << ",\n";
     }
     out << "  \"telemetry\":\n";
     telemetry_.WriteJson(out, 1);

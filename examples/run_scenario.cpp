@@ -13,23 +13,68 @@
 //   --resume <path>           resume from a checkpoint file, directory, or
 //                             MANIFEST (newest retained snapshot)
 //   --max-episodes <n>        episode budget (useful with --resume)
+//   --telemetry-interval <s>  sample the metrics registry every s seconds
+//                             of run time (0 = off; enables the hub)
+//   --telemetry-out <file>    write the hub's JSON timeline here
+//                             (default: telemetry_timeline.json)
+//   --prom-out <file>         write Prometheus text exposition here
+//   --slo <h>:<q>:<target>    add a latency SLO on histogram <h> at
+//                             quantile <q> with target <target> seconds
+//                             (repeatable), e.g.
+//                             --slo fed.query_seconds:0.99:0.5
 //
 // Example:
 //   ./build/examples/run_scenario dbpedia_drugbank 1000 0.05 0.0
 //   ./build/examples/run_scenario dbpedia_drugbank 1000 0.05 0.0 0.1 0 \
 //       --checkpoint-every 10 --checkpoint-dir /tmp/ckpt
 //   ./build/examples/run_scenario dbpedia_drugbank 1000 0.05 0.0 0.1 0 \
-//       --resume /tmp/ckpt
+//       --telemetry-interval 1 --slo phase.explore:0.99:5.0 \
+//       --telemetry-out /tmp/timeline.json --prom-out /tmp/metrics.prom
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "common/clock.h"
+#include "common/logging.h"
 #include "datagen/scenarios.h"
+#include "obs/telemetry_hub.h"
 #include "simulation/report.h"
 #include "simulation/simulation.h"
-#include "common/logging.h"
+
+namespace {
+
+/// Parses "<histogram>:<quantile>:<target_seconds>"; exits on malformed
+/// input (this is an operator-facing flag; fail fast beats guessing).
+alex::obs::SloConfig ParseSloFlag(const std::string& spec) {
+  const size_t first = spec.find(':');
+  const size_t second = first == std::string::npos
+                            ? std::string::npos
+                            : spec.find(':', first + 1);
+  if (first == std::string::npos || second == std::string::npos) {
+    std::cerr << "--slo expects <histogram>:<quantile>:<target_seconds>, got '"
+              << spec << "'\n";
+    std::exit(1);
+  }
+  alex::obs::SloConfig slo;
+  slo.histogram = spec.substr(0, first);
+  slo.quantile = std::strtod(spec.substr(first + 1, second - first - 1).c_str(),
+                             nullptr);
+  slo.target_seconds = std::strtod(spec.substr(second + 1).c_str(), nullptr);
+  slo.name = slo.histogram + "_p" +
+             std::to_string(static_cast<int>(slo.quantile * 100));
+  if (slo.quantile <= 0.0 || slo.quantile > 1.0 || slo.target_seconds <= 0.0) {
+    std::cerr << "--slo '" << spec
+              << "': quantile must be in (0,1] and target > 0\n";
+    std::exit(1);
+  }
+  return slo;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace alex;
@@ -39,6 +84,10 @@ int main(int argc, char** argv) {
   std::vector<std::string> positional;
   simulation::SimulationConfig config;
   size_t checkpoint_every = 0;
+  double telemetry_interval = 0.0;
+  std::string telemetry_out = "telemetry_timeline.json";
+  std::string prom_out;
+  std::vector<obs::SloConfig> slos;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto flag_value = [&](const char* flag) -> const char* {
@@ -59,6 +108,14 @@ int main(int argc, char** argv) {
       config.resume_from = v;
     } else if (const char* v = flag_value("--max-episodes")) {
       config.alex.max_episodes = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = flag_value("--telemetry-interval")) {
+      telemetry_interval = std::strtod(v, nullptr);
+    } else if (const char* v = flag_value("--telemetry-out")) {
+      telemetry_out = v;
+    } else if (const char* v = flag_value("--prom-out")) {
+      prom_out = v;
+    } else if (const char* v = flag_value("--slo")) {
+      slos.push_back(ParseSloFlag(v));
     } else if (arg.rfind("--", 0) == 0 && arg != "--list") {
       std::cerr << "unknown flag '" << arg << "'\n";
       return 1;
@@ -101,6 +158,18 @@ int main(int argc, char** argv) {
         std::strtoull(positional[5].c_str(), nullptr, 10);
   }
 
+  // Live telemetry: the hub samples at episode boundaries (wall clock) and
+  // flushes a JSON timeline + optional Prometheus exposition at exit.
+  SteadyClock telemetry_clock;
+  std::unique_ptr<obs::TelemetryHub> hub;
+  if (telemetry_interval > 0.0 || !slos.empty() || !prom_out.empty()) {
+    hub = std::make_unique<obs::TelemetryHub>(
+        &telemetry_clock,
+        telemetry_interval > 0.0 ? telemetry_interval : 1.0);
+    for (obs::SloConfig& slo : slos) hub->AddSlo(std::move(slo));
+    config.telemetry_hub = hub.get();
+  }
+
   simulation::Simulation sim(config);
   const simulation::RunResult result = sim.Run();
   if (!result.resume_error.ok()) {
@@ -114,5 +183,21 @@ int main(int argc, char** argv) {
   simulation::PrintEpisodeSeries(result, std::cout);
   std::cout << "\n";
   simulation::PrintRunSummary(result, std::cout);
+
+  if (hub) {
+    hub->ForceSample();
+    {
+      std::ofstream out(telemetry_out);
+      hub->WriteJsonTimeline(out);
+    }
+    std::cout << "# telemetry timeline (" << hub->sample_count()
+              << " samples, " << hub->breach_count()
+              << " SLO breaches) -> " << telemetry_out << "\n";
+    if (!prom_out.empty()) {
+      std::ofstream out(prom_out);
+      hub->WritePrometheus(out);
+      std::cout << "# prometheus exposition -> " << prom_out << "\n";
+    }
+  }
   return 0;
 }

@@ -1,6 +1,23 @@
 #include "federation/circuit_breaker.h"
 
+#include "obs/trace.h"
+
 namespace alex::fed {
+namespace {
+
+/// Zero-duration marker span: breaker state transitions show up as instants
+/// inside whichever query tripped (or recovered) the breaker, carrying the
+/// query's trace id through the ambient context.
+void TraceTransition(const char* name) {
+#ifdef ALEX_TRACING_ENABLED
+  obs::TraceSpan span("federation", name);
+  (void)span;
+#else
+  (void)name;
+#endif
+}
+
+}  // namespace
 
 bool CircuitBreaker::AllowCall() {
   switch (state_) {
@@ -10,6 +27,7 @@ bool CircuitBreaker::AllowCall() {
       if (clock_->NowSeconds() - opened_at_ >= config_.cooldown_seconds) {
         state_ = State::kHalfOpen;
         half_open_probe_in_flight_ = true;
+        TraceTransition("breaker_half_open");
         return true;
       }
       return false;
@@ -29,6 +47,7 @@ void CircuitBreaker::RecordSuccess() {
     half_open_probe_in_flight_ = false;
     outcomes_.clear();
     failures_in_window_ = 0;
+    TraceTransition("breaker_close");
     return;
   }
   RecordOutcome(/*failure=*/false);
@@ -61,6 +80,7 @@ void CircuitBreaker::TripOpen() {
   state_ = State::kOpen;
   opened_at_ = clock_->NowSeconds();
   ++times_opened_;
+  TraceTransition("breaker_trip");
 }
 
 }  // namespace alex::fed

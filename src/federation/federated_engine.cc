@@ -10,6 +10,7 @@
 #include <unordered_set>
 
 #include "obs/metrics.h"
+#include "obs/query_stats.h"
 #include "obs/trace.h"
 #include "rdf/dictionary.h"
 #include "sparql/parser.h"
@@ -211,6 +212,16 @@ bool Execution::MatchAtEndpoint(size_t pi, const QueryEndpoint* target,
           }
         }
         bool keep_going = true;
+        // The probe span covers the whole decorator stack (cache -> retry
+        // -> breaker -> endpoint) *and* the recursive join continuation
+        // that runs inside the row callback; deeper pattern_probe spans
+        // nest under it in the trace, mirroring the enumeration tree.
+        ALEX_TRACE_SPAN_VAR(probe_span, "federation", "pattern_probe");
+        probe_span.AddArg("pattern", pi);
+        probe_span.AddArg("endpoint", std::string_view(target->name()));
+        if (obs::ActiveQueryStats* stats = obs::CurrentQueryStats()) {
+          ++stats->probes;
+        }
         const Status st = target->Probe(
             probe, opts_,
             [&](const Term* s, const Term* p, const Term* o) {
@@ -234,6 +245,7 @@ bool Execution::MatchAtEndpoint(size_t pi, const QueryEndpoint* target,
               for (const std::string& v : bound_here) frame->binding.erase(v);
               return keep_going;
             });
+        probe_span.AddArg("ok", st.ok());
         if (!st.ok()) {
           // Degrade: this endpoint's contribution to the pattern is lost,
           // but the enumeration (and the other endpoint) continues.
@@ -544,6 +556,14 @@ bool CompiledExecution::MatchAtEndpoint(size_t pi,
           }
         }
         bool keep_going = true;
+        // Mirrors the legacy path: one span per issued probe, nesting with
+        // the recursive enumeration (see Execution::MatchAtEndpoint).
+        ALEX_TRACE_SPAN_VAR(probe_span, "federation", "pattern_probe");
+        probe_span.AddArg("pattern", pi);
+        probe_span.AddArg("endpoint", std::string_view(target->name()));
+        if (obs::ActiveQueryStats* stats = obs::CurrentQueryStats()) {
+          ++stats->probes;
+        }
         const Status st = target->Probe(
             probe, opts_,
             [&](const Term* s, const Term* p, const Term* o) {
@@ -567,6 +587,7 @@ bool CompiledExecution::MatchAtEndpoint(size_t pi,
               for (int k = 0; k < num_bound; ++k) slots_[bound_here[k]] = nullptr;
               return keep_going;
             });
+        probe_span.AddArg("ok", st.ok());
         if (!st.ok()) RecordProbeFailure(target, st);
         for (size_t k = 0; k < links_added; ++k) links_stack_.pop_back();
         if (!keep_going || stop_) return false;
@@ -641,7 +662,11 @@ void FederatedEngine::SetQueryDeadline(const Clock* clock,
 
 template <typename Fn>
 Result<FederatedResult> FederatedEngine::Instrumented(Fn&& run) const {
-  ALEX_TRACE_SPAN("federation", "FederatedEngine::Execute");
+  // Root of the query's causal tree: every probe, cache lookup, retry
+  // attempt, and breaker decision below inherits this span's trace id
+  // through the thread-local context.
+  ALEX_TRACE_ROOT_SPAN_VAR(query_span, "federation",
+                           "FederatedEngine::Execute");
   obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
   static obs::Counter& queries = registry.counter("fed.queries");
   static obs::Counter& rows = registry.counter("fed.rows");
@@ -654,8 +679,39 @@ Result<FederatedResult> FederatedEngine::Instrumented(Fn&& run) const {
       registry.histogram("fed.query_seconds");
 
   queries.Add(1);
-  obs::ScopedTimer timer(query_seconds);
+  obs::ActiveQueryStats active;
+  obs::QueryStatsScope stats_scope(&active);
+  // Latency follows the engine's injected clock when present (SimClock
+  // scenarios then report virtual latency — backoff and injected delays —
+  // deterministically); wall time otherwise.
+  const double start_seconds = clock_ != nullptr
+                                   ? clock_->NowSeconds()
+                                   : std::chrono::duration<double>(
+                                         std::chrono::steady_clock::now()
+                                             .time_since_epoch())
+                                         .count();
   Result<FederatedResult> result = run();
+  const double end_seconds = clock_ != nullptr
+                                 ? clock_->NowSeconds()
+                                 : std::chrono::duration<double>(
+                                       std::chrono::steady_clock::now()
+                                           .time_since_epoch())
+                                       .count();
+  const double latency_seconds = std::max(0.0, end_seconds - start_seconds);
+  query_seconds.Observe(latency_seconds);
+
+  obs::QueryStats record;
+  record.trace_id = query_span.trace_id();
+  record.latency_seconds = latency_seconds;
+  record.probes = active.probes;
+  record.probe_cache_hits = active.probe_cache_hits;
+  record.probe_cache_misses = active.probe_cache_misses;
+  record.retries = active.retries;
+  record.breaker_rejections = active.breaker_rejections;
+  record.block_cache_hits = active.block_cache_hits;
+  record.block_cache_misses = active.block_cache_misses;
+  record.failed = !result.ok();
+
   if (result.ok()) {
     rows.Add(result->rows.size());
     size_t crossed = 0;
@@ -669,7 +725,17 @@ Result<FederatedResult> FederatedEngine::Instrumented(Fn&& run) const {
       failed += err.failed_probes;
     }
     endpoint_errors.Add(failed);
+    record.rows = result->rows.size();
+    record.degraded = result->degraded;
   }
+  obs::QueryLog::Global().Record(record);
+
+  query_span.AddArg("probes", active.probes);
+  query_span.AddArg("rows", record.rows);
+  query_span.AddArg("retries", active.retries);
+  query_span.AddArg("cache_hits", active.probe_cache_hits);
+  query_span.AddArg("degraded", record.degraded);
+  query_span.AddArg("ok", result.ok());
   return result;
 }
 

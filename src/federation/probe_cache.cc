@@ -1,8 +1,11 @@
 #include "federation/probe_cache.h"
 
+#include <string_view>
 #include <utility>
 
 #include "obs/metrics.h"
+#include "obs/query_stats.h"
+#include "obs/trace.h"
 
 namespace alex::fed {
 namespace {
@@ -71,6 +74,12 @@ Status CachingEndpoint::Probe(const PatternProbe& probe,
                          probe.predicate != nullptr || probe.object != nullptr;
   if (!cacheable) return inner_->Probe(probe, opts, fn);
 
+  // Child span of the enclosing pattern_probe; `hit` tells Perfetto (and
+  // the linkage test) whether the rows below came from the cache or the
+  // decorated endpoint.
+  ALEX_TRACE_SPAN_VAR(cache_span, "federation", "CachingEndpoint::Probe");
+  cache_span.AddArg("endpoint", std::string_view(name()));
+
   Key key;
   Rows cached;
   {
@@ -93,6 +102,14 @@ Status CachingEndpoint::Probe(const PatternProbe& probe,
     }
   }
 
+  cache_span.AddArg("hit", static_cast<bool>(cached));
+  if (obs::ActiveQueryStats* stats = obs::CurrentQueryStats()) {
+    if (cached) {
+      ++stats->probe_cache_hits;
+    } else {
+      ++stats->probe_cache_misses;
+    }
+  }
   if (cached) {
     HitsCounter().Add(1);
     // Replay outside the lock: the callback may recursively probe this same

@@ -1,8 +1,11 @@
 #include "federation/resilient_endpoint.h"
 
 #include <algorithm>
+#include <string_view>
 
 #include "obs/metrics.h"
+#include "obs/query_stats.h"
+#include "obs/trace.h"
 
 namespace alex::fed {
 namespace {
@@ -50,6 +53,14 @@ Status ResilientEndpoint::Probe(const PatternProbe& probe,
     }
     if (!breaker_.AllowCall()) {
       metrics.breaker_open.Add(1);
+      if (obs::ActiveQueryStats* stats = obs::CurrentQueryStats()) {
+        ++stats->breaker_rejections;
+      }
+      // Zero-duration span: in the trace a breaker rejection shows up as an
+      // instant child of the probe, with no attempt underneath it.
+      ALEX_TRACE_SPAN_VAR(reject_span, "federation", "breaker_reject");
+      reject_span.AddArg("endpoint", std::string_view(name()));
+      reject_span.AddArg("attempt", attempt);
       return Status::Unavailable(name() + ": circuit breaker open");
     }
     CallOptions attempt_opts = opts;
@@ -63,7 +74,16 @@ Status ResilientEndpoint::Probe(const PatternProbe& probe,
       return fn(s, p, o);
     };
     const size_t opened_before = breaker_.times_opened();
-    const Status st = inner_->Probe(probe, attempt_opts, counting_fn);
+    Status st;
+    {
+      // Each attempt is its own child span, so a retried probe shows its
+      // attempts side by side under the pattern_probe span.
+      ALEX_TRACE_SPAN_VAR(attempt_span, "federation", "probe_attempt");
+      attempt_span.AddArg("endpoint", std::string_view(name()));
+      attempt_span.AddArg("attempt", attempt);
+      st = inner_->Probe(probe, attempt_opts, counting_fn);
+      attempt_span.AddArg("ok", st.ok());
+    }
     metrics.attempt_seconds.Observe(clock_->NowSeconds() - now);
 
     if (st.ok()) {
@@ -80,6 +100,9 @@ Status ResilientEndpoint::Probe(const PatternProbe& probe,
     if (clock_->NowSeconds() + backoff >= opts.deadline_seconds) return st;
     clock_->SleepSeconds(backoff);
     metrics.retries.Add(1);
+    if (obs::ActiveQueryStats* stats = obs::CurrentQueryStats()) {
+      ++stats->retries;
+    }
   }
   return last;
 }

@@ -2,7 +2,19 @@
 
 #include <algorithm>
 
+#include "common/logging.h"
+
 namespace alex::obs {
+namespace {
+
+/// max(a - b, 0) for counters: a metric reset between two snapshots makes
+/// `before` exceed `after`, and 2's-complement wraparound would report a
+/// near-2^64 "delta". Saturating keeps resets visible as zero activity.
+uint64_t SaturatingSub(uint64_t after, uint64_t before) {
+  return after >= before ? after - before : 0;
+}
+
+}  // namespace
 namespace internal {
 
 size_t ThreadShard() {
@@ -66,12 +78,41 @@ void Histogram::Reset() {
   }
 }
 
+double HistogramSnapshot::Quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the target observation (1-based); q = 0 maps to the first.
+  const double rank = std::max(1.0, q * static_cast<double>(count));
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    const uint64_t in_bucket = counts[i];
+    if (in_bucket == 0) continue;
+    const double upto = static_cast<double>(cumulative + in_bucket);
+    if (rank <= upto) {
+      if (i >= bounds.size()) {
+        // +inf bucket: the estimate is capped at the largest finite bound
+        // (Prometheus histogram_quantile semantics). With no finite
+        // buckets at all, fall back to the mean.
+        return bounds.empty() ? Mean() : bounds.back();
+      }
+      const double lower = (i == 0) ? 0.0 : bounds[i - 1];
+      const double upper = bounds[i];
+      const double position =
+          (rank - static_cast<double>(cumulative)) /
+          static_cast<double>(in_bucket);
+      return lower + (upper - lower) * position;
+    }
+    cumulative += in_bucket;
+  }
+  return bounds.empty() ? Mean() : bounds.back();
+}
+
 MetricsSnapshot MetricsSnapshot::DeltaSince(
     const MetricsSnapshot& before) const {
   MetricsSnapshot delta = *this;
   for (auto& [name, value] : delta.counters) {
     auto it = before.counters.find(name);
-    if (it != before.counters.end()) value -= std::min(value, it->second);
+    if (it != before.counters.end()) value = SaturatingSub(value, it->second);
   }
   // Gauges are point-in-time: the "delta" keeps the current reading.
   for (auto& [name, hist] : delta.histograms) {
@@ -80,9 +121,9 @@ MetricsSnapshot MetricsSnapshot::DeltaSince(
     const HistogramSnapshot& old = it->second;
     if (old.bounds != hist.bounds) continue;
     for (size_t i = 0; i < hist.counts.size(); ++i) {
-      hist.counts[i] -= std::min(hist.counts[i], old.counts[i]);
+      hist.counts[i] = SaturatingSub(hist.counts[i], old.counts[i]);
     }
-    hist.count -= std::min(hist.count, old.count);
+    hist.count = SaturatingSub(hist.count, old.count);
     hist.sum = std::max(0.0, hist.sum - old.sum);
   }
   return delta;
@@ -113,11 +154,26 @@ Gauge& MetricsRegistry::gauge(std::string_view name) {
 }
 
 Histogram& MetricsRegistry::histogram(std::string_view name) {
-  return histogram(name, Histogram::DefaultLatencyBounds());
+  // Bounds-agnostic lookup: whatever ladder the histogram already has (or
+  // the default for a fresh one) satisfies the caller, so no conflict is
+  // possible.
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name), std::make_unique<Histogram>(
+                                             Histogram::DefaultLatencyBounds()))
+             .first;
+  }
+  return *it->second;
 }
 
-Histogram& MetricsRegistry::histogram(std::string_view name,
-                                      std::vector<double> bounds) {
+Result<Histogram*> MetricsRegistry::TryHistogram(std::string_view name,
+                                                 std::vector<double> bounds) {
+  // Normalize the way the Histogram constructor does, so e.g. duplicate or
+  // unsorted bounds compare equal to their canonical form.
+  std::sort(bounds.begin(), bounds.end());
+  bounds.erase(std::unique(bounds.begin(), bounds.end()), bounds.end());
   std::lock_guard<std::mutex> lock(mu_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
@@ -125,8 +181,28 @@ Histogram& MetricsRegistry::histogram(std::string_view name,
              .emplace(std::string(name),
                       std::make_unique<Histogram>(std::move(bounds)))
              .first;
+    return it->second.get();
   }
-  return *it->second;
+  if (it->second->bucket_bounds() != bounds) {
+    return Status::InvalidArgument(
+        "histogram '" + std::string(name) +
+        "' re-registered with conflicting bucket bounds; the ladder is "
+        "fixed by the first registration");
+  }
+  return it->second.get();
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::vector<double> bounds) {
+  Result<Histogram*> result = TryHistogram(name, std::move(bounds));
+  if (!result.ok()) {
+    // Fail loudly but keep the process running: the first-registered ladder
+    // wins, and the conflicting call site is named in the log.
+    ALEX_LOG(kError) << result.status().message();
+    std::lock_guard<std::mutex> lock(mu_);
+    return *histograms_.find(name)->second;
+  }
+  return **result;
 }
 
 MetricsSnapshot MetricsRegistry::Snapshot() const {

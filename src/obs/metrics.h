@@ -11,7 +11,11 @@
 #include <string_view>
 #include <vector>
 
+#include "common/result.h"
+
 namespace alex::obs {
+
+using ::alex::Result;
 
 /// Process-wide observability primitives (the paper's evaluation is all
 /// about *where time goes* — Sections 6.3 and 7.3 — so every scaling PR
@@ -103,6 +107,14 @@ struct HistogramSnapshot {
   double sum = 0.0;     // Sum of observed values, in seconds.
 
   double Mean() const { return count == 0 ? 0.0 : sum / static_cast<double>(count); }
+
+  /// Estimated q-quantile (q in [0, 1], clamped) with linear interpolation
+  /// inside the containing bucket — Prometheus `histogram_quantile`
+  /// semantics: the first bucket interpolates from 0, and a rank landing in
+  /// the +inf bucket returns the highest finite bound (the estimate cannot
+  /// exceed what the ladder can resolve). Returns 0 when empty.
+  double Quantile(double q) const;
+
   bool operator==(const HistogramSnapshot&) const = default;
 };
 
@@ -117,6 +129,9 @@ class Histogram {
 
   HistogramSnapshot Snapshot() const;
   void Reset();
+
+  /// The normalized (sorted, deduplicated) finite bucket bounds.
+  const std::vector<double>& bucket_bounds() const { return bounds_; }
 
   static std::vector<double> DefaultLatencyBounds();
 
@@ -140,8 +155,11 @@ struct MetricsSnapshot {
   std::map<std::string, HistogramSnapshot> histograms;
 
   /// Activity since `before`: counters and histogram counts/sums subtract;
-  /// gauges keep their current (point-in-time) value. `before` must come
-  /// from the same registry, earlier in time.
+  /// gauges keep their current (point-in-time) value. Subtraction saturates
+  /// at zero, so a metric reset between the two snapshots (e.g.
+  /// ResetForTest between workload phases) yields a zero delta instead of
+  /// wrapping to a near-2^64 value. `before` should come from the same
+  /// registry, earlier in time.
   MetricsSnapshot DeltaSince(const MetricsSnapshot& before) const;
 
   bool operator==(const MetricsSnapshot&) const = default;
@@ -155,10 +173,20 @@ class MetricsRegistry {
 
   Counter& counter(std::string_view name);
   Gauge& gauge(std::string_view name);
-  /// Default latency bucket ladder. A histogram's bounds are fixed by its
-  /// first registration; later lookups ignore `bounds`.
+  /// Default latency bucket ladder; never conflicts with an existing
+  /// registration (any bounds satisfy a bounds-agnostic lookup).
   Histogram& histogram(std::string_view name);
+  /// A histogram's bounds are fixed by its first explicit registration.
+  /// Re-registering with different bounds (after sort/dedup normalization)
+  /// is a programming error: it fails loudly — an error log naming the
+  /// metric — and returns the existing histogram, so counts never land in
+  /// surprise buckets silently. Use TryHistogram to handle the conflict
+  /// programmatically.
   Histogram& histogram(std::string_view name, std::vector<double> bounds);
+  /// Like histogram(name, bounds) but reports a bounds conflict as
+  /// InvalidArgument instead of logging.
+  Result<Histogram*> TryHistogram(std::string_view name,
+                                  std::vector<double> bounds);
 
   /// Merges every metric into a deterministic snapshot.
   MetricsSnapshot Snapshot() const;

@@ -130,6 +130,65 @@ void WriteMetricsCsv(const MetricsSnapshot& snapshot, std::ostream& os) {
   }
 }
 
+std::string SanitizeMetricName(std::string_view name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    const bool alpha =
+        (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+        c == ':';
+    const bool digit = (c >= '0' && c <= '9');
+    if (alpha || (digit && i > 0)) {
+      out.push_back(c);
+    } else if (digit) {
+      // Leading digit: prefix rather than drop, so "2xx" -> "_2xx".
+      out.push_back('_');
+      out.push_back(c);
+    } else {
+      out.push_back('_');
+    }
+  }
+  if (out.empty()) return "_";
+  return out;
+}
+
+void WritePrometheusText(const MetricsSnapshot& snapshot, std::ostream& os) {
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string prom = SanitizeMetricName(name) + "_total";
+    os << "# TYPE " << prom << " counter\n" << prom << " " << value << "\n";
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string prom = SanitizeMetricName(name);
+    os << "# TYPE " << prom << " gauge\n" << prom << " " << value << "\n";
+    auto max_it = snapshot.gauge_maxes.find(name);
+    if (max_it != snapshot.gauge_maxes.end()) {
+      os << "# TYPE " << prom << "_max gauge\n"
+         << prom << "_max " << max_it->second << "\n";
+    }
+  }
+  for (const auto& [name, hist] : snapshot.histograms) {
+    const std::string prom = SanitizeMetricName(name);
+    os << "# TYPE " << prom << " histogram\n";
+    // Prometheus buckets are cumulative: each `le` series counts every
+    // observation at or below the bound, ending with le="+Inf" == _count.
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < hist.counts.size(); ++i) {
+      cumulative += hist.counts[i];
+      os << prom << "_bucket{le=\"";
+      if (i < hist.bounds.size()) {
+        WriteDouble(os, hist.bounds[i]);
+      } else {
+        os << "+Inf";
+      }
+      os << "\"} " << cumulative << "\n";
+    }
+    os << prom << "_sum ";
+    WriteDouble(os, hist.sum);
+    os << "\n" << prom << "_count " << hist.count << "\n";
+  }
+}
+
 void RunTelemetry::WriteCsv(std::ostream& os) const {
   os << "kind,name,value,sum_seconds\n";
   os << "run,wall_seconds,,";

@@ -46,6 +46,19 @@ void WriteMetricsJsonFields(const MetricsSnapshot& snapshot, std::ostream& os,
 /// CSV rows for one snapshot: kind,name,value[,sum_seconds].
 void WriteMetricsCsv(const MetricsSnapshot& snapshot, std::ostream& os);
 
+/// Maps a registry metric name onto the Prometheus charset
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*`: dots (our namespace separator) and every
+/// other invalid byte become '_', and a leading digit gets a '_' prefix.
+/// `fed.probe_cache_hits` -> `fed_probe_cache_hits`.
+std::string SanitizeMetricName(std::string_view name);
+
+/// Serializes one merged snapshot in Prometheus text exposition format
+/// (version 0.0.4): counters as `<name>_total`, gauges as `<name>` plus
+/// `<name>_max`, histograms as cumulative-`le` `_bucket` series with `_sum`
+/// and `_count`, each preceded by `# TYPE`. Names pass through
+/// SanitizeMetricName; ordering is deterministic (snapshot map order).
+void WritePrometheusText(const MetricsSnapshot& snapshot, std::ostream& os);
+
 /// RAII phase section: on destruction adds the elapsed wall time to
 /// `telemetry->phases[name]` and to the registry histogram
 /// `phase.<name>`. The replacement for raw Stopwatch phase timing.

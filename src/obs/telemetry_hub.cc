@@ -1,0 +1,205 @@
+#include "obs/telemetry_hub.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+
+#include "common/string_util.h"
+#include "obs/telemetry.h"
+
+namespace alex::obs {
+namespace {
+
+void WriteDouble(std::ostream& os, double v) {
+  if (!std::isfinite(v)) v = 0.0;
+  const auto flags = os.flags();
+  const auto precision = os.precision();
+  os << std::setprecision(9) << v;
+  os.flags(flags);
+  os.precision(precision);
+}
+
+}  // namespace
+
+TelemetryHub::TelemetryHub(const Clock* clock, double interval_seconds,
+                           size_t max_samples)
+    : clock_(clock),
+      interval_seconds_(interval_seconds),
+      max_samples_(std::max<size_t>(1, max_samples)) {}
+
+void TelemetryHub::AddSlo(SloConfig config) {
+  slos_.push_back(std::move(config));
+  breach_history_.emplace_back();
+}
+
+bool TelemetryHub::MaybeSample() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const double now = clock_->NowSeconds();
+  if (has_sampled_ && now - last_sample_t_ < interval_seconds_) return false;
+  SampleLocked();
+  return true;
+}
+
+void TelemetryHub::ForceSample() {
+  std::lock_guard<std::mutex> lock(mu_);
+  SampleLocked();
+}
+
+void TelemetryHub::SampleLocked() {
+  const double now = clock_->NowSeconds();
+  const MetricsSnapshot current = MetricsRegistry::Global().Snapshot();
+
+  TelemetrySample sample;
+  sample.t_seconds = now;
+  sample.delta =
+      has_sampled_ ? current.DeltaSince(last_snapshot_) : current;
+  sample.slos.reserve(slos_.size());
+
+  static Counter& breach_counter =
+      MetricsRegistry::Global().counter("obs.slo_breaches");
+  for (size_t i = 0; i < slos_.size(); ++i) {
+    const SloConfig& slo = slos_[i];
+    SloSample eval;
+    auto it = sample.delta.histograms.find(slo.histogram);
+    if (it != sample.delta.histograms.end() && it->second.count > 0) {
+      eval.evaluated = true;
+      eval.observed_seconds = it->second.Quantile(slo.quantile);
+      eval.breached = eval.observed_seconds > slo.target_seconds;
+      if (eval.breached) {
+        ++breaches_;
+        breach_counter.Add();
+      }
+    }
+    // Roll the burn window forward; intervals with no traffic don't count
+    // toward (or against) the budget.
+    auto& history = breach_history_[i];
+    if (eval.evaluated) history.emplace_back(now, eval.breached);
+    while (!history.empty() &&
+           now - history.front().first > slo.burn_window_seconds) {
+      history.pop_front();
+    }
+    if (!history.empty()) {
+      size_t breached = 0;
+      for (const auto& [t, b] : history) breached += b ? 1 : 0;
+      eval.burn_rate =
+          static_cast<double>(breached) / static_cast<double>(history.size());
+      eval.budget_exhausted = eval.burn_rate > slo.budget_fraction;
+    }
+    sample.slos.push_back(eval);
+  }
+
+  samples_.push_back(std::move(sample));
+  while (samples_.size() > max_samples_) samples_.pop_front();
+  has_sampled_ = true;
+  last_sample_t_ = now;
+  last_snapshot_ = current;
+}
+
+size_t TelemetryHub::sample_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return samples_.size();
+}
+
+std::vector<TelemetrySample> TelemetryHub::Samples() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {samples_.begin(), samples_.end()};
+}
+
+uint64_t TelemetryHub::breach_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return breaches_;
+}
+
+void TelemetryHub::WriteJsonTimeline(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  os << "{\n  \"interval_seconds\": ";
+  WriteDouble(os, interval_seconds_);
+  os << ",\n  \"slos\": [";
+  for (size_t i = 0; i < slos_.size(); ++i) {
+    const SloConfig& slo = slos_[i];
+    os << (i == 0 ? "\n" : ",\n") << "    {\"name\": \""
+       << EscapeJson(slo.name) << "\", \"histogram\": \""
+       << EscapeJson(slo.histogram) << "\", \"quantile\": ";
+    WriteDouble(os, slo.quantile);
+    os << ", \"target_seconds\": ";
+    WriteDouble(os, slo.target_seconds);
+    os << ", \"burn_window_seconds\": ";
+    WriteDouble(os, slo.burn_window_seconds);
+    os << ", \"budget_fraction\": ";
+    WriteDouble(os, slo.budget_fraction);
+    os << "}";
+  }
+  os << (slos_.empty() ? "" : "\n  ") << "],\n  \"samples\": [";
+  bool first_sample = true;
+  for (const TelemetrySample& sample : samples_) {
+    os << (first_sample ? "\n" : ",\n") << "    {\"t_seconds\": ";
+    WriteDouble(os, sample.t_seconds);
+    first_sample = false;
+    os << ", \"slos\": [";
+    for (size_t i = 0; i < sample.slos.size(); ++i) {
+      const SloSample& eval = sample.slos[i];
+      if (i > 0) os << ", ";
+      os << "{\"evaluated\": " << (eval.evaluated ? "true" : "false")
+         << ", \"breached\": " << (eval.breached ? "true" : "false")
+         << ", \"observed_seconds\": ";
+      WriteDouble(os, eval.observed_seconds);
+      os << ", \"burn_rate\": ";
+      WriteDouble(os, eval.burn_rate);
+      os << ", \"budget_exhausted\": "
+         << (eval.budget_exhausted ? "true" : "false") << "}";
+    }
+    os << "], \"counters\": {";
+    bool first_counter = true;
+    for (const auto& [name, value] : sample.delta.counters) {
+      if (value == 0) continue;  // Keep the timeline readable: activity only.
+      if (!first_counter) os << ", ";
+      first_counter = false;
+      os << "\"" << EscapeJson(name) << "\": " << value;
+    }
+    os << "}, \"histograms\": {";
+    bool first_hist = true;
+    for (const auto& [name, hist] : sample.delta.histograms) {
+      if (hist.count == 0) continue;
+      if (!first_hist) os << ", ";
+      first_hist = false;
+      os << "\"" << EscapeJson(name) << "\": {\"count\": " << hist.count
+         << ", \"sum_seconds\": ";
+      WriteDouble(os, hist.sum);
+      os << ", \"p50_seconds\": ";
+      WriteDouble(os, hist.Quantile(0.5));
+      os << ", \"p99_seconds\": ";
+      WriteDouble(os, hist.Quantile(0.99));
+      os << "}";
+    }
+    os << "}}";
+  }
+  os << (samples_.empty() ? "" : "\n  ") << "]\n}\n";
+}
+
+void TelemetryHub::WritePrometheus(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  WritePrometheusText(last_snapshot_, os);
+  if (slos_.empty() || samples_.empty()) return;
+  const TelemetrySample& last = samples_.back();
+  os << "# TYPE alex_slo_breached gauge\n";
+  for (size_t i = 0; i < slos_.size() && i < last.slos.size(); ++i) {
+    os << "alex_slo_breached{slo=\"" << SanitizeMetricName(slos_[i].name)
+       << "\"} " << (last.slos[i].breached ? 1 : 0) << "\n";
+  }
+  os << "# TYPE alex_slo_burn_rate gauge\n";
+  for (size_t i = 0; i < slos_.size() && i < last.slos.size(); ++i) {
+    os << "alex_slo_burn_rate{slo=\"" << SanitizeMetricName(slos_[i].name)
+       << "\"} ";
+    WriteDouble(os, last.slos[i].burn_rate);
+    os << "\n";
+  }
+  os << "# TYPE alex_slo_observed_seconds gauge\n";
+  for (size_t i = 0; i < slos_.size() && i < last.slos.size(); ++i) {
+    os << "alex_slo_observed_seconds{slo=\""
+       << SanitizeMetricName(slos_[i].name) << "\"} ";
+    WriteDouble(os, last.slos[i].observed_seconds);
+    os << "\n";
+  }
+}
+
+}  // namespace alex::obs

@@ -1,0 +1,117 @@
+#ifndef ALEX_OBS_TELEMETRY_HUB_H_
+#define ALEX_OBS_TELEMETRY_HUB_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "obs/metrics.h"
+
+namespace alex::obs {
+
+/// Continuous telemetry: turns the end-of-run MetricsSnapshot into a live,
+/// timestamped time series with SLO evaluation.
+///
+/// The hub is a passive sampler — no thread of its own, no wall sleeps.
+/// Long-running call sites (ExecuteFederatedWorkload between queries, the
+/// simulation episode loop, run_scenario) call MaybeSample(); when at least
+/// `interval_seconds` of injected-clock time has passed since the last
+/// sample, the hub snapshots the registry, stores the delta since the
+/// previous sample, and evaluates every configured SLO against that
+/// interval's activity. Driving it through alex::Clock means a SimClock
+/// test can produce an arbitrarily long "timeline" deterministically in
+/// microseconds.
+
+/// One latency objective: "the q-quantile of <histogram> stays at or below
+/// target_seconds". Evaluated per sampling interval from the delta
+/// histogram via HistogramSnapshot::Quantile. Breaches burn error budget:
+/// over any rolling `burn_window_seconds`, more than `budget_fraction` of
+/// intervals in breach marks the budget exhausted.
+struct SloConfig {
+  std::string name;            // e.g. "fed_query_p99"
+  std::string histogram;       // registry metric, e.g. "fed.query_seconds"
+  double quantile = 0.99;      // in [0, 1]
+  double target_seconds = 0.0;
+  double burn_window_seconds = 60.0;
+  double budget_fraction = 0.1;
+};
+
+/// The evaluation of one SLO at one sample point.
+struct SloSample {
+  bool evaluated = false;   // False when the interval had no observations.
+  bool breached = false;
+  double observed_seconds = 0.0;  // The interval's quantile estimate.
+  double burn_rate = 0.0;   // Breached fraction of the rolling window.
+  bool budget_exhausted = false;
+};
+
+/// One point of the time series.
+struct TelemetrySample {
+  double t_seconds = 0.0;          // Injected-clock timestamp.
+  MetricsSnapshot delta;           // Activity since the previous sample.
+  std::vector<SloSample> slos;     // Parallel to the hub's SLO configs.
+};
+
+class TelemetryHub {
+ public:
+  /// `clock` must outlive the hub. `max_samples` bounds memory: the series
+  /// is a ring, oldest samples dropped first.
+  TelemetryHub(const Clock* clock, double interval_seconds,
+               size_t max_samples = 4096);
+
+  /// Registers an SLO (before sampling starts; not thread-safe against
+  /// concurrent MaybeSample).
+  void AddSlo(SloConfig config);
+
+  /// Samples if at least interval_seconds have elapsed since the previous
+  /// sample (the first call always samples). Returns true when a sample was
+  /// taken. Thread-safe; concurrent callers race benignly for the slot.
+  bool MaybeSample();
+
+  /// Samples unconditionally (end-of-run flush).
+  void ForceSample();
+
+  size_t sample_count() const;
+  std::vector<TelemetrySample> Samples() const;
+  const std::vector<SloConfig>& slos() const { return slos_; }
+
+  /// Total SLO breaches across all samples and configs (also mirrored into
+  /// the registry counter `obs.slo_breaches` as they happen).
+  uint64_t breach_count() const;
+
+  /// {"interval_seconds": ..., "slos": [...], "samples": [...]} — each
+  /// sample with its timestamp, per-SLO evaluation, and the interval's
+  /// counter deltas (histograms summarized as count/sum/p50/p99).
+  void WriteJsonTimeline(std::ostream& os) const;
+
+  /// Prometheus text exposition of the cumulative registry state at the
+  /// last sample, plus per-SLO gauges (alex_slo_breached{slo="..."},
+  /// alex_slo_burn_rate, alex_slo_observed_seconds).
+  void WritePrometheus(std::ostream& os) const;
+
+ private:
+  void SampleLocked();
+
+  const Clock* clock_;
+  const double interval_seconds_;
+  const size_t max_samples_;
+  std::vector<SloConfig> slos_;
+
+  mutable std::mutex mu_;
+  bool has_sampled_ = false;
+  double last_sample_t_ = 0.0;
+  MetricsSnapshot last_snapshot_;
+  std::deque<TelemetrySample> samples_;
+  /// Per-SLO rolling breach history: (timestamp, breached) pairs within the
+  /// burn window.
+  std::vector<std::deque<std::pair<double, bool>>> breach_history_;
+  uint64_t breaches_ = 0;
+};
+
+}  // namespace alex::obs
+
+#endif  // ALEX_OBS_TELEMETRY_HUB_H_

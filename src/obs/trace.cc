@@ -2,11 +2,18 @@
 
 #include <algorithm>
 
+#include "common/string_util.h"
+
 namespace alex::obs {
 
 TraceRecorder& TraceRecorder::Global() {
   static TraceRecorder* recorder = new TraceRecorder();
   return *recorder;
+}
+
+TraceContext& TraceRecorder::CurrentContext() {
+  thread_local TraceContext context;
+  return context;
 }
 
 TraceRecorder::ThreadBuffer& TraceRecorder::LocalBuffer() {
@@ -22,13 +29,17 @@ TraceRecorder::ThreadBuffer& TraceRecorder::LocalBuffer() {
 
 void TraceRecorder::Record(const char* category, const char* name,
                            uint64_t ts_micros, uint64_t dur_micros) {
-  ThreadBuffer& buffer = LocalBuffer();
-  std::lock_guard<std::mutex> lock(buffer.mu);
   TraceEvent event;
   event.name = name;
   event.category = category;
   event.ts_micros = ts_micros;
   event.dur_micros = dur_micros;
+  Record(event);
+}
+
+void TraceRecorder::Record(TraceEvent event) {
+  ThreadBuffer& buffer = LocalBuffer();
+  std::lock_guard<std::mutex> lock(buffer.mu);
   event.tid = buffer.tid;
   if (buffer.ring.size() < kRingCapacity) {
     buffer.ring.push_back(event);
@@ -37,6 +48,23 @@ void TraceRecorder::Record(const char* category, const char* name,
   }
   buffer.next = (buffer.next + 1) % kRingCapacity;
   ++buffer.count;
+}
+
+uint32_t TraceRecorder::InternArgString(std::string_view value) {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  // Linear scan over a small table: distinct string args are endpoint names
+  // and status labels, a handful per process, so interning stays cheap.
+  for (size_t i = 0; i < arg_strings_.size(); ++i) {
+    if (arg_strings_[i] == value) return static_cast<uint32_t>(i);
+  }
+  arg_strings_.emplace_back(value);
+  return static_cast<uint32_t>(arg_strings_.size() - 1);
+}
+
+std::string TraceRecorder::ArgString(size_t index) const {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  if (index >= arg_strings_.size()) return "<bad-arg-index>";
+  return arg_strings_[index];
 }
 
 std::vector<TraceEvent> TraceRecorder::Events() const {
@@ -89,8 +117,32 @@ void TraceRecorder::WriteChromeTrace(std::ostream& os) const {
     // instrumentation; no JSON escaping is needed beyond trusting that.
     os << "\n  {\"name\": \"" << e.name << "\", \"cat\": \"" << e.category
        << "\", \"ph\": \"X\", \"ts\": " << e.ts_micros
-       << ", \"dur\": " << e.dur_micros << ", \"pid\": 1, \"tid\": " << e.tid
-       << "}";
+       << ", \"dur\": " << e.dur_micros << ", \"pid\": 1, \"tid\": " << e.tid;
+    if (e.trace_id != 0 || e.num_args != 0) {
+      os << ", \"args\": {";
+      bool first_arg = true;
+      if (e.trace_id != 0) {
+        os << "\"trace_id\": " << e.trace_id << ", \"span_id\": " << e.span_id
+           << ", \"parent_span_id\": " << e.parent_span_id;
+        first_arg = false;
+      }
+      for (uint32_t i = 0; i < e.num_args && i < kMaxTraceArgs; ++i) {
+        const TraceArg& arg = e.args[i];
+        if (arg.key == nullptr) continue;
+        if (!first_arg) os << ", ";
+        first_arg = false;
+        os << "\"" << EscapeJson(arg.key) << "\": ";
+        if (arg.is_string) {
+          os << "\""
+             << EscapeJson(ArgString(static_cast<size_t>(arg.value)))
+             << "\"";
+        } else {
+          os << arg.value;
+        }
+      }
+      os << "}";
+    }
+    os << "}";
   }
   os << "\n], \"displayTimeUnit\": \"ms\"}\n";
 }

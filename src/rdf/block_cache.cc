@@ -1,6 +1,8 @@
 #include "rdf/block_cache.h"
 
 #include "obs/metrics.h"
+#include "obs/query_stats.h"
+#include "obs/trace.h"
 
 namespace alex::rdf {
 namespace {
@@ -27,6 +29,12 @@ BlockCache::BlockCache(size_t budget_bytes) : budget_bytes_(budget_bytes) {}
 
 BlockCache::BlockPtr BlockCache::GetOrLoad(uint64_t key,
                                            const Loader& loader) {
+  // When a federated query is driving this read, the span joins its trace
+  // (via the ambient context) and the hit/miss lands in its QueryStats —
+  // block decompression is often where a "cold storage" query spends its
+  // time.
+  ALEX_TRACE_SPAN_VAR(block_span, "rdf", "BlockCache::GetOrLoad");
+  obs::ActiveQueryStats* query_stats = obs::CurrentQueryStats();
   uint64_t epoch_at_miss = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -34,11 +42,15 @@ BlockCache::BlockPtr BlockCache::GetOrLoad(uint64_t key,
     if (it != index_.end()) {
       lru_.splice(lru_.begin(), lru_, it->second);
       CacheHits().Add();
+      if (query_stats != nullptr) ++query_stats->block_cache_hits;
+      block_span.AddArg("hit", true);
       return it->second->block;
     }
     epoch_at_miss = epoch_;
   }
   CacheMisses().Add();
+  if (query_stats != nullptr) ++query_stats->block_cache_misses;
+  block_span.AddArg("hit", false);
   BlockPtr block = loader();
   if (block == nullptr) return nullptr;
   const size_t block_bytes = block->ApproxBytes();

@@ -79,6 +79,7 @@ WorkloadRunStats ExecuteFederatedWorkload(const fed::FederatedEngine& engine,
       results[i] = engine.ExecuteText(workload.queries[i]);
     });
     for (const auto& result : results) AccumulateResult(*result, &stats);
+    if (options.hub != nullptr) options.hub->MaybeSample();
     return stats;
   }
 
@@ -90,6 +91,7 @@ WorkloadRunStats ExecuteFederatedWorkload(const fed::FederatedEngine& engine,
       options.clock->SleepSeconds(options.think_seconds);
     }
     AccumulateResult(engine.ExecuteText(query), &stats);
+    if (options.hub != nullptr) options.hub->MaybeSample();
   }
   return stats;
 }

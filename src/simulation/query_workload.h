@@ -9,6 +9,7 @@
 #include "datagen/generator.h"
 #include "federation/federated_engine.h"
 #include "federation/link_index.h"
+#include "obs/telemetry_hub.h"
 
 namespace alex::simulation {
 
@@ -61,6 +62,10 @@ struct WorkloadExecOptions {
   /// The endpoint stack must be thread-safe (plain Endpoints over stores
   /// with pre-built indexes are; call TripleStore::EnsureIndexes first).
   ThreadPool* pool = nullptr;
+  /// When set, the executor gives the hub a sampling opportunity between
+  /// queries (sequential path) or after the merge (parallel path), so long
+  /// workloads emit a live time series instead of one end-of-run snapshot.
+  obs::TelemetryHub* hub = nullptr;
 };
 
 /// Executes every query of the workload against `engine`, tolerating

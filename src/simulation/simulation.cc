@@ -395,6 +395,10 @@ RunResult Simulation::Run() {
       }
     }
 
+    // Episode boundary: the hub samples if its interval has elapsed, so a
+    // long run streams metric deltas and SLO evaluations as it goes.
+    if (config_.telemetry_hub != nullptr) config_.telemetry_hub->MaybeSample();
+
     if (record.links_changed == 0) {
       result.converged_episode = episode;
       previous = current;

@@ -10,6 +10,7 @@
 #include "core/partitioned.h"
 #include "datagen/generator.h"
 #include "obs/telemetry.h"
+#include "obs/telemetry_hub.h"
 #include "paris/paris.h"
 
 namespace alex::simulation {
@@ -41,6 +42,11 @@ struct SimulationConfig {
   /// The scenario/config must match the checkpointing run (enforced via
   /// the config fingerprint in the checkpoint header).
   std::string resume_from;
+
+  /// Optional live telemetry: when set (not owned), the run gives the hub a
+  /// sampling opportunity at every episode boundary, so a long run emits a
+  /// timestamped metric/SLO series instead of only end-of-run telemetry.
+  obs::TelemetryHub* telemetry_hub = nullptr;
 };
 
 /// Quality and activity after one episode. Record 0 is the initial (PARIS)
