@@ -1,0 +1,197 @@
+// Long-running concurrent link service bench: a client-count sweep where N
+// closed-loop simulated clients share ONE PartitionedAlex + endpoint stack
+// through svc::LinkService, issuing federated queries against an
+// epoch-versioned link snapshot and batching feedback into episode commits
+// that publish new epochs while queries keep flowing.
+//
+// Per arm (clients in {4, 8, 16, 32, 64} up to the requested max, each on a
+// fresh engine seeded from a noisy candidate set): queries, shed rate (the
+// admission bound is set BELOW the client count in concurrent arms, so
+// overload sheds instead of queueing), exact p50/p99 latency, throughput,
+// committed episodes, epochs published, and final F-measure.
+//
+// SLOs on svc.query_seconds (p50 and p99) are tracked by a TelemetryHub
+// across the whole sweep; the timeline lands in bench_link_service.slo.json
+// and the registry state in the usual telemetry sidecar.
+//
+// Output: one JSON object on stdout; exit 1 when any arm fails its sanity
+// gates (zero commits, zero answered queries, or op accounting that does
+// not satisfy queries == ops - shed).
+//
+// Usage: bench_link_service [max_clients=64] [ops_per_client=40]
+//                           [deterministic=0]
+//   CI runs a reduced smoke, e.g. `bench_link_service 8 12`.
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "datagen/generator.h"
+#include "feedback/ground_truth.h"
+#include "obs/telemetry_hub.h"
+#include "service/link_service.h"
+
+#include "bench_util.h"
+
+namespace {
+
+using namespace alex;
+
+/// Seed candidate set: most of the truth plus wrong pairings built from the
+/// held-out remainder, so the service's feedback loop has both links to
+/// confirm and links to evict.
+std::vector<feedback::PairKey> NoisySeedLinks(
+    const datagen::GeneratedPair& pair, uint64_t seed) {
+  std::vector<feedback::PairKey> truth = pair.truth.AsVector();
+  std::sort(truth.begin(), truth.end());
+  Rng rng(seed);
+  rng.Shuffle(&truth);
+  const size_t kept = truth.size() - truth.size() / 5;
+  std::vector<feedback::PairKey> links(truth.begin(), truth.begin() + kept);
+  // Cross-wire the held-out pairs: left of one with right of the next.
+  for (size_t i = kept; i + 1 < truth.size(); ++i) {
+    links.push_back(feedback::PackPair(feedback::PairLeft(truth[i]),
+                                       feedback::PairRight(truth[i + 1])));
+  }
+  return links;
+}
+
+struct ArmResult {
+  size_t clients = 0;
+  svc::ServiceReport report;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  InitLoggingFromEnv();
+  bench::TelemetrySidecar telemetry("bench_link_service");
+  const size_t max_clients =
+      bench::ParseUintArg(argc, argv, 1, 64, "max_clients");
+  const size_t ops_per_client =
+      bench::ParseUintArg(argc, argv, 2, 40, "ops_per_client");
+  const bool deterministic =
+      bench::ParseUintArg(argc, argv, 3, 0, "deterministic",
+                          /*min_value=*/0) != 0;
+
+  Stopwatch generate_watch;
+  datagen::ScenarioConfig scenario;
+  scenario.name = "link_service";
+  scenario.num_shared = 150;
+  scenario.num_left_only = 80;
+  scenario.num_right_only = 60;
+  scenario.ambiguity = 0.3;
+  datagen::GeneratedPair pair = datagen::GenerateScenario(scenario);
+  const std::vector<feedback::PairKey> seed_links =
+      NoisySeedLinks(pair, 20260808);
+  telemetry.AddPhase("generate", generate_watch.ElapsedSeconds());
+
+  // One hub across the sweep: wall-clock sampling, p50/p99 latency SLOs.
+  SteadyClock hub_clock;
+  obs::TelemetryHub hub(&hub_clock, /*interval_seconds=*/0.05);
+  hub.AddSlo({"svc_query_p50", "svc.query_seconds", 0.50, 0.050, 10.0, 0.2});
+  hub.AddSlo({"svc_query_p99", "svc.query_seconds", 0.99, 0.250, 10.0, 0.2});
+
+  std::vector<size_t> arms_clients;
+  for (size_t c : {size_t{4}, size_t{8}, size_t{16}, size_t{32}, size_t{64}}) {
+    if (c <= max_clients) arms_clients.push_back(c);
+  }
+  if (arms_clients.empty() || arms_clients.back() != max_clients) {
+    arms_clients.push_back(max_clients);
+  }
+
+  core::AlexConfig alex_config;
+  alex_config.episode_size = 1;  // Episodes end on service commits instead.
+
+  std::vector<ArmResult> arms;
+  bool ok = true;
+  Stopwatch sweep_watch;
+  for (size_t clients : arms_clients) {
+    // Fresh engine per arm so every client count starts from the same
+    // noisy candidate set; the service itself is the shared object.
+    core::PartitionedAlex alex(&pair.left, &pair.right, alex_config);
+    alex.Build();
+    alex.InitializeCandidates(seed_links);
+
+    svc::ServiceConfig config;
+    config.num_clients = clients;
+    config.ops_per_client = ops_per_client;
+    config.deterministic = deterministic;
+    config.feedback_fraction = 0.6;
+    config.feedback_batch = 16;
+    // Bound in-flight queries BELOW the client count (concurrent arms), so
+    // the sweep exercises shedding instead of hiding it behind headroom.
+    config.max_in_flight = std::max<size_t>(2, (3 * clients) / 4);
+    config.workload_queries = 48;
+    config.seed = 1000 + clients;
+    config.hub = &hub;
+
+    svc::LinkService service(&pair, &alex, alex_config, config);
+    ArmResult arm;
+    arm.clients = clients;
+    arm.report = service.Run();
+    const svc::ServiceReport& r = arm.report;
+    if (r.committed_episodes == 0 || r.answered == 0 ||
+        r.queries != r.ops - r.shed || r.epochs_published == 0) {
+      ok = false;
+    }
+    arms.push_back(std::move(arm));
+  }
+  telemetry.AddPhase("sweep", sweep_watch.ElapsedSeconds());
+
+  hub.ForceSample();
+  {
+    std::ofstream slo_out("bench_link_service.slo.json");
+    hub.WriteJsonTimeline(slo_out);
+  }
+
+  uint64_t total_queries = 0, total_commits = 0, total_shed = 0;
+  for (const ArmResult& arm : arms) {
+    total_queries += arm.report.queries;
+    total_commits += arm.report.committed_episodes;
+    total_shed += arm.report.shed;
+  }
+  telemetry.AddField("total_queries", total_queries);
+  telemetry.AddField("total_commits", total_commits);
+  telemetry.AddField("total_shed", total_shed);
+  telemetry.AddField("slo_samples", static_cast<uint64_t>(hub.sample_count()));
+  telemetry.AddField("slo_breaches", hub.breach_count());
+
+  std::printf("{\n  \"bench\": \"link_service\",\n");
+  std::printf("  \"deterministic\": %s,\n", deterministic ? "true" : "false");
+  std::printf("  \"ops_per_client\": %zu,\n", ops_per_client);
+  std::printf("  \"arms\": [\n");
+  for (size_t i = 0; i < arms.size(); ++i) {
+    const svc::ServiceReport& r = arms[i].report;
+    const double duration = r.duration_seconds > 0 ? r.duration_seconds : 1.0;
+    std::printf(
+        "    {\"clients\": %zu, \"ops\": %zu, \"queries\": %zu, "
+        "\"shed\": %zu, \"shed_rate\": %.4f, \"answered\": %zu, "
+        "\"degraded\": %zu, \"failed\": %zu, \"p50_ms\": %.3f, "
+        "\"p99_ms\": %.3f, \"mean_ms\": %.3f, \"throughput_qps\": %.1f, "
+        "\"feedback_items\": %zu, \"committed_episodes\": %zu, "
+        "\"epochs_published\": %llu, \"links_added\": %zu, "
+        "\"links_removed\": %zu, \"final_f\": %.4f}%s\n",
+        arms[i].clients, r.ops, r.queries, r.shed,
+        r.ops > 0 ? static_cast<double>(r.shed) / static_cast<double>(r.ops)
+                  : 0.0,
+        r.answered, r.degraded, r.failed, r.latency.p50_seconds * 1e3,
+        r.latency.p99_seconds * 1e3, r.latency.mean_seconds * 1e3,
+        static_cast<double>(r.queries) / duration, r.feedback_items,
+        r.committed_episodes,
+        static_cast<unsigned long long>(r.epochs_published), r.links_added,
+        r.links_removed, r.quality.f_measure,
+        i + 1 < arms.size() ? "," : "");
+  }
+  std::printf("  ],\n");
+  std::printf("  \"slo_samples\": %zu,\n", hub.sample_count());
+  std::printf("  \"slo_breaches\": %llu,\n",
+              static_cast<unsigned long long>(hub.breach_count()));
+  std::printf("  \"ok\": %s\n}\n", ok ? "true" : "false");
+  return ok ? 0 : 1;
+}

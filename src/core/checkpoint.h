@@ -41,6 +41,7 @@ enum class PayloadKind : uint8_t {
   kPartitioned = 2,  // PartitionedAlex: every partition engine.
   kSimulation = 3,   // Full simulation run state (engines + oracle + series).
   kLinkIndex = 4,    // A federation LinkIndex snapshot.
+  kService = 5,      // LinkService: committed episodes + engines + links.
 };
 
 /// 64-bit FNV-1a over a byte string; the payload integrity check.

@@ -1,6 +1,7 @@
 #include "core/partitioned.h"
 
 #include <algorithm>
+#include <iterator>
 #include <thread>
 
 #include "common/thread_pool.h"
@@ -164,6 +165,44 @@ EngineEpisodeStats PartitionedAlex::EndEpisode() {
     total.rollbacks += s.rollbacks;
   }
   return total;
+}
+
+namespace {
+
+// CandidateVector's canonical order is partition-major (sorted only within
+// each partition), so both snapshots are re-sorted globally before the set
+// differences.
+void DiffCandidates(std::vector<PairKey> before, std::vector<PairKey> after,
+                    PartitionedAlex::EpisodeCommit* commit) {
+  std::sort(before.begin(), before.end());
+  std::sort(after.begin(), after.end());
+  std::set_difference(after.begin(), after.end(), before.begin(),
+                      before.end(), std::back_inserter(commit->added));
+  std::set_difference(before.begin(), before.end(), after.begin(),
+                      after.end(), std::back_inserter(commit->removed));
+}
+
+}  // namespace
+
+PartitionedAlex::EpisodeCommit PartitionedAlex::EndEpisodeWithDelta() {
+  std::vector<PairKey> before = CandidateVector();
+  EpisodeCommit commit;
+  commit.stats = EndEpisode();
+  DiffCandidates(std::move(before), CandidateVector(), &commit);
+  return commit;
+}
+
+PartitionedAlex::EpisodeCommit PartitionedAlex::CommitFeedbackBatch(
+    const std::vector<feedback::FeedbackItem>& items) {
+  // The window opens BEFORE feedback routing: ProcessFeedback mutates the
+  // candidate set directly (rejected links are erased, approvals can fan
+  // out into exploration adds), and EndEpisode only improves the policy.
+  std::vector<PairKey> before = CandidateVector();
+  ProcessFeedbackBatch(items);
+  EpisodeCommit commit;
+  commit.stats = EndEpisode();
+  DiffCandidates(std::move(before), CandidateVector(), &commit);
+  return commit;
 }
 
 std::unordered_set<PairKey> PartitionedAlex::Candidates() const {

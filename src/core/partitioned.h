@@ -54,6 +54,29 @@ class PartitionedAlex {
   /// (policy improvement is per-partition work); returns aggregated stats.
   EngineEpisodeStats EndEpisode();
 
+  /// An episode's aggregated stats plus the exact candidate-set delta it
+  /// produced: the links it added and the links it removed, each sorted
+  /// ascending. The link service feeds these straight into the versioned
+  /// link index's staging area, so an episode commit publishes precisely
+  /// what changed — no full-set rebuild per commit.
+  struct EpisodeCommit {
+    EngineEpisodeStats stats;
+    std::vector<PairKey> added;
+    std::vector<PairKey> removed;
+  };
+
+  /// EndEpisode() with the delta of the episode-end step alone (policy
+  /// improvement; feedback already routed).
+  EpisodeCommit EndEpisodeWithDelta();
+
+  /// One full service episode: routes `items` through the partitions, ends
+  /// the episode, and returns the delta across BOTH steps — feedback
+  /// processing mutates candidates directly (removal on rejection,
+  /// exploration on approval), so a delta window opened only around
+  /// EndEpisode() would miss nearly every change.
+  EpisodeCommit CommitFeedbackBatch(
+      const std::vector<feedback::FeedbackItem>& items);
+
   /// Union of all partitions' candidate sets. Per-partition snapshots are
   /// gathered in parallel on the worker pool.
   std::unordered_set<PairKey> Candidates() const;

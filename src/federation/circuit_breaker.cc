@@ -7,7 +7,9 @@ namespace {
 
 /// Zero-duration marker span: breaker state transitions show up as instants
 /// inside whichever query tripped (or recovered) the breaker, carrying the
-/// query's trace id through the ambient context.
+/// query's trace id through the ambient context. Emitted while mu_ is held
+/// — safe, since the recorder only touches the calling thread's ring buffer
+/// and takes no lock another breaker caller could hold.
 void TraceTransition(const char* name) {
 #ifdef ALEX_TRACING_ENABLED
   obs::TraceSpan span("federation", name);
@@ -20,6 +22,7 @@ void TraceTransition(const char* name) {
 }  // namespace
 
 bool CircuitBreaker::AllowCall() {
+  std::lock_guard<std::mutex> lock(mu_);
   switch (state_) {
     case State::kClosed:
       return true;
@@ -41,6 +44,7 @@ bool CircuitBreaker::AllowCall() {
 }
 
 void CircuitBreaker::RecordSuccess() {
+  std::lock_guard<std::mutex> lock(mu_);
   if (state_ == State::kHalfOpen) {
     // Recovery confirmed: forget the failure history.
     state_ = State::kClosed;
@@ -50,24 +54,29 @@ void CircuitBreaker::RecordSuccess() {
     TraceTransition("breaker_close");
     return;
   }
-  RecordOutcome(/*failure=*/false);
+  RecordOutcomeLocked(/*failure=*/false);
 }
 
-void CircuitBreaker::RecordFailure() {
+bool CircuitBreaker::RecordFailure() {
+  std::lock_guard<std::mutex> lock(mu_);
   if (state_ == State::kHalfOpen) {
     half_open_probe_in_flight_ = false;
-    TripOpen();
-    return;
+    TripOpenLocked();
+    return true;
   }
-  RecordOutcome(/*failure=*/true);
+  RecordOutcomeLocked(/*failure=*/true);
   if (state_ == State::kClosed && outcomes_.size() >= config_.min_calls) {
     const double rate = static_cast<double>(failures_in_window_) /
                         static_cast<double>(outcomes_.size());
-    if (rate >= config_.failure_rate_threshold) TripOpen();
+    if (rate >= config_.failure_rate_threshold) {
+      TripOpenLocked();
+      return true;
+    }
   }
+  return false;
 }
 
-void CircuitBreaker::RecordOutcome(bool failure) {
+void CircuitBreaker::RecordOutcomeLocked(bool failure) {
   outcomes_.push_back(failure);
   if (failure) ++failures_in_window_;
   while (outcomes_.size() > config_.window) {
@@ -76,7 +85,7 @@ void CircuitBreaker::RecordOutcome(bool failure) {
   }
 }
 
-void CircuitBreaker::TripOpen() {
+void CircuitBreaker::TripOpenLocked() {
   state_ = State::kOpen;
   opened_at_ = clock_->NowSeconds();
   ++times_opened_;

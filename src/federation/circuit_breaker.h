@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <deque>
+#include <mutex>
 
 #include "common/clock.h"
 
@@ -33,7 +34,12 @@ struct CircuitBreakerConfig {
 /// While open, AllowCall() rejects instantly, converting a struggling
 /// endpoint's timeout storms into fast local failures. Time comes from the
 /// injected Clock, so tests and benches drive the cooldown virtually.
-/// Thread-compatible: callers serialize access (one query thread).
+///
+/// Thread-safe: one breaker may front an endpoint shared by concurrent
+/// client threads (the link-service shared stack). Every transition runs
+/// under an internal mutex, so the rolling window, the single half-open
+/// probe slot, and the trip counter stay consistent under contention; the
+/// lock is never held across a remote call.
 class CircuitBreaker {
  public:
   enum class State { kClosed, kOpen, kHalfOpen };
@@ -48,19 +54,33 @@ class CircuitBreaker {
   bool AllowCall();
 
   void RecordSuccess();
-  void RecordFailure();
 
-  State state() const { return state_; }
+  /// Records one failed call. Returns true when THIS outcome tripped the
+  /// breaker open (closed->open or half-open->open), so concurrent callers
+  /// can attribute a trip exactly once instead of diffing times_opened()
+  /// around the call.
+  bool RecordFailure();
+
+  State state() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return state_;
+  }
 
   /// Number of closed/half-open -> open transitions so far.
-  size_t times_opened() const { return times_opened_; }
+  size_t times_opened() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return times_opened_;
+  }
 
  private:
-  void RecordOutcome(bool failure);
-  void TripOpen();
+  /// Callers hold mu_.
+  void RecordOutcomeLocked(bool failure);
+  void TripOpenLocked();
 
   CircuitBreakerConfig config_;
   const Clock* clock_;
+
+  mutable std::mutex mu_;
   State state_ = State::kClosed;
   std::deque<bool> outcomes_;  // true = failure; bounded by config_.window.
   size_t failures_in_window_ = 0;

@@ -48,33 +48,52 @@ FaultInjectedEndpoint::FaultInjectedEndpoint(const QueryEndpoint* inner,
 Status FaultInjectedEndpoint::Probe(const PatternProbe& probe,
                                     const CallOptions& opts,
                                     const ProbeRowFn& fn) const {
-  const size_t call = calls_++;
+  // Every decision for this probe — call ordinal, latency jitter, stall and
+  // error draws — is taken atomically up front so concurrent probes on a
+  // shared stack never race on rng_/calls_. The draws happen in the same
+  // order and under the same conditions as they always did (none during an
+  // outage-window call, and error only when the attempt does NOT time out),
+  // so seeded single-threaded runs reproduce bit-for-bit.
+  bool in_outage = false;
+  double latency = profile_.base_latency_seconds;
+  bool timed_out = false;
+  bool inject_error = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const size_t call = calls_++;
+    in_outage = profile_.down_after_calls != kNoOutage &&
+                call >= profile_.down_after_calls &&
+                (profile_.down_for_calls == kNoOutage ||
+                 call < profile_.down_after_calls + profile_.down_for_calls);
+    if (!in_outage) {
+      if (profile_.latency_jitter_seconds > 0.0) {
+        latency += rng_.UniformDouble(0.0, profile_.latency_jitter_seconds);
+      }
+      if (profile_.stall_rate > 0.0 && rng_.Bernoulli(profile_.stall_rate)) {
+        latency = std::max(latency, profile_.stall_seconds);
+      }
+      timed_out = latency > opts.timeout_seconds;
+      if (!timed_out && profile_.error_rate > 0.0) {
+        inject_error = rng_.Bernoulli(profile_.error_rate);
+      }
+    }
+  }
 
   // Hard outage: fail fast, like a refused connection.
-  if (profile_.down_after_calls != kNoOutage &&
-      call >= profile_.down_after_calls &&
-      (profile_.down_for_calls == kNoOutage ||
-       call < profile_.down_after_calls + profile_.down_for_calls)) {
+  if (in_outage) {
     clock_->SleepSeconds(
         std::min(profile_.down_latency_seconds, opts.timeout_seconds));
     return Status::Unavailable(name() + ": endpoint down (injected)");
   }
 
-  double latency = profile_.base_latency_seconds;
-  if (profile_.latency_jitter_seconds > 0.0) {
-    latency += rng_.UniformDouble(0.0, profile_.latency_jitter_seconds);
-  }
-  if (profile_.stall_rate > 0.0 && rng_.Bernoulli(profile_.stall_rate)) {
-    latency = std::max(latency, profile_.stall_seconds);
-  }
-  if (latency > opts.timeout_seconds) {
+  if (timed_out) {
     // The caller gives up at its attempt timeout; the stalled call's
     // remaining latency is not waited out.
     clock_->SleepSeconds(opts.timeout_seconds);
     return Status::DeadlineExceeded(name() + ": attempt timed out (injected)");
   }
   clock_->SleepSeconds(latency);
-  if (profile_.error_rate > 0.0 && rng_.Bernoulli(profile_.error_rate)) {
+  if (inject_error) {
     return Status::Unavailable(name() + ": transient error (injected)");
   }
   return inner_->Probe(probe, opts, fn);

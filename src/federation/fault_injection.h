@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <mutex>
 #include <string>
 
 #include "common/clock.h"
@@ -62,6 +63,15 @@ struct FaultProfile {
 /// advances the virtual clock; failures are drawn from the seeded Rng
 /// before any inner data flows, so a failed probe never leaks rows and a
 /// retried attempt starts clean.
+///
+/// Thread-safe draws: the call ordinal and every Rng draw for one probe are
+/// taken atomically under an internal mutex (in the exact order and under
+/// the exact conditions of the single-threaded path, so seeded sequences
+/// are unchanged), then the lock is released before any sleeping or inner
+/// probing. Concurrent probes interleave their draws in a nondeterministic
+/// order — fault scheduling under real concurrency is inherently racy — but
+/// each draw is data-race-free, which is what the shared-stack TSan tests
+/// need. Single-threaded use stays bit-for-bit deterministic.
 class FaultInjectedEndpoint final : public QueryEndpoint {
  public:
   /// `inner` and `clock` are borrowed and must outlive the wrapper.
@@ -79,12 +89,17 @@ class FaultInjectedEndpoint final : public QueryEndpoint {
                const ProbeRowFn& fn) const override;
 
   /// Calls attempted so far (including failed ones).
-  size_t calls() const { return calls_; }
+  size_t calls() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return calls_;
+  }
 
  private:
   const QueryEndpoint* inner_;
   FaultProfile profile_;
   Clock* clock_;
+  /// Guards rng_ and calls_; never held across sleeps or the inner probe.
+  mutable std::mutex mu_;
   mutable Rng rng_;
   mutable size_t calls_ = 0;
 };

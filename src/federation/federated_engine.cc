@@ -662,6 +662,12 @@ void FederatedEngine::SetQueryDeadline(const Clock* clock,
 
 template <typename Fn>
 Result<FederatedResult> FederatedEngine::Instrumented(Fn&& run) const {
+  // Declared FIRST so it destructs LAST: whatever the spans and stats scope
+  // below leave behind, the worker thread's ambient observability state is
+  // restored before it returns to a pool — queries reusing the thread start
+  // from a clean context instead of inheriting this query's trace id or a
+  // dangling tally pointer.
+  obs::ThreadStateGuard thread_state_guard;
   // Root of the query's causal tree: every probe, cache lookup, retry
   // attempt, and breaker decision below inherits this span's trace id
   // through the thread-local context.

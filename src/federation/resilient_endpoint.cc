@@ -73,7 +73,6 @@ Status ResilientEndpoint::Probe(const PatternProbe& probe,
       ++rows_streamed;
       return fn(s, p, o);
     };
-    const size_t opened_before = breaker_.times_opened();
     Status st;
     {
       // Each attempt is its own child span, so a retried probe shows its
@@ -90,13 +89,21 @@ Status ResilientEndpoint::Probe(const PatternProbe& probe,
       breaker_.RecordSuccess();
       return st;
     }
-    breaker_.RecordFailure();
-    if (breaker_.times_opened() > opened_before) metrics.breaker_trips.Add(1);
+    // RecordFailure reports whether THIS failure tripped the breaker; under
+    // concurrency a before/after times_opened() diff could attribute one
+    // trip to several threads (or another thread's trip to this one).
+    if (breaker_.RecordFailure()) metrics.breaker_trips.Add(1);
     if (st.code() == StatusCode::kDeadlineExceeded) metrics.timeouts.Add(1);
     last = st;
     if (rows_streamed > 0) return st;  // Mid-stream failure: never replay.
     if (attempt == max_attempts) return st;
-    const double backoff = retry_.BackoffSeconds(attempt, &rng_);
+    double backoff = 0.0;
+    {
+      // Draw jitter under the Rng lock; the (possibly long) backoff sleep
+      // happens after release, so concurrent probes never serialize on it.
+      std::lock_guard<std::mutex> lock(rng_mu_);
+      backoff = retry_.BackoffSeconds(attempt, &rng_);
+    }
     if (clock_->NowSeconds() + backoff >= opts.deadline_seconds) return st;
     clock_->SleepSeconds(backoff);
     metrics.retries.Add(1);

@@ -2,6 +2,7 @@
 #define ALEX_FEDERATION_RESILIENT_ENDPOINT_H_
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 
 #include "common/clock.h"
@@ -31,8 +32,14 @@ namespace alex::fed {
 /// open), fed.breaker_trips, and the fed.attempt_seconds histogram of
 /// per-attempt virtual latency.
 ///
-/// Thread-compatible, not thread-safe (Rng + breaker state); use one
-/// instance per query thread.
+/// Thread-safe: one instance may sit in an endpoint stack shared by
+/// concurrent client threads (the link-service deployment). The breaker
+/// serializes its own transitions; the jitter Rng draws under a private
+/// mutex. Neither lock is ever held while the inner endpoint streams rows
+/// or while backing off, so concurrent probes only contend for nanoseconds.
+/// Note the clock must then be thread-safe too (SteadyClock is; SimClock is
+/// single-thread by contract, which is fine for the deterministic paths
+/// that use it).
 class ResilientEndpoint final : public QueryEndpoint {
  public:
   /// `inner` and `clock` are borrowed and must outlive the wrapper. `seed`
@@ -55,6 +62,8 @@ class ResilientEndpoint final : public QueryEndpoint {
   const QueryEndpoint* inner_;
   RetryPolicy retry_;
   mutable CircuitBreaker breaker_;
+  /// Guards rng_ (backoff jitter draws) against concurrent probes.
+  mutable std::mutex rng_mu_;
   mutable Rng rng_;
   Clock* clock_;
 };

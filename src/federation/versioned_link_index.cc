@@ -1,0 +1,114 @@
+#include "federation/versioned_link_index.h"
+
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace alex::fed {
+namespace {
+
+struct VersionMetrics {
+  obs::Counter& commits =
+      obs::MetricsRegistry::Global().counter("fed.link_commits");
+  obs::Counter& committed_adds =
+      obs::MetricsRegistry::Global().counter("fed.link_commit_adds");
+  obs::Counter& committed_removes =
+      obs::MetricsRegistry::Global().counter("fed.link_commit_removes");
+
+  static VersionMetrics& Get() {
+    static VersionMetrics* metrics = new VersionMetrics();
+    return *metrics;
+  }
+};
+
+}  // namespace
+
+VersionedLinkIndex::VersionedLinkIndex() : VersionedLinkIndex(LinkIndex()) {}
+
+VersionedLinkIndex::VersionedLinkIndex(LinkIndex initial)
+    : master_(std::move(initial)) {
+  published_ = std::make_shared<const LinkIndex>(master_);
+  published_epoch_.store(published_->epoch(), std::memory_order_release);
+}
+
+std::shared_ptr<const LinkIndex> VersionedLinkIndex::Acquire() const {
+  std::lock_guard<std::mutex> lock(publish_mu_);
+  return published_;
+}
+
+void VersionedLinkIndex::StageAdd(std::string left_iri,
+                                  std::string right_iri) {
+  std::lock_guard<std::mutex> lock(write_mu_);
+  staged_.push_back(
+      StagedOp{/*add=*/true, std::move(left_iri), std::move(right_iri)});
+}
+
+void VersionedLinkIndex::StageRemove(std::string left_iri,
+                                     std::string right_iri) {
+  std::lock_guard<std::mutex> lock(write_mu_);
+  staged_.push_back(
+      StagedOp{/*add=*/false, std::move(left_iri), std::move(right_iri)});
+}
+
+size_t VersionedLinkIndex::staged_ops() const {
+  std::lock_guard<std::mutex> lock(write_mu_);
+  return staged_.size();
+}
+
+CommitResult VersionedLinkIndex::Commit() {
+  std::lock_guard<std::mutex> lock(write_mu_);
+  CommitResult result;
+  for (const StagedOp& op : staged_) {
+    if (op.add) {
+      if (master_.Add(op.left_iri, op.right_iri)) ++result.added;
+    } else {
+      if (master_.Remove(op.left_iri, op.right_iri)) ++result.removed;
+    }
+  }
+  staged_.clear();
+  // The O(links) snapshot copy happens here, under write_mu_ only: readers
+  // keep acquiring the previous snapshot until the constant-time publish.
+  Publish(std::make_shared<const LinkIndex>(master_));
+  result.epoch = master_.epoch();
+  result.sequence =
+      commit_sequence_.fetch_add(1, std::memory_order_acq_rel) + 1;
+
+  VersionMetrics& metrics = VersionMetrics::Get();
+  metrics.commits.Add(1);
+  metrics.committed_adds.Add(result.added);
+  metrics.committed_removes.Add(result.removed);
+  return result;
+}
+
+void VersionedLinkIndex::Reset(LinkIndex state) {
+  std::lock_guard<std::mutex> lock(write_mu_);
+  master_ = std::move(state);
+  staged_.clear();
+  Publish(std::make_shared<const LinkIndex>(master_));
+}
+
+void VersionedLinkIndex::Publish(std::shared_ptr<const LinkIndex> snapshot) {
+  const uint64_t epoch = snapshot->epoch();
+  {
+    std::lock_guard<std::mutex> lock(publish_mu_);
+    published_ = std::move(snapshot);
+  }
+  published_epoch_.store(epoch, std::memory_order_release);
+}
+
+void VersionedLinkIndex::SaveState(BinaryWriter* w) const {
+  std::lock_guard<std::mutex> lock(write_mu_);
+  master_.SaveState(w);
+}
+
+Status VersionedLinkIndex::LoadState(BinaryReader* r) {
+  // Parse into a scratch index first so a corrupt payload cannot leave this
+  // object half-restored (LinkIndex::LoadState is itself all-or-nothing,
+  // but going through Reset keeps master/published/epoch atomic too).
+  LinkIndex loaded;
+  ALEX_RETURN_NOT_OK(loaded.LoadState(r));
+  Reset(std::move(loaded));
+  return Status::OK();
+}
+
+}  // namespace alex::fed

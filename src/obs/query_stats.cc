@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
+
 namespace alex::obs {
 
 namespace {
@@ -16,6 +18,18 @@ QueryStatsScope::QueryStatsScope(ActiveQueryStats* stats)
 }
 
 QueryStatsScope::~QueryStatsScope() { g_active_query_stats = previous_; }
+
+ThreadStateGuard::ThreadStateGuard()
+    : saved_stats_(g_active_query_stats),
+      saved_trace_id_(TraceRecorder::CurrentContext().trace_id),
+      saved_span_id_(TraceRecorder::CurrentContext().span_id) {}
+
+ThreadStateGuard::~ThreadStateGuard() {
+  g_active_query_stats = saved_stats_;
+  TraceContext& ctx = TraceRecorder::CurrentContext();
+  ctx.trace_id = saved_trace_id_;
+  ctx.span_id = saved_span_id_;
+}
 
 QueryLog& QueryLog::Global() {
   static QueryLog* log = new QueryLog();

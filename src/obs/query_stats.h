@@ -54,6 +54,32 @@ class QueryStatsScope {
   ActiveQueryStats* previous_;
 };
 
+/// RAII backstop for pooled worker threads: captures this thread's ambient
+/// observability state — the active query tally AND the trace context — on
+/// construction, and restores BOTH unconditionally on destruction.
+///
+/// QueryStatsScope and TraceSpan already restore their saved parents, but
+/// each guards only its own slot, and only along the paths that open one
+/// (spans compile to no-ops when tracing is off). A pooled thread that runs
+/// one query and is then reused for the next would bleed whatever stale
+/// pointer or context the first query left behind — phantom tallies on a
+/// dead stack frame, or a second query's spans threaded into the first
+/// query's trace id. Declare a ThreadStateGuard FIRST in the query's root
+/// scope so it destructs LAST, after every span and stats scope, leaving
+/// the worker thread exactly as it was found.
+class ThreadStateGuard {
+ public:
+  ThreadStateGuard();
+  ThreadStateGuard(const ThreadStateGuard&) = delete;
+  ThreadStateGuard& operator=(const ThreadStateGuard&) = delete;
+  ~ThreadStateGuard();
+
+ private:
+  ActiveQueryStats* saved_stats_;
+  uint64_t saved_trace_id_;
+  uint64_t saved_span_id_;
+};
+
 /// Immutable record of one completed federated query.
 struct QueryStats {
   /// Trace id of the query's root span (0 when tracing was off): the

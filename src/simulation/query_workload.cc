@@ -72,13 +72,24 @@ WorkloadRunStats ExecuteFederatedWorkload(const fed::FederatedEngine& engine,
       workload.queries.size() > 1) {
     static obs::Counter& parallel_queries =
         obs::MetricsRegistry::Global().counter("fed.parallel_queries");
-    parallel_queries.Add(workload.queries.size());
     std::vector<std::optional<Result<fed::FederatedResult>>> results(
         workload.queries.size());
     ParallelFor(options.pool, workload.queries.size(), [&](size_t i) {
       results[i] = engine.ExecuteText(workload.queries[i]);
+      // Counted per query actually executed on the pool path, not bulk
+      // up front: if a worker throws mid-workload, the counter reflects
+      // the queries that ran rather than the whole batch.
+      parallel_queries.Add(1);
     });
-    for (const auto& result : results) AccumulateResult(*result, &stats);
+    for (const auto& result : results) {
+      if (!result.has_value()) {
+        // Unreachable today (ParallelFor rethrows after filling or dying),
+        // but a skipped slot must count as a failure, not crash the merge.
+        ++stats.failed;
+        continue;
+      }
+      AccumulateResult(*result, &stats);
+    }
     if (options.hub != nullptr) options.hub->MaybeSample();
     return stats;
   }

@@ -129,6 +129,45 @@ TEST_F(PartitionedTest, EndEpisodeAggregatesStats) {
   EXPECT_EQ(stats.links_removed, 2u);
 }
 
+// The commit-delta window must span feedback routing, not just
+// EndEpisode(): ProcessFeedback mutates candidates directly (negative
+// items erase), so a delta taken around EndEpisode() alone reports
+// nothing. This pins the contract the link service's epoch commits
+// depend on.
+TEST_F(PartitionedTest, CommitFeedbackBatchCapturesFeedbackWindowDeltas) {
+  PartitionedAlex alex(&pair_.left, &pair_.right, config_);
+  alex.Build();
+  alex.InitializeCandidates(
+      std::vector<feedback::PairKey>{PackPair(0, 0), PackPair(1, 1),
+                                     PackPair(2, 2)});
+
+  PartitionedAlex::EpisodeCommit commit = alex.CommitFeedbackBatch(
+      {feedback::FeedbackItem{0, 0, false}, feedback::FeedbackItem{1, 1,
+                                                                   false}});
+  EXPECT_EQ(commit.stats.negative_items, 2u);
+  EXPECT_EQ(commit.stats.links_removed, 2u);
+  // The rejected links appear in the removed delta, sorted ascending.
+  ASSERT_EQ(commit.removed.size(), 2u);
+  EXPECT_EQ(commit.removed[0], PackPair(0, 0));
+  EXPECT_EQ(commit.removed[1], PackPair(1, 1));
+  // Exploration may add links on positive paths; here both items were
+  // negative with no survivors of their state-action, so nothing new.
+  EXPECT_EQ(alex.NumCandidates(), 1u);
+
+  // Counter-case: routing the batch first and only then asking for the
+  // episode-end delta misses the feedback-driven removals entirely.
+  PartitionedAlex late(&pair_.left, &pair_.right, config_);
+  late.Build();
+  late.InitializeCandidates(
+      std::vector<feedback::PairKey>{PackPair(0, 0), PackPair(1, 1),
+                                     PackPair(2, 2)});
+  late.ProcessFeedbackBatch({feedback::FeedbackItem{0, 0, false},
+                             feedback::FeedbackItem{1, 1, false}});
+  PartitionedAlex::EpisodeCommit tail = late.EndEpisodeWithDelta();
+  EXPECT_TRUE(tail.removed.empty());
+  EXPECT_EQ(tail.stats.links_removed, 2u);  // Stats still aggregate.
+}
+
 TEST_F(PartitionedTest, ScoredLinkInitialization) {
   PartitionedAlex alex(&pair_.left, &pair_.right, config_);
   alex.Build();

@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include "common/thread_pool.h"
 #include "federation/federated_engine.h"
+#include "obs/metrics.h"
 #include "sparql/parser.h"
 
 namespace alex::simulation {
@@ -68,6 +70,37 @@ TEST(QueryWorkloadTest, QueriesNeedLinksToAnswer) {
   }
   EXPECT_EQ(answered_without, 0u);  // No links, no cross-dataset answers.
   EXPECT_EQ(answered_with, workload.queries.size());
+}
+
+// Regression for the pool-path counter: fed.parallel_queries must advance
+// once per query actually executed on the pool, not be bulk-added up front
+// — a workload that partially fails (or is truncated) must not inflate it.
+TEST(QueryWorkloadTest, ParallelQueriesCounterMatchesExecutedQueries) {
+  datagen::GeneratedPair pair = MakePair();
+  pair.left.store().EnsureIndexes();
+  pair.right.store().EnsureIndexes();
+  FederatedWorkload workload = MakeFederatedWorkload(pair, 12, 7);
+
+  fed::Endpoint left(&pair.left);
+  fed::Endpoint right(&pair.right);
+  fed::LinkIndex links = LinksFromPairs(pair, pair.truth.AsVector());
+  fed::FederatedEngine engine(&left, &right, &links);
+
+  obs::Counter& parallel_queries =
+      obs::MetricsRegistry::Global().counter("fed.parallel_queries");
+  const uint64_t before = parallel_queries.Value();
+
+  ThreadPool pool(3);
+  WorkloadExecOptions options;
+  options.pool = &pool;
+  const WorkloadRunStats stats =
+      ExecuteFederatedWorkload(engine, workload, options);
+
+  EXPECT_EQ(stats.total, workload.queries.size());
+  EXPECT_EQ(stats.answered, stats.total);  // Healthy stack, all links.
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_EQ(parallel_queries.Value() - before,
+            static_cast<uint64_t>(stats.total));
 }
 
 TEST(LinksFromPairsTest, BuildsIriIndex) {

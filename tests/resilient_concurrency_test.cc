@@ -1,0 +1,182 @@
+// Concurrency tests for the shared fault-tolerant endpoint stack: many
+// client threads hammer ONE Endpoint -> FaultInjectedEndpoint ->
+// ResilientEndpoint chain, the deployment shape of the link service. The
+// invariants: per-probe accounting stays exact under contention, the
+// breaker trips exactly once per closed->open transition no matter how many
+// threads fail simultaneously, and the whole stack is free of data races —
+// the "sanitize" label routes these through the TSan CI job. Fault profiles
+// use zero latencies so nothing here wall-sleeps.
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+#include "common/retry.h"
+#include "federation/circuit_breaker.h"
+#include "federation/endpoint.h"
+#include "federation/fault_injection.h"
+#include "federation/resilient_endpoint.h"
+#include "rdf/dataset.h"
+
+namespace alex::fed {
+namespace {
+
+/// Thread-safe probe counter between the resilient wrapper and the fault
+/// injector, so tests can count attempts that actually reached the inner
+/// endpoint.
+class AtomicCountingEndpoint final : public QueryEndpoint {
+ public:
+  explicit AtomicCountingEndpoint(const QueryEndpoint* inner)
+      : inner_(inner) {}
+
+  const std::string& name() const override { return inner_->name(); }
+  bool CanAnswer(const sparql::TriplePatternAst& p) const override {
+    return inner_->CanAnswer(p);
+  }
+  Status Probe(const PatternProbe& probe, const CallOptions& opts,
+               const ProbeRowFn& fn) const override {
+    probes_.fetch_add(1, std::memory_order_relaxed);
+    return inner_->Probe(probe, opts, fn);
+  }
+
+  uint64_t probes() const { return probes_.load(std::memory_order_relaxed); }
+
+ private:
+  const QueryEndpoint* inner_;
+  mutable std::atomic<uint64_t> probes_{0};
+};
+
+class ResilientConcurrencyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    data_.AddLiteralTriple("http://r/acme", "http://r/label",
+                           rdf::Term::Literal("Acme"));
+    subject_ = rdf::Term::Iri("http://r/acme");
+    probe_.subject = &subject_;
+  }
+
+  /// Runs `threads` x `probes_per_thread` probes against `ep` and returns
+  /// {successes, failures}.
+  std::pair<uint64_t, uint64_t> Hammer(const QueryEndpoint& ep, int threads,
+                                       int probes_per_thread) {
+    std::atomic<uint64_t> ok_count{0};
+    std::atomic<uint64_t> fail_count{0};
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    for (int t = 0; t < threads; ++t) {
+      workers.emplace_back([&] {
+        for (int i = 0; i < probes_per_thread; ++i) {
+          const Status st = ep.Probe(
+              probe_, CallOptions(),
+              [](const rdf::Term*, const rdf::Term*, const rdf::Term*) {
+                return true;
+              });
+          if (st.ok()) {
+            ok_count.fetch_add(1, std::memory_order_relaxed);
+          } else {
+            fail_count.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+    for (std::thread& t : workers) t.join();
+    return {ok_count.load(), fail_count.load()};
+  }
+
+  rdf::Dataset data_{"remote"};
+  rdf::Term subject_;
+  PatternProbe probe_;
+  SteadyClock clock_;
+};
+
+TEST_F(ResilientConcurrencyTest, HealthySharedStackCountsEveryProbeOnce) {
+  constexpr int kThreads = 8;
+  constexpr int kProbes = 50;
+  Endpoint inner(&data_);
+  AtomicCountingEndpoint counting(&inner);
+  ResilientEndpoint resilient(&counting, RetryPolicy(), CircuitBreakerConfig(),
+                              /*seed=*/7, &clock_);
+
+  const auto [ok_count, fail_count] = Hammer(resilient, kThreads, kProbes);
+  EXPECT_EQ(ok_count, static_cast<uint64_t>(kThreads * kProbes));
+  EXPECT_EQ(fail_count, 0u);
+  // No failures => no retries => exactly one inner attempt per probe.
+  EXPECT_EQ(counting.probes(), static_cast<uint64_t>(kThreads * kProbes));
+  EXPECT_EQ(resilient.breaker().state(), CircuitBreaker::State::kClosed);
+  EXPECT_EQ(resilient.breaker().times_opened(), 0u);
+}
+
+TEST_F(ResilientConcurrencyTest, TransientErrorsUnderContentionStayAccounted) {
+  constexpr int kThreads = 8;
+  constexpr int kProbes = 40;
+  FaultProfile profile;
+  profile.name = "flaky_fast";
+  profile.error_rate = 0.3;  // Zero latency: pure error injection.
+  Endpoint inner(&data_);
+  FaultInjectedEndpoint flaky(&inner, profile, /*seed=*/11, &clock_);
+  AtomicCountingEndpoint counting(&flaky);
+
+  RetryPolicy retry;
+  retry.max_attempts = 4;
+  retry.initial_backoff_seconds = 0.0;  // No wall sleeps in the ladder.
+  retry.jitter_fraction = 0.0;
+  // A breaker wide enough that the 30% error rate cannot trip it, so every
+  // probe gets its full retry ladder.
+  CircuitBreakerConfig breaker;
+  breaker.failure_rate_threshold = 1.01;
+  ResilientEndpoint resilient(&counting, retry, breaker, /*seed=*/13,
+                              &clock_);
+
+  const auto [ok_count, fail_count] = Hammer(resilient, kThreads, kProbes);
+  EXPECT_EQ(ok_count + fail_count, static_cast<uint64_t>(kThreads * kProbes));
+  // P(all 4 attempts fail) = 0.3^4 < 1%, so with 320 probes nearly all land.
+  EXPECT_GT(ok_count, static_cast<uint64_t>(kThreads * kProbes * 8 / 10));
+  // Retries imply strictly more inner attempts than probes, bounded by the
+  // ladder.
+  EXPECT_GE(counting.probes(), ok_count + fail_count);
+  EXPECT_LE(counting.probes(),
+            static_cast<uint64_t>(kThreads * kProbes * retry.max_attempts));
+  EXPECT_EQ(resilient.breaker().times_opened(), 0u);
+}
+
+TEST_F(ResilientConcurrencyTest, DeadEndpointTripsBreakerExactlyOnce) {
+  constexpr int kThreads = 8;
+  constexpr int kProbes = 30;
+  FaultProfile profile = FaultProfile::Down();
+  profile.down_latency_seconds = 0.0;  // Fail fast, no wall sleeps.
+  Endpoint inner(&data_);
+  FaultInjectedEndpoint dead(&inner, profile, /*seed=*/17, &clock_);
+  AtomicCountingEndpoint counting(&dead);
+
+  RetryPolicy retry;
+  retry.max_attempts = 2;
+  retry.initial_backoff_seconds = 0.0;
+  retry.jitter_fraction = 0.0;
+  CircuitBreakerConfig breaker;
+  breaker.window = 8;
+  breaker.min_calls = 4;
+  // Cooldown far beyond the test's wall time: once open the breaker must
+  // never go half-open, so closed->open can only ever happen once.
+  breaker.cooldown_seconds = 3600.0;
+  ResilientEndpoint resilient(&counting, retry, breaker, /*seed=*/19,
+                              &clock_);
+
+  const auto [ok_count, fail_count] = Hammer(resilient, kThreads, kProbes);
+  EXPECT_EQ(ok_count, 0u);
+  EXPECT_EQ(fail_count, static_cast<uint64_t>(kThreads * kProbes));
+  // Exactly one closed->open transition despite kThreads concurrent
+  // failure recorders (RecordFailure attributes the trip to one outcome).
+  EXPECT_EQ(resilient.breaker().times_opened(), 1u);
+  EXPECT_EQ(resilient.breaker().state(), CircuitBreaker::State::kOpen);
+  // The open breaker fast-fails locally: far fewer inner attempts than the
+  // full retry ladder would have issued.
+  EXPECT_LT(counting.probes(),
+            static_cast<uint64_t>(kThreads * kProbes * retry.max_attempts));
+}
+
+}  // namespace
+}  // namespace alex::fed

@@ -6,6 +6,7 @@
 // from the exported events.
 
 #include <algorithm>
+#include <atomic>
 #include <map>
 #include <memory>
 #include <set>
@@ -15,6 +16,7 @@
 #include <gtest/gtest.h>
 
 #include "common/clock.h"
+#include "common/thread_pool.h"
 #include "common/retry.h"
 #include "federation/endpoint.h"
 #include "federation/fault_injection.h"
@@ -303,6 +305,50 @@ TEST_F(TraceContextTest, UntracedQueriesRecordZeroTraceIdExemplar) {
   EXPECT_EQ(slowest.front().trace_id, 0u);
   EXPECT_GT(slowest.front().probes, 0u);
   EXPECT_TRUE(TraceRecorder::Global().Events().empty());
+}
+
+// Regression for thread-state bleed across pooled workers: a federated
+// query run on a pool thread must leave NO residue — neither the active
+// query-stats pointer nor the ambient trace context — so the next query
+// the same worker picks up starts from a clean slate (ThreadStateGuard in
+// FederatedEngine::Instrumented is the backstop). Before the guard, a
+// worker that died mid-query or an endpoint that leaked a span left the
+// thread-locals dirty and the NEXT query on that worker parented its spans
+// into the previous query's trace.
+TEST_F(TraceContextTest, PooledWorkerStartsEachQueryWithCleanThreadState) {
+  BuildStack(FaultProfile::Healthy());
+  TraceRecorder& recorder = TraceRecorder::Global();
+  recorder.SetEnabled(true);
+
+  ThreadPool pool(1);  // ONE worker: both queries reuse the same thread.
+  std::atomic<bool> residue{false};
+  auto run_query = [&] {
+    // Clean slate before the query...
+    if (CurrentQueryStats() != nullptr) residue = true;
+    if (TraceRecorder::CurrentContext().trace_id != 0) residue = true;
+    auto r = engine_->ExecuteText(kSpanningQuery);
+    if (!r.ok()) residue = true;
+    // ...and after it: the root scope restored everything on exit.
+    if (CurrentQueryStats() != nullptr) residue = true;
+    if (TraceRecorder::CurrentContext().trace_id != 0) residue = true;
+  };
+  pool.Submit(run_query);
+  pool.Wait();
+  pool.Submit(run_query);
+  pool.Wait();
+  recorder.SetEnabled(false);
+  EXPECT_FALSE(residue.load());
+
+  // The two pooled queries minted distinct root traces — no id leaked from
+  // the first into the second.
+  std::set<uint64_t> root_traces;
+  for (const TraceEvent& e : recorder.Events()) {
+    if (std::string(e.name) == "FederatedEngine::Execute") {
+      EXPECT_EQ(e.parent_span_id, 0u);
+      root_traces.insert(e.trace_id);
+    }
+  }
+  EXPECT_EQ(root_traces.size(), 2u);
 }
 
 #else  // !ALEX_TRACING_ENABLED
