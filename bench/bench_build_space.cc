@@ -6,13 +6,27 @@
 // partition count (P× the blocking work), shared total stays flat and the
 // slowest partition shrinks as partitions get smaller.
 //
-// Usage: bench_build_space [scenario_name] [reps]   (defaults:
+// A second, hardware-conscious sweep (mode=topology) measures the shared
+// build under the four {pinned, unpinned} × {arena, global-allocator}
+// execution configurations at each partition count. Every configuration's
+// finished spaces are digested (pairs, feature keys, feature score bits,
+// partition by partition) and the digests must agree exactly — pinning and
+// arena allocation are performance levers, never semantic ones — or the
+// bench exits 1. The detected topology (cores, NUMA nodes, whether
+// affinity syscalls work) is embedded in the JSON so a 1-core CI run is
+// distinguishable from a real multi-core measurement.
+//
+// Usage: bench_build_space [scenario_name] [reps] [mode]   (defaults:
 // dbpedia_nytimes — the paper's batch-mode scenario of Figures 2a and 5 —
-// and 3 repetitions, reporting min-of-N wall times).
+// 3 repetitions reporting min-of-N wall times, and mode=all; mode=classic
+// runs only the legacy-vs-shared sweep, mode=topology only the
+// hardware-conscious sweep. CI smoke runs `bench_build_space
+// dbpedia_nytimes 1 topology` reduced.)
 
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -20,6 +34,7 @@
 #include "core/partitioned.h"
 #include "datagen/generator.h"
 #include "datagen/scenarios.h"
+#include "exec/topology.h"
 
 #include "bench_util.h"
 
@@ -33,6 +48,36 @@ struct RunRecord {
   double shared_index_seconds = 0.0;
   alex::core::LinkSpace::BuildStats stats;
 };
+
+/// FNV-1a over every observable bit of the finished spaces: pair keys in
+/// canonical order and each pair's feature keys and raw score bits,
+/// partition by partition. Two builds digest equal iff they produced
+/// bit-identical spaces.
+uint64_t DigestSpaces(const alex::core::PartitionedAlex& alex) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix = [&h](uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 0x100000001b3ULL;
+    }
+  };
+  for (size_t p = 0; p < alex.num_partitions(); ++p) {
+    const alex::core::LinkSpace& space = alex.space(p);
+    mix(space.size());
+    for (alex::core::PairKey pair : space.pairs()) {
+      mix(pair);
+      const alex::core::FeatureSet* fs = space.FeaturesOf(pair);
+      for (const alex::core::FeatureValue& f : *fs) {
+        mix(f.key);
+        uint64_t bits;
+        static_assert(sizeof(bits) == sizeof(f.score));
+        std::memcpy(&bits, &f.score, sizeof(bits));
+        mix(bits);
+      }
+    }
+  }
+  return h;
+}
 
 RunRecord MeasureBuild(const alex::datagen::GeneratedPair& pair,
                        size_t partitions, bool shared, size_t reps) {
@@ -63,6 +108,45 @@ RunRecord MeasureBuild(const alex::datagen::GeneratedPair& pair,
   return record;
 }
 
+struct TopoRecord {
+  size_t partitions = 0;
+  bool pinned = false;
+  bool arena = false;
+  double total_seconds = 0.0;
+  double max_partition_seconds = 0.0;
+  uint64_t digest = 0;
+};
+
+TopoRecord MeasureTopoBuild(const alex::datagen::GeneratedPair& pair,
+                            size_t partitions, bool pinned, bool arena,
+                            size_t reps) {
+  TopoRecord record;
+  record.partitions = partitions;
+  record.pinned = pinned;
+  record.arena = arena;
+  for (size_t rep = 0; rep < reps; ++rep) {
+    alex::core::AlexConfig config;
+    config.num_partitions = partitions;
+    config.shared_blocking_index = true;
+    config.pin_threads = pinned;
+    config.arena_build_alloc = arena;
+    alex::core::PartitionedAlex alex(&pair.left, &pair.right, config);
+    alex::Stopwatch watch;
+    const std::vector<double> seconds = alex.Build();
+    const double total = watch.ElapsedSeconds();
+    double max_partition = 0.0;
+    for (double s : seconds) max_partition = std::max(max_partition, s);
+    if (rep == 0 || total < record.total_seconds) {
+      record.total_seconds = total;
+    }
+    if (rep == 0 || max_partition < record.max_partition_seconds) {
+      record.max_partition_seconds = max_partition;
+    }
+    record.digest = DigestSpaces(alex);  // Deterministic across reps.
+  }
+  return record;
+}
+
 void PrintRecord(const RunRecord& r, bool last) {
   std::printf(
       "    {\"partitions\": %zu, \"mode\": \"%s\", \"total_seconds\": %.4f, "
@@ -77,6 +161,16 @@ void PrintRecord(const RunRecord& r, bool last) {
       last ? "" : ",");
 }
 
+void PrintTopoRecord(const TopoRecord& r, bool last) {
+  std::printf(
+      "    {\"partitions\": %zu, \"pinned\": %s, \"arena\": %s, "
+      "\"total_seconds\": %.4f, \"max_partition_seconds\": %.4f, "
+      "\"digest\": \"%016llx\"}%s\n",
+      r.partitions, r.pinned ? "true" : "false", r.arena ? "true" : "false",
+      r.total_seconds, r.max_partition_seconds,
+      static_cast<unsigned long long>(r.digest), last ? "" : ",");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -86,6 +180,14 @@ int main(int argc, char** argv) {
   const std::string scenario_name =
       argc > 1 ? argv[1] : std::string("dbpedia_nytimes");
   const size_t reps = bench::ParseUintArg(argc, argv, 2, 3, "reps");
+  const std::string mode = argc > 3 ? argv[3] : std::string("all");
+  const bool run_classic = mode == "all" || mode == "classic";
+  const bool run_topology = mode == "all" || mode == "topology";
+  if (!run_classic && !run_topology) {
+    std::fprintf(stderr, "unknown mode: %s (want all|classic|topology)\n",
+                 mode.c_str());
+    return 2;
+  }
   datagen::ScenarioConfig scenario = datagen::ScenarioByName(scenario_name);
   if (scenario.name.empty()) {
     std::fprintf(stderr, "unknown scenario: %s\n", scenario_name.c_str());
@@ -98,24 +200,75 @@ int main(int argc, char** argv) {
   const std::vector<size_t> partition_counts = {1, 2, 4, 8};
   std::vector<RunRecord> legacy_runs;
   std::vector<RunRecord> shared_runs;
-  for (size_t partitions : partition_counts) {
-    // The sidecar phase records the full wall time of each measured section
-    // (all reps), so the phases stay disjoint and sum to ~the bench wall.
-    Stopwatch legacy_watch;
-    legacy_runs.push_back(
-        MeasureBuild(pair, partitions, /*shared=*/false, reps));
-    telemetry.AddPhase("legacy_p" + std::to_string(partitions),
-                       legacy_watch.ElapsedSeconds());
-    Stopwatch shared_watch;
-    shared_runs.push_back(
-        MeasureBuild(pair, partitions, /*shared=*/true, reps));
-    telemetry.AddPhase("shared_p" + std::to_string(partitions),
-                       shared_watch.ElapsedSeconds());
+  if (run_classic) {
+    for (size_t partitions : partition_counts) {
+      // The sidecar phase records the full wall time of each measured
+      // section (all reps), so the phases stay disjoint and sum to ~the
+      // bench wall.
+      Stopwatch legacy_watch;
+      legacy_runs.push_back(
+          MeasureBuild(pair, partitions, /*shared=*/false, reps));
+      telemetry.AddPhase("legacy_p" + std::to_string(partitions),
+                         legacy_watch.ElapsedSeconds());
+      Stopwatch shared_watch;
+      shared_runs.push_back(
+          MeasureBuild(pair, partitions, /*shared=*/true, reps));
+      telemetry.AddPhase("shared_p" + std::to_string(partitions),
+                         shared_watch.ElapsedSeconds());
+    }
+  }
+
+  // Hardware-conscious sweep: {unpinned, pinned} × {global, arena} per
+  // partition count, baseline (unpinned+global) first so the speedup
+  // denominators come from the same sweep.
+  std::vector<TopoRecord> topo_runs;
+  bool equivalent = true;
+  if (run_topology) {
+    const struct {
+      bool pinned;
+      bool arena;
+      const char* tag;
+    } combos[] = {{false, false, "base"},
+                  {false, true, "arena"},
+                  {true, false, "pinned"},
+                  {true, true, "pinned_arena"}};
+    for (size_t partitions : partition_counts) {
+      Stopwatch topo_watch;
+      const size_t first = topo_runs.size();
+      for (const auto& combo : combos) {
+        topo_runs.push_back(MeasureTopoBuild(pair, partitions, combo.pinned,
+                                             combo.arena, reps));
+        if (topo_runs.back().digest != topo_runs[first].digest) {
+          equivalent = false;
+          std::fprintf(stderr,
+                       "digest mismatch at %zu partitions: %s produced "
+                       "%016llx, base produced %016llx\n",
+                       partitions, combo.tag,
+                       static_cast<unsigned long long>(topo_runs.back().digest),
+                       static_cast<unsigned long long>(topo_runs[first].digest));
+        }
+      }
+      telemetry.AddPhase("topology_p" + std::to_string(partitions),
+                         topo_watch.ElapsedSeconds());
+      // Headline sidecar fields: what the hardware-conscious configuration
+      // buys over the baseline at this partition count.
+      const TopoRecord& base = topo_runs[first];
+      const TopoRecord& best = topo_runs[first + 3];  // pinned_arena
+      telemetry.AddField(
+          "topology_speedup_pinned_arena_p" + std::to_string(partitions),
+          base.total_seconds / std::max(best.total_seconds, 1e-12));
+      telemetry.AddField(
+          "topology_speedup_arena_p" + std::to_string(partitions),
+          base.total_seconds /
+              std::max(topo_runs[first + 1].total_seconds, 1e-12));
+    }
+    telemetry.AddField("topology_equivalent",
+                       static_cast<uint64_t>(equivalent ? 1 : 0));
   }
 
   // One extra traced 4-partition shared build; the sidecar writes it out as
   // bench_build_space.trace.json (Chrome trace_event / Perfetto format).
-  {
+  if (run_classic) {
     obs::TraceRecorder::Global().SetEnabled(true);
     Stopwatch traced_watch;
     MeasureBuild(pair, 4, /*shared=*/true, /*reps=*/1);
@@ -123,6 +276,7 @@ int main(int argc, char** argv) {
     obs::TraceRecorder::Global().SetEnabled(false);
   }
 
+  const exec::CpuTopology& topo = exec::CpuTopology::Detect();
   std::printf("{\n");
   std::printf("  \"bench\": \"build_space\",\n");
   std::printf("  \"scenario\": \"%s\",\n", scenario.name.c_str());
@@ -130,22 +284,37 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(scenario.seed));
   std::printf("  \"left_entities\": %zu,\n", pair.left.num_entities());
   std::printf("  \"right_entities\": %zu,\n", pair.right.num_entities());
-  std::printf("  \"runs\": [\n");
-  for (size_t i = 0; i < partition_counts.size(); ++i) {
-    PrintRecord(legacy_runs[i], /*last=*/false);
-    PrintRecord(shared_runs[i],
-                /*last=*/i + 1 == partition_counts.size());
+  std::printf(
+      "  \"topology\": {\"cores\": %zu, \"nodes\": %zu, "
+      "\"pinning_supported\": %s},\n",
+      topo.num_cpus(), topo.num_nodes(),
+      topo.affinity_supported() ? "true" : "false");
+  if (run_classic) {
+    std::printf("  \"runs\": [\n");
+    for (size_t i = 0; i < partition_counts.size(); ++i) {
+      PrintRecord(legacy_runs[i], /*last=*/false);
+      PrintRecord(shared_runs[i],
+                  /*last=*/i + 1 == partition_counts.size());
+    }
+    std::printf("  ],\n");
+    std::printf("  \"speedup_shared_vs_legacy\": [\n");
+    for (size_t i = 0; i < partition_counts.size(); ++i) {
+      std::printf(
+          "    {\"partitions\": %zu, \"speedup\": %.2f}%s\n",
+          partition_counts[i],
+          legacy_runs[i].total_seconds / shared_runs[i].total_seconds,
+          i + 1 == partition_counts.size() ? "" : ",");
+    }
+    std::printf("  ]%s\n", run_topology ? "," : "");
   }
-  std::printf("  ],\n");
-  std::printf("  \"speedup_shared_vs_legacy\": [\n");
-  for (size_t i = 0; i < partition_counts.size(); ++i) {
-    std::printf(
-        "    {\"partitions\": %zu, \"speedup\": %.2f}%s\n",
-        partition_counts[i],
-        legacy_runs[i].total_seconds / shared_runs[i].total_seconds,
-        i + 1 == partition_counts.size() ? "" : ",");
+  if (run_topology) {
+    std::printf("  \"topology_runs\": [\n");
+    for (size_t i = 0; i < topo_runs.size(); ++i) {
+      PrintTopoRecord(topo_runs[i], /*last=*/i + 1 == topo_runs.size());
+    }
+    std::printf("  ],\n");
+    std::printf("  \"equivalent\": %s\n", equivalent ? "true" : "false");
   }
-  std::printf("  ]\n");
   std::printf("}\n");
-  return 0;
+  return equivalent ? 0 : 1;
 }

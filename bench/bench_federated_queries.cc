@@ -36,12 +36,12 @@
 #include <cstdio>
 #include <fstream>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
 #include "datagen/scenarios.h"
+#include "exec/topology.h"
 #include "federation/endpoint.h"
 #include "federation/federated_engine.h"
 #include "federation/probe_cache.h"
@@ -249,8 +249,8 @@ int main(int argc, char** argv) {
     // first-read build.
     pair.left.store().EnsureIndexes();
     pair.right.store().EnsureIndexes();
-    const size_t threads =
-        std::max(2u, std::min(8u, std::thread::hardware_concurrency()));
+    const size_t threads = std::max<size_t>(
+        2, std::min<size_t>(8, exec::CpuTopology::Detect().RecommendedWorkers()));
     ThreadPool pool(threads);
     fed::FederatedEngine engine(&cached_left, &cached_right, &truth_index);
     simulation::WorkloadExecOptions options;

@@ -11,6 +11,7 @@
 #include "common/logging.h"
 #include "common/stopwatch.h"
 #include "common/string_util.h"
+#include "exec/topology.h"
 #include "obs/metrics.h"
 #include "obs/query_stats.h"
 #include "obs/telemetry.h"
@@ -140,7 +141,16 @@ class TelemetrySidecar {
  public:
   explicit TelemetrySidecar(std::string bench_name)
       : bench_name_(std::move(bench_name)),
-        metrics_before_(obs::MetricsRegistry::Global().Snapshot()) {}
+        metrics_before_(obs::MetricsRegistry::Global().Snapshot()) {
+    // Every sidecar records the hardware it ran on: perf numbers from a
+    // 1-core CI runner and a 64-core bare-metal box are not comparable, and
+    // dashboards need to partition by topology to see that.
+    const exec::CpuTopology& topo = exec::CpuTopology::Detect();
+    AddField("topology_cores", static_cast<uint64_t>(topo.num_cpus()));
+    AddField("topology_nodes", static_cast<uint64_t>(topo.num_nodes()));
+    AddField("topology_pinning",
+             static_cast<uint64_t>(topo.affinity_supported() ? 1 : 0));
+  }
 
   TelemetrySidecar(const TelemetrySidecar&) = delete;
   TelemetrySidecar& operator=(const TelemetrySidecar&) = delete;

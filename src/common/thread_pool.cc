@@ -1,16 +1,19 @@
 #include "common/thread_pool.h"
 
+#include <algorithm>
 #include <chrono>
 #include <utility>
 
+#include "exec/affinity.h"
 #include "obs/metrics.h"
 
 namespace alex {
 namespace {
 
 /// Pool metrics: queue depth (with high-water mark), time tasks spend
-/// queued before a worker picks them up, and task run time. Handles are
-/// cached once; updates are relaxed atomics, invisible to task latency.
+/// queued before a worker picks them up, task run time, and work steals.
+/// Handles are cached once; updates are relaxed atomics, invisible to task
+/// latency.
 struct PoolMetrics {
   obs::Counter& tasks = obs::MetricsRegistry::Global().counter(
       "threadpool.tasks");
@@ -22,6 +25,10 @@ struct PoolMetrics {
       "threadpool.task_run_seconds");
   obs::Counter& task_exceptions = obs::MetricsRegistry::Global().counter(
       "threadpool.task_exceptions");
+  obs::Counter& steals = obs::MetricsRegistry::Global().counter(
+      "threadpool.steals");
+  obs::Counter& pinned_workers = obs::MetricsRegistry::Global().counter(
+      "threadpool.pinned_workers");
 
   static PoolMetrics& Get() {
     static PoolMetrics* metrics = new PoolMetrics();
@@ -29,93 +36,243 @@ struct PoolMetrics {
   }
 };
 
+/// Identity of the current pool worker, so Submit from inside a task lands
+/// on the submitting worker's own queue (the recursion-friendly fast path)
+/// instead of bouncing through the round-robin counter.
+thread_local ThreadPool* tls_pool = nullptr;
+thread_local size_t tls_worker = 0;
+
 }  // namespace
 
-ThreadPool::ThreadPool(size_t num_threads) {
-  if (num_threads == 0) num_threads = 1;
+ThreadPool::ThreadPool(size_t num_threads)
+    : ThreadPool(num_threads, Options{}) {}
+
+ThreadPool::ThreadPool(size_t num_threads, const Options& options)
+    : options_(options),
+      topology_(options.topology != nullptr ? *options.topology
+                                            : exec::CpuTopology::Detect()) {
+  Start(num_threads == 0 ? 1 : num_threads);
+}
+
+void ThreadPool::Start(size_t num_threads) {
+  queues_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
+
+  // Steal order: same-node victims first (stolen tasks touch memory that is
+  // at least node-local), then the rest; both groups start at self+1 and
+  // wrap, so concurrent thieves spread over distinct victims.
+  const auto node_of_worker = [this](size_t w) {
+    const std::vector<exec::CpuInfo>& cpus = topology_.cpus();
+    return cpus.empty() ? 0 : cpus[w % cpus.size()].node;
+  };
+  steal_order_.resize(num_threads);
+  for (size_t w = 0; w < num_threads; ++w) {
+    const int home_node = node_of_worker(w);
+    for (int pass = 0; pass < 2; ++pass) {
+      for (size_t k = 1; k < num_threads; ++k) {
+        const size_t victim = (w + k) % num_threads;
+        const bool same_node = node_of_worker(victim) == home_node;
+        if (same_node == (pass == 0)) steal_order_[w].push_back(victim);
+      }
+    }
+  }
+
   workers_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
 }
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    shutting_down_ = true;
+    std::lock_guard<std::mutex> lock(sleep_mu_);
+    shutting_down_.store(true, std::memory_order_release);
   }
   task_available_.notify_all();
   for (auto& t : workers_) t.join();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  size_t target;
+  if (tls_pool == this) {
+    target = tls_worker;
+  } else {
+    target = next_queue_.fetch_add(1, std::memory_order_relaxed) %
+             queues_.size();
+  }
+  Enqueue(std::move(task), target);
+}
+
+void ThreadPool::Submit(std::function<void()> task, size_t affinity_hint) {
+  Enqueue(std::move(task), affinity_hint % queues_.size());
+}
+
+void ThreadPool::Enqueue(std::function<void()> task, size_t target) {
   PoolMetrics& metrics = PoolMetrics::Get();
   metrics.tasks.Add(1);
-  size_t depth;
+  unfinished_.fetch_add(1, std::memory_order_relaxed);
+  // pending_ is bumped BEFORE the push: a worker that wins the race and
+  // pops the task immediately never underflows the counter. The window
+  // where pending_ over-reports by one only costs a sleeper a spurious
+  // recheck.
+  const size_t depth = pending_.fetch_add(1, std::memory_order_seq_cst) + 1;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    queue_.push_back(
+    std::lock_guard<std::mutex> lock(queues_[target]->mu);
+    queues_[target]->tasks.push_back(
         QueuedTask{std::move(task), std::chrono::steady_clock::now()});
-    depth = queue_.size();
   }
   metrics.queue_depth.Set(static_cast<int64_t>(depth));
   metrics.queue_depth.UpdateMax(static_cast<int64_t>(depth));
-  task_available_.notify_one();
+  // Dekker handshake with WorkerLoop: the worker publishes sleepers_ then
+  // reads pending_ (under sleep_mu_); we publish pending_ then read
+  // sleepers_. Both seq_cst, so at least one side observes the other —
+  // either the worker's wait predicate sees the new task, or we see the
+  // sleeper and run the notify rendezvous. The empty lock_guard closes the
+  // remaining window where the sleeper has passed its predicate check but
+  // not yet released sleep_mu_ into the wait: we cannot take the lock
+  // until it is actually blocked, so the notify is never lost.
+  if (sleepers_.load(std::memory_order_seq_cst) > 0) {
+    { std::lock_guard<std::mutex> lock(sleep_mu_); }
+    task_available_.notify_one();
+  }
 }
 
 void ThreadPool::Wait() {
   std::exception_ptr error;
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    all_done_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+    std::unique_lock<std::mutex> lock(wait_mu_);
+    all_done_.wait(lock, [this] {
+      return unfinished_.load(std::memory_order_acquire) == 0;
+    });
     error = std::exchange(first_error_, nullptr);
   }
   if (error) std::rethrow_exception(error);
 }
 
-void ThreadPool::WorkerLoop() {
+bool ThreadPool::TryAcquire(size_t self, QueuedTask* task) {
+  {
+    WorkerQueue& own = *queues_[self];
+    std::lock_guard<std::mutex> lock(own.mu);
+    if (!own.tasks.empty()) {
+      *task = std::move(own.tasks.front());
+      own.tasks.pop_front();
+      pending_.fetch_sub(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  for (size_t victim : steal_order_[self]) {
+    WorkerQueue& queue = *queues_[victim];
+    std::lock_guard<std::mutex> lock(queue.mu);
+    if (!queue.tasks.empty()) {
+      // Steal from the back — the owner pops the front, so thief and owner
+      // only collide on a one-element queue.
+      *task = std::move(queue.tasks.back());
+      queue.tasks.pop_back();
+      pending_.fetch_sub(1, std::memory_order_relaxed);
+      PoolMetrics::Get().steals.Add(1);
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::RunTask(QueuedTask* task) {
   PoolMetrics& metrics = PoolMetrics::Get();
+  const auto start = std::chrono::steady_clock::now();
+  metrics.wait_seconds.Observe(
+      std::chrono::duration<double>(start - task->enqueued).count());
+  std::exception_ptr error;
+  try {
+    task->fn();
+  } catch (...) {
+    error = std::current_exception();
+    metrics.task_exceptions.Add(1);
+  }
+  metrics.run_seconds.Observe(
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count());
+  if (error) {
+    std::lock_guard<std::mutex> lock(wait_mu_);
+    if (!first_error_) first_error_ = error;
+  }
+  // Completion counts down only after the error is recorded, so a Wait()
+  // woken by the final task always sees its exception. The notify takes
+  // wait_mu_: a waiter between its predicate check and the block cannot
+  // miss the wakeup, because we cannot acquire the mutex until it waits.
+  if (unfinished_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    { std::lock_guard<std::mutex> lock(wait_mu_); }
+    all_done_.notify_all();
+  }
+}
+
+void ThreadPool::WorkerLoop(size_t self) {
+  tls_pool = this;
+  tls_worker = self;
+  exec::SetCurrentThreadName(
+      (options_.name_prefix + std::to_string(self)).c_str());
+  if (options_.pin_threads && topology_.affinity_supported() &&
+      !topology_.cpus().empty()) {
+    const int cpu = topology_.cpus()[self % topology_.cpus().size()].cpu;
+    // Best effort by contract: a denied affinity call (container, seccomp)
+    // leaves this worker unpinned and the pool fully functional.
+    if (exec::PinCurrentThreadToCpu(cpu)) {
+      pinned_count_.fetch_add(1, std::memory_order_relaxed);
+      PoolMetrics::Get().pinned_workers.Add(1);
+    }
+  }
+
   for (;;) {
     QueuedTask task;
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      task_available_.wait(
-          lock, [this] { return shutting_down_ || !queue_.empty(); });
-      if (queue_.empty()) {
-        if (shutting_down_) return;
-        continue;
-      }
-      task = std::move(queue_.front());
-      queue_.pop_front();
-      metrics.queue_depth.Set(static_cast<int64_t>(queue_.size()));
-      ++in_flight_;
+    if (TryAcquire(self, &task)) {
+      RunTask(&task);
+      continue;
     }
-    const auto start = std::chrono::steady_clock::now();
-    metrics.wait_seconds.Observe(
-        std::chrono::duration<double>(start - task.enqueued).count());
-    std::exception_ptr error;
-    try {
-      task.fn();
-    } catch (...) {
-      error = std::current_exception();
-      metrics.task_exceptions.Add(1);
-    }
-    metrics.run_seconds.Observe(
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-            .count());
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (error && !first_error_) first_error_ = error;
-      --in_flight_;
-      if (queue_.empty() && in_flight_ == 0) all_done_.notify_all();
+    std::unique_lock<std::mutex> lock(sleep_mu_);
+    sleepers_.fetch_add(1, std::memory_order_seq_cst);
+    task_available_.wait(lock, [this] {
+      return shutting_down_.load(std::memory_order_acquire) ||
+             pending_.load(std::memory_order_seq_cst) > 0;
+    });
+    sleepers_.fetch_sub(1, std::memory_order_seq_cst);
+    if (shutting_down_.load(std::memory_order_acquire) &&
+        pending_.load(std::memory_order_seq_cst) == 0) {
+      return;  // Drained: remaining tasks ran before shutdown completes.
     }
   }
 }
 
 void ParallelFor(ThreadPool* pool, size_t n,
                  const std::function<void(size_t)>& fn) {
-  for (size_t i = 0; i < n; ++i) {
-    pool->Submit([i, &fn] { fn(i); });
+  ParallelFor(pool, n, fn, ParallelForOptions{});
+}
+
+void ParallelFor(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t)>& fn,
+                 const ParallelForOptions& options) {
+  if (n == 0) {
+    pool->Wait();
+    return;
+  }
+  size_t grain = options.grain;
+  if (grain == 0) {
+    // ~8 chunks per worker: dispatch cost amortizes over the grain while
+    // surplus chunks let stealing even out slow ones. Loops with n at or
+    // below 8*workers (e.g. one index per partition) keep grain 1, and the
+    // chunk-index affinity hint below then pins index i to home worker
+    // i % workers on every call.
+    const size_t target_tasks = pool->num_threads() * 8;
+    grain = (n + target_tasks - 1) / target_tasks;
+    if (grain == 0) grain = 1;
+  }
+  const size_t chunks = (n + grain - 1) / grain;
+  for (size_t c = 0; c < chunks; ++c) {
+    const size_t lo = c * grain;
+    const size_t hi = std::min(n, lo + grain);
+    pool->Submit([lo, hi, &fn] {
+      for (size_t i = lo; i < hi; ++i) fn(i);
+    }, /*affinity_hint=*/c);
   }
   pool->Wait();
 }

@@ -1,23 +1,39 @@
 #ifndef ALEX_COMMON_THREAD_POOL_H_
 #define ALEX_COMMON_THREAD_POOL_H_
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <exception>
 #include <functional>
+#include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
+
+#include "exec/topology.h"
 
 namespace alex {
 
 /// Fixed-size worker pool used to run ALEX partitions in parallel
 /// (Section 6.2 of the paper: equal-size partitions explored independently).
 ///
-/// Tasks are void() callables. `Wait()` blocks until the queue drains and all
-/// in-flight tasks finish; the destructor joins all workers.
+/// Hardware-conscious since the exec layer landed: each worker owns its own
+/// task queue (no single-mutex convoy on the dispatch path), idle workers
+/// steal from siblings — same-NUMA-node victims first, so stolen work stays
+/// close to its data — and workers can be pinned 1:1 to the CPUs of the
+/// probed CpuTopology (best effort: a denied affinity syscall degrades to
+/// an unpinned worker, never an error). Submit takes an optional affinity
+/// hint naming the worker whose queue the task should land on; combined
+/// with stealing this is soft locality, not a correctness contract — any
+/// worker may ultimately run any task.
+///
+/// Tasks are void() callables. `Wait()` blocks until every submitted task
+/// (including tasks submitted by tasks) has finished; the destructor drains
+/// remaining tasks and joins all workers.
 ///
 /// A throwing task never takes down the process: the worker catches the
 /// exception at the task boundary (otherwise the unwind would hit the worker
@@ -27,15 +43,37 @@ namespace alex {
 /// Remaining tasks still run either way.
 class ThreadPool {
  public:
-  /// Creates a pool with `num_threads` workers (at least 1).
+  struct Options {
+    /// Pin worker i to the i-th CPU (mod #CPUs) of the topology. Best
+    /// effort: failures (containers, seccomp, non-Linux) leave the worker
+    /// unpinned and are only visible through pinned_workers().
+    bool pin_threads = false;
+    /// Worker thread names: "<name_prefix><worker index>". Keep it short —
+    /// Linux truncates thread names to 15 characters.
+    std::string name_prefix = "alexw";
+    /// Topology to pin against and to derive the steal order from; null
+    /// uses the process-wide exec::CpuTopology::Detect().
+    const exec::CpuTopology* topology = nullptr;
+  };
+
+  /// Creates a pool with `num_threads` workers (at least 1), unpinned.
   explicit ThreadPool(size_t num_threads);
+  ThreadPool(size_t num_threads, const Options& options);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a task. Safe to call from any thread, including workers.
+  /// Enqueues a task. Safe to call from any thread, including workers — a
+  /// worker submits to its own queue (the recursive task is warm there and
+  /// runs next unless stolen), external threads round-robin across queues.
   void Submit(std::function<void()> task);
+
+  /// Enqueues a task onto worker `affinity_hint % num_threads()`'s queue.
+  /// A locality hint, not placement: an idle sibling may still steal the
+  /// task. Use a stable hint per logical owner (e.g. the partition index)
+  /// so the same worker keeps touching the same partition's memory.
+  void Submit(std::function<void()> task, size_t affinity_hint);
 
   /// Blocks until all submitted tasks have completed. If any task threw
   /// since the last Wait(), rethrows the first such exception (after the
@@ -43,6 +81,12 @@ class ThreadPool {
   void Wait();
 
   size_t num_threads() const { return workers_.size(); }
+
+  /// Workers that were actually pinned (0 when pinning was off or every
+  /// affinity call failed — the degraded-but-running case).
+  size_t pinned_workers() const {
+    return pinned_count_.load(std::memory_order_relaxed);
+  }
 
  private:
   /// A task plus its enqueue time, so the queue-wait latency each task
@@ -52,22 +96,74 @@ class ThreadPool {
     std::chrono::steady_clock::time_point enqueued;
   };
 
-  void WorkerLoop();
+  /// One worker's queue behind its own mutex; unique_ptr keeps addresses
+  /// stable and the mutexes on separate allocations (no false sharing of
+  /// two hot locks in one cache line).
+  struct WorkerQueue {
+    std::mutex mu;
+    std::deque<QueuedTask> tasks;
+  };
 
-  std::mutex mu_;
+  void Start(size_t num_threads);
+  void WorkerLoop(size_t self);
+  /// Pops from own queue, else steals (same-node victims first). Decrements
+  /// pending_ on success.
+  bool TryAcquire(size_t self, QueuedTask* task);
+  void Enqueue(std::function<void()> task, size_t target);
+  void RunTask(QueuedTask* task);
+
+  Options options_;
+  exec::CpuTopology topology_;
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  /// Per worker: every other worker index, same-node victims first, each
+  /// group rotated by the worker's own index so thieves fan out instead of
+  /// all hammering worker 0's lock.
+  std::vector<std::vector<size_t>> steal_order_;
+
+  /// Tasks sitting in queues (not yet picked up). Drives worker sleep.
+  std::atomic<size_t> pending_{0};
+  /// Tasks submitted but not yet finished (queued + running). Drives Wait.
+  std::atomic<size_t> unfinished_{0};
+  /// Workers blocked in task_available_; lets Enqueue skip the notify
+  /// rendezvous entirely when everyone is busy. seq_cst store/load pairs
+  /// with pending_ (a Dekker-style flag handshake, see Enqueue).
+  std::atomic<size_t> sleepers_{0};
+  std::atomic<size_t> next_queue_{0};
+  std::atomic<size_t> pinned_count_{0};
+  std::atomic<bool> shutting_down_{false};
+
+  std::mutex sleep_mu_;
   std::condition_variable task_available_;
+  std::mutex wait_mu_;
   std::condition_variable all_done_;
-  std::deque<QueuedTask> queue_;
-  size_t in_flight_ = 0;
-  bool shutting_down_ = false;
-  /// First exception thrown by a task since the last Wait() (guarded by mu_).
+  /// First exception thrown by a task since the last Wait() (guarded by
+  /// wait_mu_).
   std::exception_ptr first_error_;
+
   std::vector<std::thread> workers_;
 };
 
+/// Chunking control for ParallelFor.
+struct ParallelForOptions {
+  /// Indices per submitted task. 0 = automatic: ceil(n / (8 * workers)),
+  /// so a 100k-index loop costs hundreds of task dispatches instead of
+  /// 100k std::function allocations and queue round-trips, while leaving
+  /// enough surplus tasks for stealing to balance uneven chunks.
+  size_t grain = 0;
+};
+
 /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
+/// Indices are chunked per ParallelForOptions; chunk c carries affinity
+/// hint c, so when n is small (e.g. one chunk per partition) index i lands
+/// on the same home worker every call. Exceptions keep task granularity:
+/// a throw abandons the remaining indices of its own chunk only, other
+/// chunks still run, and Wait() rethrows the first error.
 void ParallelFor(ThreadPool* pool, size_t n,
                  const std::function<void(size_t)>& fn);
+void ParallelFor(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t)>& fn,
+                 const ParallelForOptions& options);
 
 }  // namespace alex
 

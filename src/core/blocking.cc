@@ -126,13 +126,14 @@ uint64_t MixKey(uint64_t key) {
 
 }  // namespace
 
-SimilarityMemo::SimilarityMemo() {
+SimilarityMemo::SimilarityMemo(exec::ArenaAllocator* arena)
+    : slots_(exec::ArenaStl<Slot>(arena)) {
   slots_.assign(1 << 16, Slot{kEmptySlot, 0.0});
   mask_ = slots_.size() - 1;
 }
 
 void SimilarityMemo::Grow() {
-  std::vector<Slot> old = std::move(slots_);
+  std::vector<Slot, exec::ArenaStl<Slot>> old = std::move(slots_);
   slots_.assign(old.size() * 2, Slot{kEmptySlot, 0.0});
   mask_ = slots_.size() - 1;
   for (const Slot& s : old) {

@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "exec/arena.h"
 #include "rdf/dataset.h"
 #include "similarity/string_metrics.h"
 #include "similarity/value.h"
@@ -110,7 +111,10 @@ class ValueCache {
 /// left entities).
 class SimilarityMemo {
  public:
-  SimilarityMemo();
+  /// With an arena, the probe table lives in it (and is simply abandoned
+  /// on growth — the arena reclaims everything at once when the build
+  /// ends); without one, the global allocator backs it as before.
+  explicit SimilarityMemo(exec::ArenaAllocator* arena = nullptr);
 
   /// Returns ValueSimilarity(lv, rv), where lv/rv must be the parsed values
   /// of left/right and lp/rp their string profiles (either may be nullptr
@@ -142,7 +146,7 @@ class SimilarityMemo {
   };
   void Grow();
 
-  std::vector<Slot> slots_;
+  std::vector<Slot, exec::ArenaStl<Slot>> slots_;
   size_t size_ = 0;
   size_t mask_ = 0;
   size_t hits_ = 0;

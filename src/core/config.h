@@ -88,8 +88,22 @@ struct AlexConfig {
 
   /// Equal-size partitioning (Section 6.2). The paper's experiments use 27.
   size_t num_partitions = 27;
-  /// Worker threads for partition-parallel work (0 = hardware concurrency).
+  /// Worker threads for partition-parallel work (0 = the CPUs this process
+  /// is actually allowed, via exec::CpuTopology::RecommendedWorkers()).
   size_t num_threads = 0;
+
+  /// Pin partition workers 1:1 to CPUs (exec layer). Best effort — on
+  /// restricted environments the pool degrades to unpinned workers. Off by
+  /// default so concurrent processes (ctest -j, shared CI) don't stack
+  /// their pools onto the same low-numbered CPUs; the build bench measures
+  /// both settings.
+  bool pin_threads = false;
+
+  /// Allocate link-space build temporaries (block count maps, evaluated
+  /// pair sets, the similarity memo table) from a per-partition bump arena
+  /// instead of the global allocator. Output is bit-identical either way;
+  /// false is kept selectable as the benchmark baseline.
+  bool arena_build_alloc = true;
 
   /// Blocking guard when constructing the link space: a blocking key whose
   /// candidate cross-product exceeds this is treated as a stop value.

@@ -114,7 +114,8 @@ void LinkSpace::FinalizeFeatureIndex() {
 
 void LinkSpace::Build(const Dataset& left, const Dataset& right,
                       const std::vector<EntityId>& left_entities, double theta,
-                      size_t max_block_pairs, const BuildResources& res) {
+                      size_t max_block_pairs, const BuildResources& res,
+                      exec::ArenaAllocator* arena) {
   ALEX_TRACE_SPAN("build", "LinkSpace::Build");
   SpaceMetrics& metrics = SpaceMetrics::Get();
   obs::ScopedTimer build_timer(metrics.build_seconds);
@@ -125,7 +126,18 @@ void LinkSpace::Build(const Dataset& left, const Dataset& right,
   // The counts are per-partition by design (a block's size is |partition
   // lefts with the key| × |right block|), so this pass stays local; only
   // the right-side inversion is shared.
-  std::unordered_map<BlockKey, size_t> left_key_counts;
+  //
+  // The count map, evaluated-pair set, and similarity memo are the build's
+  // allocation churn (millions of node/table allocations that all die when
+  // this function returns); with an arena they become pointer bumps. Same
+  // container types either way — a null arena in ArenaStl is the global
+  // allocator — so both paths run literally the same code.
+  std::unordered_map<BlockKey, size_t, std::hash<BlockKey>,
+                     std::equal_to<BlockKey>,
+                     exec::ArenaStl<std::pair<const BlockKey, size_t>>>
+      left_key_counts(/*bucket_count=*/0, std::hash<BlockKey>(),
+                      std::equal_to<BlockKey>(),
+                      exec::ArenaStl<std::pair<const BlockKey, size_t>>(arena));
   std::vector<BlockKey> entity_keys;
   for (EntityId l : left_entities) {
     res.left_keys->EntityKeys(l, &entity_keys);
@@ -139,10 +151,13 @@ void LinkSpace::Build(const Dataset& left, const Dataset& right,
   // (single-threaded) partition build: the same attribute-value pair recurs
   // across many candidate entity pairs, and the string metrics behind
   // ValueSimilarity are the dominant build cost.
-  SimilarityMemo sim_memo;
+  SimilarityMemo sim_memo(arena);
   FeatureScratch scratch;
 
-  std::unordered_set<PairKey> evaluated;
+  std::unordered_set<PairKey, std::hash<PairKey>, std::equal_to<PairKey>,
+                     exec::ArenaStl<PairKey>>
+      evaluated(/*bucket_count=*/0, std::hash<PairKey>(),
+                std::equal_to<PairKey>(), exec::ArenaStl<PairKey>(arena));
   for (EntityId l : left_entities) {
     res.left_keys->EntityKeys(l, &entity_keys);
     for (BlockKey key : entity_keys) {

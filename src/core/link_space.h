@@ -55,9 +55,17 @@ class LinkSpace {
   /// All of `res`'s members must be non-null, built from these datasets,
   /// and outlive the call. Datasets are borrowed and must outlive the
   /// LinkSpace.
+  ///
+  /// With a non-null `arena`, the build-phase temporaries (per-key block
+  /// count map, evaluated-pair set, similarity-memo table) bump-allocate
+  /// from it instead of the global allocator; the arena is scratch only —
+  /// nothing in the finished LinkSpace points into it, so the caller frees
+  /// or resets it as soon as Build returns. The arena and non-arena paths
+  /// produce bit-identical spaces.
   void Build(const rdf::Dataset& left, const rdf::Dataset& right,
              const std::vector<rdf::EntityId>& left_entities, double theta,
-             size_t max_block_pairs, const BuildResources& res);
+             size_t max_block_pairs, const BuildResources& res,
+             exec::ArenaAllocator* arena = nullptr);
 
   /// Single-shot convenience wrapper: builds the blocking index and caches
   /// locally, then delegates to the shared-resource overload. Call sites

@@ -2,9 +2,10 @@
 
 #include <algorithm>
 #include <iterator>
-#include <thread>
 
 #include "common/thread_pool.h"
+#include "exec/arena.h"
+#include "exec/topology.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -56,9 +57,13 @@ ThreadPool* PartitionedAlex::pool() const {
   if (!pool_) {
     size_t threads = config_.num_threads;
     if (threads == 0) {
-      threads = std::max<size_t>(1, std::thread::hardware_concurrency());
+      threads = exec::CpuTopology::Detect().RecommendedWorkers();
     }
-    pool_ = std::make_unique<ThreadPool>(std::min(threads, spaces_.size()));
+    ThreadPool::Options options;
+    options.pin_threads = config_.pin_threads;
+    options.name_prefix = "alexp";
+    pool_ = std::make_unique<ThreadPool>(std::min(threads, spaces_.size()),
+                                         options);
   }
   return pool_.get();
 }
@@ -99,12 +104,21 @@ std::vector<double> PartitionedAlex::Build() {
   }
 
   // Phase 2: per-partition builds, all borrowing the shared resources.
+  // ParallelFor's chunk-index affinity hint homes partition p on worker
+  // p % workers, so the partition's blocking scratch, memo, and candidate
+  // vectors are (stealing aside) touched by one core. Each partition gets
+  // its own arena for the build temporaries — created here and dropped as
+  // soon as its build finishes, since the LinkSpace keeps nothing in it.
   const BuildResources res{right_index.get(), left_keys.get(),
                            left_values.get(), right_values.get()};
-  ParallelFor(pool(), n, [this, &metrics, &seconds, &res](size_t p) {
+  const bool use_arena = config_.arena_build_alloc;
+  ParallelFor(pool(), n,
+              [this, &metrics, &seconds, &res, use_arena](size_t p) {
     obs::ScopedTimer timer(metrics.partition_build_seconds, &seconds[p]);
+    std::unique_ptr<exec::ArenaAllocator> arena;
+    if (use_arena) arena = std::make_unique<exec::ArenaAllocator>();
     spaces_[p]->Build(*left_, *right_, partition_entities_[p], config_.theta,
-                      config_.max_block_pairs, res);
+                      config_.max_block_pairs, res, arena.get());
   });
   return seconds;
 }

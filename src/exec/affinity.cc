@@ -1,0 +1,44 @@
+#include "exec/affinity.h"
+
+#ifdef __linux__
+#include <pthread.h>
+#include <sched.h>
+
+#include <cstring>
+#endif
+
+namespace alex::exec {
+
+bool PinCurrentThreadToCpu(int cpu) {
+#ifdef __linux__
+  if (cpu < 0 || cpu >= CPU_SETSIZE) return false;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(cpu, &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+#else
+  (void)cpu;
+  return false;
+#endif
+}
+
+void SetCurrentThreadName(const char* name) {
+#ifdef __linux__
+  char truncated[16];
+  std::strncpy(truncated, name, sizeof(truncated) - 1);
+  truncated[sizeof(truncated) - 1] = '\0';
+  pthread_setname_np(pthread_self(), truncated);
+#else
+  (void)name;
+#endif
+}
+
+int CurrentCpu() {
+#ifdef __linux__
+  return sched_getcpu();
+#else
+  return -1;
+#endif
+}
+
+}  // namespace alex::exec

@@ -1,0 +1,24 @@
+#ifndef ALEX_EXEC_AFFINITY_H_
+#define ALEX_EXEC_AFFINITY_H_
+
+namespace alex::exec {
+
+/// Pins the calling thread to one kernel cpu id. Returns true on success,
+/// false when the platform has no affinity syscalls, the id is invalid, or
+/// the call is denied (containers, seccomp). Failure leaves the thread's
+/// affinity untouched — callers must treat false as "run unpinned", never
+/// as fatal.
+bool PinCurrentThreadToCpu(int cpu);
+
+/// Best-effort thread naming (shows up in /proc, gdb, perf). Names longer
+/// than the platform limit (15 chars on Linux) are truncated. No-op where
+/// unsupported.
+void SetCurrentThreadName(const char* name);
+
+/// Kernel cpu id the calling thread is currently running on, or -1 when
+/// the platform cannot say.
+int CurrentCpu();
+
+}  // namespace alex::exec
+
+#endif  // ALEX_EXEC_AFFINITY_H_

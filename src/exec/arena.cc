@@ -1,0 +1,87 @@
+#include "exec/arena.h"
+
+#include <algorithm>
+
+#include "obs/metrics.h"
+
+namespace alex::exec {
+namespace {
+
+/// Chunk-granular metrics only: per-Allocate counters would put atomics on
+/// the bump path the arena exists to keep allocation-free.
+struct ArenaMetrics {
+  obs::Counter& arena_bytes =
+      obs::MetricsRegistry::Global().counter("alloc.arena_bytes");
+  obs::Counter& arena_chunks =
+      obs::MetricsRegistry::Global().counter("alloc.arena_chunks");
+
+  static ArenaMetrics& Get() {
+    static ArenaMetrics* metrics = new ArenaMetrics();
+    return *metrics;
+  }
+};
+
+constexpr size_t AlignUp(size_t value, size_t align) {
+  return (value + align - 1) & ~(align - 1);
+}
+
+}  // namespace
+
+ArenaAllocator::ArenaAllocator(size_t chunk_bytes)
+    : chunk_bytes_(chunk_bytes == 0 ? kDefaultChunkBytes : chunk_bytes) {}
+
+ArenaAllocator::~ArenaAllocator() = default;
+
+void* ArenaAllocator::Allocate(size_t bytes, size_t align) {
+  if (align == 0) align = 1;
+  if (!chunks_.empty()) {
+    Chunk& chunk = chunks_[active_];
+    const uintptr_t base = reinterpret_cast<uintptr_t>(chunk.data.get());
+    const uintptr_t cursor = AlignUp(base + chunk.used, align);
+    if (cursor + bytes <= base + chunk.size) {
+      bytes_allocated_ += (cursor + bytes) - (base + chunk.used);
+      chunk.used = (cursor + bytes) - base;
+      return reinterpret_cast<void*>(cursor);
+    }
+  }
+  return AllocateSlow(bytes, align);
+}
+
+void* ArenaAllocator::AllocateSlow(size_t bytes, size_t align) {
+  // Try the retained chunks after the active one (refilled by Reset).
+  // `bytes + align` guarantees room for any alignment skew of the chunk
+  // base; new[] returns max_align_t-aligned memory, so the skew is only
+  // real for over-aligned (e.g. cache-line) requests.
+  const size_t needed = bytes + align;
+  for (size_t i = chunks_.empty() ? 0 : active_ + 1; i < chunks_.size(); ++i) {
+    if (chunks_[i].size >= needed) {
+      std::swap(chunks_[active_ + 1], chunks_[i]);
+      ++active_;
+      return Allocate(bytes, align);
+    }
+  }
+  Chunk chunk;
+  chunk.size = std::max(chunk_bytes_, needed);
+  chunk.data = std::make_unique<std::byte[]>(chunk.size);
+  bytes_reserved_ += chunk.size;
+  ArenaMetrics& metrics = ArenaMetrics::Get();
+  metrics.arena_bytes.Add(chunk.size);
+  metrics.arena_chunks.Add(1);
+  if (chunks_.empty()) {
+    chunks_.push_back(std::move(chunk));
+    active_ = 0;
+  } else {
+    chunks_.insert(chunks_.begin() + static_cast<ptrdiff_t>(active_) + 1,
+                   std::move(chunk));
+    ++active_;
+  }
+  return Allocate(bytes, align);
+}
+
+void ArenaAllocator::Reset() {
+  for (Chunk& chunk : chunks_) chunk.used = 0;
+  active_ = 0;
+  bytes_allocated_ = 0;
+}
+
+}  // namespace alex::exec

@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include "exec/topology.h"
+
 namespace alex {
 namespace {
 
@@ -134,6 +136,151 @@ TEST(ThreadPoolTest, DestructorJoinsCleanly) {
     pool.Wait();
   }  // Destructor must join without deadlock.
   EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolTest, AffinityHintsRunEveryTask) {
+  // Hints are locality advice, never placement filters: every task must run
+  // exactly once whatever the hint, including hints far beyond num_threads.
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(200);
+  for (size_t i = 0; i < hits.size(); ++i) {
+    pool.Submit([&hits, i] { hits[i].fetch_add(1); }, /*affinity_hint=*/i * 7);
+  }
+  pool.Wait();
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, SubmitFromWorkerRecursionStress) {
+  // Deep fan-out submitted from inside workers: each task spawns two more
+  // until the budget is spent. Exercises worker-local enqueue plus stealing
+  // under load; Wait() must count tasks submitted by tasks.
+  ThreadPool pool(4);
+  std::atomic<int> budget{2047};  // Full binary tree of depth 10.
+  std::atomic<int> ran{0};
+  std::function<void()> task = [&] {
+    ran.fetch_add(1);
+    for (int child = 0; child < 2; ++child) {
+      if (budget.fetch_sub(1) > 0) pool.Submit(task);
+    }
+  };
+  budget.fetch_sub(1);
+  pool.Submit(task);
+  pool.Wait();
+  EXPECT_EQ(ran.load(), 2047);
+}
+
+TEST(ThreadPoolTest, StealingStressManyProducers) {
+  // TSan target: external submitters round-robin across every queue while
+  // workers pop their own fronts and steal each other's backs. All counters
+  // must land exactly, with no data-race reports under -DALEX_SANITIZE.
+  ThreadPool pool(4);
+  std::atomic<int64_t> sum{0};
+  constexpr int kTasks = 20000;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 3; ++p) {
+    producers.emplace_back([&pool, &sum, p] {
+      for (int i = p; i < kTasks; i += 3) {
+        pool.Submit([&sum, i] { sum.fetch_add(i); },
+                    /*affinity_hint=*/static_cast<size_t>(i));
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  pool.Wait();
+  EXPECT_EQ(sum.load(), int64_t{kTasks} * (kTasks - 1) / 2);
+}
+
+TEST(ThreadPoolTest, PinningDegradesGracefullyOnBogusTopology) {
+  // A topology whose CPU ids cannot exist forces every pin attempt to fail.
+  // The pool must still run everything; pinned_workers() reports the
+  // degradation instead of the constructor aborting.
+  const exec::CpuTopology bogus = exec::CpuTopology::ForTesting(
+      {{1 << 20, 0}, {(1 << 20) + 1, 0}}, /*affinity_supported=*/true);
+  ThreadPool::Options options;
+  options.pin_threads = true;
+  options.topology = &bogus;
+  ThreadPool pool(2, options);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+  EXPECT_EQ(pool.pinned_workers(), 0u);
+}
+
+TEST(ThreadPoolTest, PinningSkippedWhenAffinityUnsupported) {
+  const exec::CpuTopology none =
+      exec::CpuTopology::ForTesting({{0, 0}}, /*affinity_supported=*/false);
+  ThreadPool::Options options;
+  options.pin_threads = true;
+  options.topology = &none;
+  ThreadPool pool(2, options);
+  std::atomic<int> counter{0};
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1);
+  EXPECT_EQ(pool.pinned_workers(), 0u);
+}
+
+TEST(ThreadPoolTest, PinnedPoolRunsOnRealTopology) {
+  // On the live machine: pinning either works (pinned_workers > 0) or the
+  // environment denies it (== 0); both are valid, crashing is not.
+  ThreadPool::Options options;
+  options.pin_threads = true;
+  ThreadPool pool(2, options);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 50);
+  EXPECT_LE(pool.pinned_workers(), pool.num_threads());
+}
+
+TEST(ThreadPoolTest, ParallelForExplicitGrainCoversAllIndices) {
+  ThreadPool pool(4);
+  for (size_t grain : {size_t{1}, size_t{7}, size_t{100}, size_t{10000}}) {
+    std::vector<std::atomic<int>> hits(1013);
+    ParallelForOptions options;
+    options.grain = grain;
+    ParallelFor(
+        &pool, hits.size(), [&hits](size_t i) { hits[i].fetch_add(1); },
+        options);
+    for (size_t i = 0; i < hits.size(); ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "grain " << grain << " index " << i;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForThrowAbandonsOwnChunkOnly) {
+  // Chunked exception semantics: index 0 throws, killing the remainder of
+  // its chunk; every index in every OTHER chunk still runs.
+  ThreadPool pool(2);
+  constexpr size_t kN = 40;
+  constexpr size_t kGrain = 10;
+  std::vector<std::atomic<int>> hits(kN);
+  ParallelForOptions options;
+  options.grain = kGrain;
+  try {
+    ParallelFor(
+        &pool, kN,
+        [&hits](size_t i) {
+          if (i == 0) throw std::runtime_error("chunk boom");
+          hits[i].fetch_add(1);
+        },
+        options);
+    FAIL() << "ParallelFor must rethrow the chunk exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_EQ(std::string(e.what()), "chunk boom");
+  }
+  for (size_t i = 1; i < kGrain; ++i) {
+    EXPECT_EQ(hits[i].load(), 0) << "index " << i
+                                 << " ran after its chunk threw";
+  }
+  for (size_t i = kGrain; i < kN; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i << " in an innocent chunk";
+  }
 }
 
 }  // namespace

@@ -1,0 +1,162 @@
+#include "exec/topology.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "exec/affinity.h"
+
+namespace alex::exec {
+namespace {
+
+namespace fs = std::filesystem;
+
+// --- ParseCpuList ---------------------------------------------------------
+
+TEST(ParseCpuListTest, SingleCpu) {
+  EXPECT_EQ(ParseCpuList("0"), (std::vector<int>{0}));
+  EXPECT_EQ(ParseCpuList("7"), (std::vector<int>{7}));
+}
+
+TEST(ParseCpuListTest, Range) {
+  EXPECT_EQ(ParseCpuList("0-3"), (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(ParseCpuListTest, MixedRangesAndSingles) {
+  EXPECT_EQ(ParseCpuList("0-2,5,8-9"), (std::vector<int>{0, 1, 2, 5, 8, 9}));
+}
+
+TEST(ParseCpuListTest, ToleratesWhitespaceAndNewline) {
+  // Kernel cpulist files end with a newline.
+  EXPECT_EQ(ParseCpuList(" 0-1 ,3\n"), (std::vector<int>{0, 1, 3}));
+}
+
+TEST(ParseCpuListTest, SortsAndDeduplicates) {
+  EXPECT_EQ(ParseCpuList("3,1,1-2"), (std::vector<int>{1, 2, 3}));
+}
+
+TEST(ParseCpuListTest, EmptyAndMalformedInputsYieldParsedPrefix) {
+  EXPECT_TRUE(ParseCpuList("").empty());
+  EXPECT_TRUE(ParseCpuList("\n").empty());
+  EXPECT_TRUE(ParseCpuList("abc").empty());
+  // Valid ids before the malformation survive.
+  EXPECT_EQ(ParseCpuList("0-1,x"), (std::vector<int>{0, 1}));
+  // Inverted ranges contribute nothing.
+  EXPECT_TRUE(ParseCpuList("5-2").empty());
+}
+
+// --- ProbeAt over a fabricated sysfs tree ---------------------------------
+
+class FakeSysfs {
+ public:
+  FakeSysfs() {
+    root_ = fs::temp_directory_path() /
+            ("alex_topo_test_" + std::to_string(::getpid()));
+    fs::create_directories(root_ / "devices/system/node");
+  }
+  ~FakeSysfs() {
+    std::error_code ec;
+    fs::remove_all(root_, ec);
+  }
+
+  void AddNode(int node, const std::string& cpulist) {
+    const fs::path dir =
+        root_ / "devices/system/node" / ("node" + std::to_string(node));
+    fs::create_directories(dir);
+    std::ofstream(dir / "cpulist") << cpulist << "\n";
+  }
+
+  std::string root() const { return root_.string(); }
+
+ private:
+  fs::path root_;
+};
+
+TEST(CpuTopologyTest, ProbeAtReadsFabricatedNodes) {
+  FakeSysfs sysfs;
+  // Two nodes; the process's allowed CPUs (from the real affinity mask)
+  // intersect whatever this runner has, so map every plausible id: node 0
+  // gets the even half of 0-255, node 1 the odd half.
+  std::string evens, odds;
+  for (int c = 0; c < 256; c += 2) {
+    evens += (evens.empty() ? "" : ",") + std::to_string(c);
+    odds += (odds.empty() ? "" : ",") + std::to_string(c + 1);
+  }
+  sysfs.AddNode(0, evens);
+  sysfs.AddNode(1, odds);
+  const CpuTopology topo = CpuTopology::ProbeAt(sysfs.root());
+  ASSERT_GE(topo.num_cpus(), 1u);
+  for (const CpuInfo& info : topo.cpus()) {
+    EXPECT_EQ(info.node, info.cpu % 2 == 0 ? 0 : 1)
+        << "cpu " << info.cpu << " mapped to wrong node";
+  }
+}
+
+TEST(CpuTopologyTest, ProbeAtMissingSysfsFallsBackToSingleNode) {
+  const CpuTopology topo = CpuTopology::ProbeAt("/nonexistent/sysfs/root");
+  EXPECT_GE(topo.num_cpus(), 1u);
+  EXPECT_EQ(topo.num_nodes(), 1u);
+  for (const CpuInfo& info : topo.cpus()) EXPECT_EQ(info.node, 0);
+}
+
+TEST(CpuTopologyTest, ProbeNeverReturnsEmpty) {
+  const CpuTopology topo = CpuTopology::Probe();
+  EXPECT_GE(topo.num_cpus(), 1u);
+  EXPECT_GE(topo.num_nodes(), 1u);
+  EXPECT_GE(topo.RecommendedWorkers(), 1u);
+}
+
+TEST(CpuTopologyTest, DetectIsCachedAndStable) {
+  const CpuTopology& a = CpuTopology::Detect();
+  const CpuTopology& b = CpuTopology::Detect();
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(CpuTopologyTest, NodeQueriesOnForTestingTopology) {
+  const CpuTopology topo = CpuTopology::ForTesting(
+      {{0, 0}, {1, 0}, {2, 1}, {3, 1}}, /*affinity_supported=*/true);
+  EXPECT_EQ(topo.num_cpus(), 4u);
+  EXPECT_EQ(topo.num_nodes(), 2u);
+  EXPECT_EQ(topo.NodeOfCpu(1), 0);
+  EXPECT_EQ(topo.NodeOfCpu(3), 1);
+  EXPECT_EQ(topo.NodeOfCpu(99), 0);  // Unknown id: safe default.
+  EXPECT_EQ(topo.CpusOnNode(0), (std::vector<int>{0, 1}));
+  EXPECT_EQ(topo.CpusOnNode(1), (std::vector<int>{2, 3}));
+  EXPECT_TRUE(topo.CpusOnNode(7).empty());
+  EXPECT_EQ(topo.RecommendedWorkers(), 4u);
+}
+
+// --- Pinning degradation --------------------------------------------------
+
+TEST(AffinityTest, PinToBogusCpuFailsWithoutSideEffects) {
+  // An out-of-range id must return false, not crash or abort; the calling
+  // thread keeps running (on restricted runners every pin attempt looks
+  // like this).
+  EXPECT_FALSE(PinCurrentThreadToCpu(1 << 20));
+  EXPECT_FALSE(PinCurrentThreadToCpu(-1));
+  SUCCEED() << "thread still alive after failed pin";
+}
+
+TEST(AffinityTest, PinToAllowedCpuMatchesProbe) {
+  const CpuTopology topo = CpuTopology::Probe();
+  if (!topo.affinity_supported()) {
+    GTEST_SKIP() << "affinity syscalls unavailable in this environment";
+  }
+  // Pinning to a CPU the mask allows must succeed.
+  EXPECT_TRUE(PinCurrentThreadToCpu(topo.cpus().front().cpu));
+}
+
+TEST(AffinityTest, ThreadNamingAndCurrentCpuAreBestEffort) {
+  SetCurrentThreadName("alex-topo-test-name-longer-than-15");  // Truncated.
+  const int cpu = CurrentCpu();
+  EXPECT_GE(cpu, -1);  // -1 = unknown is acceptable; a crash is not.
+}
+
+}  // namespace
+}  // namespace alex::exec
