@@ -1,0 +1,218 @@
+// Linker × policy quality matrix: every seed linker crossed with every
+// policy on one scenario, same feedback budget, so the four quality curves
+// are directly comparable. The PARIS + epsilon-greedy cell is the paper's
+// setup and doubles as the regression anchor: with the default scenario its
+// curve must match the pre-refactor concrete path bit for bit (the
+// interface_equivalence test pins the same digests).
+//
+// Each cell also exercises the durable-checkpoint path end to end: the run
+// is repeated with a mid-run kill and resumed from its newest snapshot, and
+// the resumed series must equal the uninterrupted one episode for episode —
+// per combination, since policy and linker state both live in the blob.
+//
+// Usage:
+//   bench_quality_matrix [scenario] [episode_size] [max_episodes]
+//                        [relation_density]
+//
+// Output: the side-by-side F/P/R figures on stdout, a machine-readable
+// bench_quality_matrix.json with the full per-cell curves, and the standard
+// telemetry sidecar.
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "datagen/scenarios.h"
+#include "paris/seed_linkers.h"
+#include "rl/adaptive_policy.h"
+#include "simulation/simulation.h"
+
+namespace {
+
+using namespace alex;
+
+struct Cell {
+  std::string linker;
+  std::string policy;
+  simulation::RunResult result;
+  bool checkpoint_roundtrip = false;
+};
+
+/// True when the two series agree on every metric field, episode for
+/// episode (wall time excluded).
+bool SameSeries(const std::vector<simulation::EpisodeRecord>& a,
+                const std::vector<simulation::EpisodeRecord>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].episode != b[i].episode ||
+        a[i].metrics.precision != b[i].metrics.precision ||
+        a[i].metrics.recall != b[i].metrics.recall ||
+        a[i].metrics.f_measure != b[i].metrics.f_measure ||
+        a[i].metrics.correct != b[i].metrics.correct ||
+        a[i].metrics.candidates != b[i].metrics.candidates) {
+      return false;
+    }
+  }
+  return true;
+}
+
+simulation::SimulationConfig CellConfig(const datagen::ScenarioConfig& scenario,
+                                        size_t episode_size,
+                                        size_t max_episodes,
+                                        const std::string& linker,
+                                        const std::string& policy) {
+  simulation::SimulationConfig config;
+  config.scenario = scenario;
+  config.alex.episode_size = episode_size;
+  config.alex.max_episodes = max_episodes;
+  config.linker = linker;
+  config.alex.policy = policy;
+  return config;
+}
+
+/// Kill-and-resume round trip for one cell; true iff the resumed series is
+/// indistinguishable from the uninterrupted reference.
+bool CheckpointRoundTrip(const simulation::SimulationConfig& base,
+                         const simulation::RunResult& reference,
+                         const std::string& tag) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() / ("alex_quality_matrix_" + tag);
+  fs::remove_all(dir);
+
+  simulation::SimulationConfig trunc = base;
+  trunc.alex.max_episodes = base.alex.max_episodes / 2;
+  trunc.checkpoint_every_k_episodes = 2;
+  trunc.checkpoint_keep = 1;
+  trunc.checkpoint_dir = dir.string();
+  const simulation::RunResult truncated = simulation::Simulation(trunc).Run();
+  if (!truncated.resume_error.ok()) return false;
+
+  simulation::SimulationConfig res = base;
+  res.resume_from = dir.string();
+  const simulation::RunResult resumed = simulation::Simulation(res).Run();
+  fs::remove_all(dir);
+  if (!resumed.resume_error.ok() || resumed.resumed_from_episode == 0) {
+    std::fprintf(stderr, "[%s] resume failed: %s\n", tag.c_str(),
+                 resumed.resume_error.ToString().c_str());
+    return false;
+  }
+  return SameSeries(reference.episodes, resumed.episodes);
+}
+
+void WriteMatrixJson(const std::string& path, const std::string& scenario,
+                     const std::vector<Cell>& cells) {
+  std::ofstream out(path);
+  out << "{\n  \"scenario\": \"" << EscapeJson(scenario) << "\",\n"
+      << "  \"cells\": [";
+  for (size_t c = 0; c < cells.size(); ++c) {
+    const Cell& cell = cells[c];
+    out << (c == 0 ? "\n" : ",\n");
+    out << "    {\"linker\": \"" << EscapeJson(cell.linker) << "\", "
+        << "\"policy\": \"" << EscapeJson(cell.policy) << "\",\n"
+        << "     \"initial_links\": " << cell.result.initial_links << ", "
+        << "\"new_links_discovered\": " << cell.result.new_links_discovered
+        << ", \"converged_episode\": " << cell.result.converged_episode
+        << ",\n     \"checkpoint_roundtrip\": "
+        << (cell.checkpoint_roundtrip ? "true" : "false")
+        << ",\n     \"episodes\": [";
+    for (size_t i = 0; i < cell.result.episodes.size(); ++i) {
+      const auto& r = cell.result.episodes[i];
+      char buf[160];
+      std::snprintf(buf, sizeof(buf),
+                    "{\"episode\": %zu, \"precision\": %.6f, "
+                    "\"recall\": %.6f, \"f\": %.6f}",
+                    r.episode, r.metrics.precision, r.metrics.recall,
+                    r.metrics.f_measure);
+      out << (i == 0 ? "" : ", ") << buf;
+    }
+    out << "]}";
+  }
+  out << "\n  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  alex::InitLoggingFromEnv();
+  alex::bench::TelemetrySidecar telemetry("bench_quality_matrix");
+
+  const std::string scenario_name = argc > 1 ? argv[1] : "dbpedia_swdf";
+  datagen::ScenarioConfig scenario = datagen::ScenarioByName(scenario_name);
+  if (scenario.name.empty()) {
+    std::fprintf(stderr, "unknown scenario '%s'\n", scenario_name.c_str());
+    return 1;
+  }
+  const size_t episode_size =
+      bench::ParseUintArg(argc, argv, 2, 500, "episode size");
+  const size_t max_episodes =
+      bench::ParseUintArg(argc, argv, 3, 20, "episode budget", 2);
+  // Optional relation layer so SiGMa's neighborhood propagation has edges to
+  // walk; 0 keeps the scenario byte-identical to the historical generator
+  // (and the paris/epsilon-greedy cell comparable to the older figures).
+  if (argc > 4) scenario.relation_density = std::strtod(argv[4], nullptr);
+
+  std::printf("Quality matrix: linker x policy on %s (episode_size=%zu, "
+              "max_episodes=%zu, relation_density=%.2f)\n\n",
+              scenario.name.c_str(), episode_size, max_episodes,
+              scenario.relation_density);
+
+  std::vector<Cell> cells;
+  for (const std::string& linker : paris::KnownLinkerTags()) {
+    for (std::string_view policy :
+         {core::kDefaultPolicyTag, rl::kAdaptiveFeaturePolicyTag}) {
+      Cell cell;
+      cell.linker = linker;
+      cell.policy = std::string(policy);
+      const std::string tag = linker + "+" + cell.policy;
+
+      const simulation::SimulationConfig config = CellConfig(
+          scenario, episode_size, max_episodes, cell.linker, cell.policy);
+      cell.result = simulation::Simulation(config).Run();
+      telemetry.AddRun(tag, cell.result);
+
+      Stopwatch roundtrip_watch;
+      cell.checkpoint_roundtrip =
+          CheckpointRoundTrip(config, cell.result, tag);
+      telemetry.AddPhase("roundtrip_" + tag, roundtrip_watch.ElapsedSeconds());
+
+      const auto& final_metrics = cell.result.episodes.empty()
+                                      ? core::LinkSetMetrics{}
+                                      : cell.result.episodes.back().metrics;
+      std::printf("%-24s final: P=%.3f R=%.3f F=%.3f links=%zu->%zu "
+                  "ckpt_roundtrip=%s\n",
+                  tag.c_str(), final_metrics.precision, final_metrics.recall,
+                  final_metrics.f_measure, cell.result.initial_links,
+                  final_metrics.candidates,
+                  cell.checkpoint_roundtrip ? "ok" : "FAIL");
+      telemetry.AddField("final_f_" + tag, final_metrics.f_measure);
+      cells.push_back(std::move(cell));
+    }
+  }
+
+  std::vector<std::string> labels;
+  std::vector<const simulation::RunResult*> runs;
+  for (const Cell& cell : cells) {
+    labels.push_back(cell.linker + "+" + cell.policy);
+    runs.push_back(&cell.result);
+  }
+  bench::PrintComparisonFigure("Quality matrix", "f-measure", labels, runs,
+                               bench::ExtractF);
+  bench::PrintComparisonFigure("Quality matrix", "precision", labels, runs,
+                               bench::ExtractPrecision);
+  bench::PrintComparisonFigure("Quality matrix", "recall", labels, runs,
+                               bench::ExtractRecall);
+
+  WriteMatrixJson("bench_quality_matrix.json", scenario.name, cells);
+  std::printf("\n# per-cell curves -> bench_quality_matrix.json\n");
+
+  // A cell whose round trip diverged is a checkpoint bug; fail the bench so
+  // CI smoke catches it.
+  for (const Cell& cell : cells) {
+    if (!cell.checkpoint_roundtrip) return 3;
+  }
+  return 0;
+}

@@ -13,6 +13,9 @@
 //   --resume <path>           resume from a checkpoint file, directory, or
 //                             MANIFEST (newest retained snapshot)
 //   --max-episodes <n>        episode budget (useful with --resume)
+//   --linker <tag>            seed linker: paris (default) or sigma
+//   --policy <tag>            RL policy: epsilon-greedy (default) or
+//                             adaptive-feature
 //   --telemetry-interval <s>  sample the metrics registry every s seconds
 //                             of run time (0 = off; enables the hub)
 //   --telemetry-out <file>    write the hub's JSON timeline here
@@ -31,6 +34,7 @@
 //       --telemetry-interval 1 --slo phase.explore:0.99:5.0 \
 //       --telemetry-out /tmp/timeline.json --prom-out /tmp/metrics.prom
 
+#include <algorithm>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -40,8 +44,11 @@
 
 #include "common/clock.h"
 #include "common/logging.h"
+#include "core/policy.h"
 #include "datagen/scenarios.h"
 #include "obs/telemetry_hub.h"
+#include "paris/seed_linkers.h"
+#include "rl/adaptive_policy.h"
 #include "simulation/report.h"
 #include "simulation/simulation.h"
 
@@ -108,6 +115,10 @@ int main(int argc, char** argv) {
       config.resume_from = v;
     } else if (const char* v = flag_value("--max-episodes")) {
       config.alex.max_episodes = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = flag_value("--linker")) {
+      config.linker = v;
+    } else if (const char* v = flag_value("--policy")) {
+      config.alex.policy = v;
     } else if (const char* v = flag_value("--telemetry-interval")) {
       telemetry_interval = std::strtod(v, nullptr);
     } else if (const char* v = flag_value("--telemetry-out")) {
@@ -124,6 +135,27 @@ int main(int argc, char** argv) {
     }
   }
   config.checkpoint_every_k_episodes = checkpoint_every;
+
+  // Validate the pluggable tags up front: a typo should stop the run here,
+  // not fall back to the default linker mid-run or fail after generation.
+  rl::RegisterAdaptiveFeaturePolicy();
+  {
+    const std::vector<std::string> linkers = paris::KnownLinkerTags();
+    if (std::find(linkers.begin(), linkers.end(), config.linker) ==
+        linkers.end()) {
+      std::cerr << "unknown linker '" << config.linker << "' (known:";
+      for (const std::string& tag : linkers) std::cerr << " " << tag;
+      std::cerr << ")\n";
+      return 1;
+    }
+    if (!core::PolicyRegistry::Global().Contains(config.alex.policy)) {
+      std::cerr << "unknown policy '" << config.alex.policy << "' (known:";
+      for (const std::string& tag : core::PolicyRegistry::Global().KnownTags())
+        std::cerr << " " << tag;
+      std::cerr << ")\n";
+      return 1;
+    }
+  }
 
   const std::string name = !positional.empty() ? positional[0]
                                                : "dbpedia_nytimes";

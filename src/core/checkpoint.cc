@@ -167,6 +167,15 @@ uint64_t ConfigFingerprint(const AlexConfig& config) {
   // change engine behaviour (the shared and legacy builds are equivalence-
   // tested), and resuming with a larger episode budget is the whole point
   // of --resume.
+  //
+  // The policy tag (and its tunables) is hashed only when non-default:
+  // every checkpoint written before policies became pluggable implicitly
+  // ran "epsilon-greedy", and folding the default in unconditionally would
+  // orphan all of them.
+  if (config.policy != kDefaultPolicyTag) {
+    for (char c : config.policy) HashU64(static_cast<uint8_t>(c), &h);
+    HashDouble(config.adaptive_payoff_weight, &h);
+  }
   return h;
 }
 
@@ -185,7 +194,8 @@ std::string WrapPayload(PayloadKind kind, uint64_t config_fingerprint,
 
 Result<std::string> UnwrapPayload(std::string_view blob,
                                   PayloadKind expected_kind,
-                                  uint64_t expected_fingerprint) {
+                                  uint64_t expected_fingerprint,
+                                  uint32_t* format_version) {
   BinaryReader r(blob);
   std::string_view magic;
   ALEX_RETURN_NOT_OK(r.ReadRaw(kMagic.size(), &magic));
@@ -194,11 +204,13 @@ Result<std::string> UnwrapPayload(std::string_view blob,
   }
   uint32_t version = 0;
   ALEX_RETURN_NOT_OK(r.ReadU32(&version));
-  if (version != kFormatVersion) {
+  if (version < kMinFormatVersion || version > kFormatVersion) {
     return Status::InvalidArgument(
         "checkpoint: unsupported format version " + std::to_string(version) +
-        " (this build reads version " + std::to_string(kFormatVersion) + ")");
+        " (this build reads versions " + std::to_string(kMinFormatVersion) +
+        ".." + std::to_string(kFormatVersion) + ")");
   }
+  if (format_version != nullptr) *format_version = version;
   uint64_t fingerprint = 0;
   ALEX_RETURN_NOT_OK(r.ReadU64(&fingerprint));
   if (fingerprint != expected_fingerprint) {

@@ -17,23 +17,38 @@ namespace alex::core::ckpt {
 ///
 /// Layout (all integers little-endian, see common/binary_io.h):
 ///   magic            "ALEXCKP1" (8 bytes)
-///   u32  format_version        (kFormatVersion)
+///   u32  format_version        (kMinFormatVersion..kFormatVersion)
 ///   u64  config_fingerprint    (ConfigFingerprint of the producing run)
 ///   u8   payload_kind          (PayloadKind)
 ///   u64  payload_size
 ///   u64  payload_checksum      (FNV-1a 64 over the payload bytes)
 ///   payload bytes
 ///
+/// Version history:
+///   1  original layout: engine payloads embed a bare EpsilonGreedyPolicy
+///      snapshot; kSimulation payloads record no linker.
+///   2  polymorphic policy/linker state: engine payloads frame the policy
+///      snapshot with its registry type tag (length-prefixed tag string +
+///      length-prefixed per-type payload), and kSimulation payloads open
+///      with the seed linker's type tag. Readers accept both versions —
+///      version-1 blobs parse on the legacy layout and load iff the
+///      resuming run uses the default policy/linker.
+///
 /// Readers reject, with a Status and without touching any live state:
 ///   - a wrong magic or a blob shorter than the header (ParseError)
-///   - an unknown format version (InvalidArgument)
+///   - an unsupported format version (InvalidArgument)
 ///   - a fingerprint mismatch against the resuming run's config
 ///     (InvalidArgument) — resuming under different engine tunables would
 ///     silently diverge from the uninterrupted run
-///   - a payload whose size or checksum does not match (ParseError).
+///   - a payload whose size or checksum does not match (ParseError)
+///   - a policy/linker section whose type tag is unknown to this build or
+///     differs from the resuming run's configuration (InvalidArgument,
+///     naming the section and the tag — see AlexEngine::LoadState).
 
 inline constexpr std::string_view kMagic = "ALEXCKP1";
-inline constexpr uint32_t kFormatVersion = 1;
+inline constexpr uint32_t kFormatVersion = 2;
+/// Oldest format version this build still reads.
+inline constexpr uint32_t kMinFormatVersion = 1;
 
 /// What a checkpoint blob contains.
 enum class PayloadKind : uint8_t {
@@ -58,10 +73,13 @@ std::string WrapPayload(PayloadKind kind, uint64_t config_fingerprint,
                         std::string_view payload);
 
 /// Validates a framed blob and returns its payload. `expected_fingerprint`
-/// is the resuming run's ConfigFingerprint.
+/// is the resuming run's ConfigFingerprint. When `format_version` is
+/// non-null it receives the blob's container version, which payload readers
+/// need to pick the right parse layout (see AlexEngine::LoadState).
 Result<std::string> UnwrapPayload(std::string_view blob,
                                   PayloadKind expected_kind,
-                                  uint64_t expected_fingerprint);
+                                  uint64_t expected_fingerprint,
+                                  uint32_t* format_version = nullptr);
 
 /// Manages a directory of retained checkpoints.
 ///

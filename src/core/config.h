@@ -4,8 +4,13 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 namespace alex::core {
+
+/// Type tag of the paper's ε-greedy policy — the default `AlexConfig::policy`
+/// and the only tag the core library registers itself.
+inline constexpr std::string_view kDefaultPolicyTag = "epsilon-greedy";
 
 /// All tunables of the ALEX engine, with the paper's default settings
 /// (Section 7.1 "Default Settings" and Section 6).
@@ -142,7 +147,21 @@ struct AlexConfig {
   /// Empty = current working directory.
   std::string storage_disk_dir;
 
-  /// Seed for the ε-greedy policy's random draws.
+  /// Action-selection policy, by registry type tag (core/policy.h).
+  /// "epsilon-greedy" (built-in, the paper's policy) or any tag registered
+  /// by a linked library — e.g. "adaptive-feature" after calling
+  /// rl::RegisterAdaptiveFeaturePolicy(). An unknown tag falls back to the
+  /// default at engine construction with an error log; drivers validate
+  /// tags up front. Hashed into the checkpoint config fingerprint only when
+  /// non-default, so pre-existing checkpoints keep their fingerprints.
+  std::string policy = std::string(kDefaultPolicyTag);
+
+  /// Weight of the per-feature payoff statistic in the adaptive-feature
+  /// policy's action scores (rl/adaptive_policy.h); ignored by
+  /// epsilon-greedy.
+  double adaptive_payoff_weight = 0.25;
+
+  /// Seed for the policy's random draws.
   uint64_t seed = 7;
 };
 

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <tuple>
+#include <utility>
 
+#include "common/logging.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -35,13 +37,26 @@ struct EngineMetrics {
   }
 };
 
+/// Resolves `config.policy` through the registry; an unknown tag degrades
+/// to the default ε-greedy policy with an error log rather than aborting —
+/// drivers (CLI, benches) validate tags up front, so this path only fires
+/// for programmatic misconfiguration.
+std::unique_ptr<Policy> MakePolicy(const AlexConfig& config, uint64_t seed) {
+  auto policy = PolicyRegistry::Global().Create(config.policy, config, seed);
+  if (policy.ok()) return std::move(*policy);
+  ALEX_LOG(kError) << "policy '" << config.policy
+                   << "' unavailable, falling back to '" << kDefaultPolicyTag
+                   << "': " << policy.status();
+  return std::make_unique<EpsilonGreedyPolicy>(config.epsilon, seed);
+}
+
 }  // namespace
 
 AlexEngine::AlexEngine(const LinkSpace* space, const AlexConfig& config,
                        uint64_t seed)
     : space_(space),
       config_(config),
-      policy_(config.epsilon, seed),
+      policy_(MakePolicy(config, seed)),
       rng_(seed ^ 0x5deece66dULL) {
   // Cold-start ordering: before any return is recorded anywhere for a
   // feature, prefer selective features (few pairs carry them) over
@@ -80,7 +95,7 @@ void AlexEngine::ProcessFeedback(const feedback::FeedbackItem& item) {
     auto git = generators_.find(state);
     if (git != generators_.end()) {
       for (const StateAction& generator : git->second) {
-        policy_.RecordReturn(generator, reward);
+        policy_->RecordReturn(generator, reward);
       }
     }
   }
@@ -98,7 +113,7 @@ void AlexEngine::ProcessFeedback(const feedback::FeedbackItem& item) {
     const FeatureSet* actions = space_->FeaturesOf(state);
     if (actions != nullptr) {
       std::optional<FeatureKey> action =
-          policy_.ChooseAction(state, *actions, selectivity_prior_);
+          policy_->ChooseAction(state, *actions, selectivity_prior_);
       if (action.has_value()) Explore(state, *action);
     }
     return;
@@ -235,13 +250,13 @@ void AlexEngine::Rollback(const StateAction& generator) {
 EngineEpisodeStats AlexEngine::EndEpisode() {
   ALEX_TRACE_SPAN("engine", "EndEpisode");
   obs::ScopedTimer timer(EngineMetrics::Get().end_episode_seconds);
-  policy_.Improve(episode_states_);
+  policy_->Improve(episode_states_);
   ++episodes_completed_;
   if (config_.epsilon_decay) {
     // GLIE schedule (config.h): after k completed episodes the policy runs
     // with ε/k. The previous divisor `episodes_completed_ + 1` shifted the
     // whole schedule by one — the very first decay already halved ε.
-    policy_.set_epsilon(config_.epsilon /
+    policy_->set_epsilon(config_.epsilon /
                         static_cast<double>(episodes_completed_));
   }
   EngineEpisodeStats stats = episode_stats_;
@@ -293,7 +308,14 @@ bool StateActionLess(const StateAction& a, const StateAction& b) {
 }  // namespace
 
 void AlexEngine::SaveState(BinaryWriter* w) const {
-  policy_.SaveState(w);
+  // Policy section, format v2: the registry type tag, then the policy's
+  // own snapshot, both length-prefixed — a reader can route the payload to
+  // the right concrete type (or reject it by name) without understanding
+  // its internals.
+  w->WriteBytes(policy_->type_tag());
+  BinaryWriter pw;
+  policy_->SaveState(&pw);
+  w->WriteBytes(pw.buffer());
   for (uint64_t word : rng_.SaveState()) w->WriteU64(word);
   w->WriteU64(episodes_completed_);
 
@@ -362,13 +384,58 @@ void AlexEngine::SaveState(BinaryWriter* w) const {
   w->WriteU64(episode_stats_.rollbacks);
 }
 
-Status AlexEngine::LoadState(BinaryReader* r) {
+Status AlexEngine::LoadState(BinaryReader* r, uint32_t format_version) {
   // Parse the complete snapshot into locals before touching any member, so
   // a corrupt or truncated payload leaves the live engine unmodified. The
   // policy restores itself under the same contract, so it is staged into a
   // scratch instance and moved in only after everything else parsed.
-  EpsilonGreedyPolicy policy(config_.epsilon, 0);
-  ALEX_RETURN_NOT_OK(policy.LoadState(r));
+  std::unique_ptr<Policy> policy;
+  if (format_version >= 2) {
+    // Tagged policy section. The tag must match the configured policy —
+    // restoring, say, an adaptive-feature Q-state into an ε-greedy engine
+    // would silently continue a different learning process.
+    std::string_view tag;
+    ALEX_RETURN_NOT_OK(r->ReadBytesView(&tag));
+    if (tag != config_.policy) {
+      if (!PolicyRegistry::Global().Contains(tag)) {
+        return Status::InvalidArgument(
+            "checkpoint: policy section has unknown type tag '" +
+            std::string(tag) + "' (not registered in this build)");
+      }
+      return Status::InvalidArgument(
+          "checkpoint: policy section has type tag '" + std::string(tag) +
+          "', but this engine is configured with policy '" + config_.policy +
+          "'");
+    }
+    std::string_view payload;
+    ALEX_RETURN_NOT_OK(r->ReadBytesView(&payload));
+    auto staged = PolicyRegistry::Global().Create(tag, config_, 0);
+    if (!staged.ok()) {
+      return Status::InvalidArgument(
+          "checkpoint: policy section has unknown type tag '" +
+          std::string(tag) + "' (not registered in this build)");
+    }
+    policy = std::move(*staged);
+    BinaryReader pr(payload);
+    ALEX_RETURN_NOT_OK(policy->LoadState(&pr));
+    if (!pr.AtEnd()) {
+      return Status::ParseError("checkpoint: policy section of type '" +
+                                std::string(tag) + "' has trailing bytes");
+    }
+  } else {
+    // Version-1 payloads carry a bare EpsilonGreedyPolicy snapshot (no tag,
+    // no length prefix) — every pre-versioning run was ε-greedy. They only
+    // load into an engine still configured that way.
+    if (config_.policy != kDefaultPolicyTag) {
+      return Status::InvalidArgument(
+          "checkpoint: version-1 policy section is implicitly '" +
+          std::string(kDefaultPolicyTag) +
+          "', but this engine is configured with policy '" + config_.policy +
+          "'");
+    }
+    policy = std::make_unique<EpsilonGreedyPolicy>(config_.epsilon, 0);
+    ALEX_RETURN_NOT_OK(policy->LoadState(r));
+  }
   Rng::State rng_state;
   for (uint64_t& word : rng_state) ALEX_RETURN_NOT_OK(r->ReadU64(&word));
   uint64_t episodes_completed = 0;

@@ -1,10 +1,12 @@
 #ifndef ALEX_CORE_ENGINE_H_
 #define ALEX_CORE_ENGINE_H_
 
+#include <memory>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "core/checkpoint.h"
 #include "core/config.h"
 #include "core/link_space.h"
 #include "core/policy.h"
@@ -54,7 +56,9 @@ class AlexEngine {
 
   const std::unordered_set<PairKey>& candidates() const { return candidates_; }
   const LinkSpace& space() const { return *space_; }
-  const EpsilonGreedyPolicy& policy() const { return policy_; }
+  /// The live policy, behind the abstract interface. The concrete type is
+  /// chosen by `config.policy` via the PolicyRegistry at construction.
+  const Policy& policy() const { return *policy_; }
 
   size_t blacklist_size() const { return blacklist_.size(); }
   bool IsBlacklisted(PairKey pair) const { return blacklist_.count(pair) > 0; }
@@ -65,18 +69,26 @@ class AlexEngine {
 
   size_t episodes_completed() const { return episodes_completed_; }
 
-  /// Serializes the engine's full learning state: the policy (Q tables,
-  /// greedy map, ε, RNG stream), episode counters, candidate/blacklist/
-  /// provenance sets, rollback accounting, and the in-episode first-visit
-  /// bookkeeping. The link space is NOT serialized — it is a deterministic
-  /// function of the datasets and is rebuilt on restore.
+  /// Serializes the engine's full learning state: the policy (framed as
+  /// its registry type tag plus a length-prefixed per-type payload),
+  /// episode counters, candidate/blacklist/provenance sets, rollback
+  /// accounting, and the in-episode first-visit bookkeeping. The link
+  /// space is NOT serialized — it is a deterministic function of the
+  /// datasets and is rebuilt on restore.
   void SaveState(BinaryWriter* w) const;
 
   /// Restores an engine saved with SaveState() into this engine (which must
   /// be built over an equivalent link space — enforced by the checkpoint
-  /// header's config fingerprint, not here). All-or-nothing: on a corrupt
-  /// or truncated snapshot the engine is left exactly as it was.
-  Status LoadState(BinaryReader* r);
+  /// header's config fingerprint, not here). `format_version` is the
+  /// checkpoint container version the payload came from: version-1
+  /// payloads carry a bare EpsilonGreedyPolicy snapshot (accepted iff this
+  /// engine runs the default policy), version-2 payloads a tagged one. A
+  /// policy section whose tag is unknown to this build or differs from the
+  /// configured policy fails with an InvalidArgument naming the section
+  /// and the tag. All-or-nothing: on any error the engine is left exactly
+  /// as it was.
+  Status LoadState(BinaryReader* r,
+                   uint32_t format_version = ckpt::kFormatVersion);
 
  private:
   void Explore(PairKey state, FeatureKey action);
@@ -84,8 +96,8 @@ class AlexEngine {
 
   const LinkSpace* space_;
   AlexConfig config_;
-  EpsilonGreedyPolicy policy_;
-  EpsilonGreedyPolicy::ActionPrior selectivity_prior_;
+  std::unique_ptr<Policy> policy_;
+  ActionPrior selectivity_prior_;
   Rng rng_;
 
   std::unordered_set<PairKey> candidates_;

@@ -1,5 +1,7 @@
 #include "core/metrics.h"
 
+#include "obs/metrics.h"
+
 namespace alex::core {
 
 LinkSetMetrics ComputeMetrics(
@@ -11,13 +13,21 @@ LinkSetMetrics ComputeMetrics(
   for (feedback::PairKey key : candidates) {
     if (truth.Contains(key)) ++m.correct;
   }
+  // Zero denominators (empty candidate set, empty ground truth) leave the
+  // affected metric at 0 rather than NaN — but a 0 that means "undefined"
+  // is indistinguishable from a 0 that means "all wrong" in a metric
+  // series, so each occurrence is counted as an explicit event.
   if (m.candidates > 0) {
     m.precision = static_cast<double>(m.correct) /
                   static_cast<double>(m.candidates);
+  } else {
+    obs::MetricsRegistry::Global().counter("metrics.undefined").Add(1);
   }
   if (m.ground_truth > 0) {
     m.recall = static_cast<double>(m.correct) /
                static_cast<double>(m.ground_truth);
+  } else {
+    obs::MetricsRegistry::Global().counter("metrics.undefined").Add(1);
   }
   if (m.precision + m.recall > 0.0) {
     m.f_measure = 2.0 * m.precision * m.recall / (m.precision + m.recall);

@@ -283,7 +283,7 @@ void PartitionedAlex::SaveState(BinaryWriter* w) const {
   }
 }
 
-Status PartitionedAlex::LoadState(BinaryReader* r) {
+Status PartitionedAlex::LoadState(BinaryReader* r, uint32_t format_version) {
   uint64_t num_partitions = 0;
   ALEX_RETURN_NOT_OK(r->ReadU64(&num_partitions));
   if (num_partitions != engines_.size()) {
@@ -310,7 +310,7 @@ Status PartitionedAlex::LoadState(BinaryReader* r) {
     BinaryReader er(payload);
     staged.push_back(
         std::make_unique<AlexEngine>(spaces_[p].get(), config_, 0));
-    ALEX_RETURN_NOT_OK(staged[p]->LoadState(&er));
+    ALEX_RETURN_NOT_OK(staged[p]->LoadState(&er, format_version));
     if (!er.AtEnd()) {
       return Status::ParseError("partition " + std::to_string(p) +
                                 " payload has trailing bytes");

@@ -112,10 +112,13 @@ class PartitionedAlex {
 
   /// Restores a snapshot saved by SaveState() into this instance, which
   /// must have been constructed over the same datasets and config (and had
-  /// Build() run). All-or-nothing across partitions: every engine payload
-  /// is staged into a fresh engine first, and the live engines are only
-  /// swapped out after the entire snapshot parsed cleanly.
-  Status LoadState(BinaryReader* r);
+  /// Build() run). `format_version` is the checkpoint container version,
+  /// forwarded to every partition engine's LoadState (the per-engine policy
+  /// section layout depends on it). All-or-nothing across partitions: every
+  /// engine payload is staged into a fresh engine first, and the live
+  /// engines are only swapped out after the entire snapshot parsed cleanly.
+  Status LoadState(BinaryReader* r,
+                   uint32_t format_version = ckpt::kFormatVersion);
 
  private:
   ThreadPool* pool() const;

@@ -111,8 +111,15 @@ EpsilonGreedyPolicy::GlobalActionValues() const {
   for (const auto& [action, stats] : global_returns_) {
     out.emplace_back(action, stats.q());
   }
-  std::sort(out.begin(), out.end(),
-            [](const auto& a, const auto& b) { return a.second > b.second; });
+  // Equal values tie-break by ascending action key. The previous
+  // value-only std::sort (unstable) left equal-valued features in
+  // unspecified relative order — which, fed from an unordered_map, meant
+  // the ranking two runs reported for the same learned state could differ
+  // across platforms or standard libraries.
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
   return out;
 }
 
@@ -219,6 +226,59 @@ Status EpsilonGreedyPolicy::LoadState(BinaryReader* r) {
   global_returns_ = std::move(global);
   greedy_ = std::move(greedy);
   return Status::OK();
+}
+
+PolicyRegistry::PolicyRegistry() {
+  // The paper's policy ships with the registry itself, so a bare core
+  // library always resolves the default tag.
+  factories_[std::string(kDefaultPolicyTag)] =
+      [](const AlexConfig& config, uint64_t seed) -> std::unique_ptr<Policy> {
+    return std::make_unique<EpsilonGreedyPolicy>(config.epsilon, seed);
+  };
+}
+
+PolicyRegistry& PolicyRegistry::Global() {
+  static PolicyRegistry* registry = new PolicyRegistry();
+  return *registry;
+}
+
+void PolicyRegistry::Register(std::string tag, Factory factory) {
+  std::lock_guard<std::mutex> lock(mu_);
+  factories_[std::move(tag)] = std::move(factory);
+}
+
+bool PolicyRegistry::Contains(std::string_view tag) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return factories_.count(std::string(tag)) > 0;
+}
+
+std::vector<std::string> PolicyRegistry::KnownTags() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> tags;
+  tags.reserve(factories_.size());
+  for (const auto& [tag, factory] : factories_) tags.push_back(tag);
+  std::sort(tags.begin(), tags.end());
+  return tags;
+}
+
+Result<std::unique_ptr<Policy>> PolicyRegistry::Create(
+    std::string_view tag, const AlexConfig& config, uint64_t seed) const {
+  Factory factory;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = factories_.find(std::string(tag));
+    if (it != factories_.end()) factory = it->second;
+  }
+  if (!factory) {
+    std::string known;
+    for (const std::string& t : KnownTags()) {
+      if (!known.empty()) known += ", ";
+      known += t;
+    }
+    return Status::NotFound("no policy registered under tag '" +
+                            std::string(tag) + "' (known: " + known + ")");
+  }
+  return factory(config, seed);
 }
 
 }  // namespace alex::core

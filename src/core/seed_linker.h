@@ -1,0 +1,40 @@
+#ifndef ALEX_CORE_SEED_LINKER_H_
+#define ALEX_CORE_SEED_LINKER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "paris/paris.h"
+
+namespace alex::core {
+
+/// Abstract automatic seed linker: produces the imperfect initial candidate
+/// link set that ALEX's feedback loop repairs (paper Section 7.1 "Initial
+/// Set of Links"). Implementations wrap a concrete matcher (PARIS noisy-OR,
+/// SiGMa greedy propagation, ...) behind one call.
+///
+/// Contract:
+///  - Run() returns scored links sorted by (left, right), deterministic for
+///    a fixed dataset pair and configuration.
+///  - `type_tag()` names the implementation; it is recorded in simulation
+///    checkpoints so a resume under a different linker (and therefore a
+///    different initial candidate set) fails loudly instead of diverging.
+///
+/// Implementations live next to their matchers (see paris/seed_linkers.h
+/// for the factory); this header only pins the interface, which is why it
+/// stays header-only — paris code can implement it without a library cycle.
+class SeedLinker {
+ public:
+  virtual ~SeedLinker() = default;
+
+  /// Stable type tag recorded in checkpoints ("paris", "sigma", ...).
+  virtual std::string_view type_tag() const = 0;
+
+  /// Runs the matcher and returns the scored candidate links, sorted by
+  /// (left, right).
+  virtual std::vector<paris::ScoredLink> Run() = 0;
+};
+
+}  // namespace alex::core
+
+#endif  // ALEX_CORE_SEED_LINKER_H_

@@ -402,6 +402,35 @@ GeneratedPair GenerateScenario(const ScenarioConfig& config) {
                no_change, &rng);
   }
 
+  // --- Optional entity-entity relation layer (see ScenarioConfig). ---
+  // Emitted last, from its own RNG stream, touching only existing subjects:
+  // all attribute/filler draws above are byte-identical whether or not the
+  // knob is set, and no new entities are introduced.
+  if (config.relation_density > 0.0 && config.num_shared > 1) {
+    Rng rel_rng(config.seed ^ 0xa5e1c3d9b7f08642ULL);
+    const size_t num_edges = static_cast<size_t>(
+        config.relation_density * static_cast<double>(config.num_shared));
+    for (size_t e = 0; e < num_edges; ++e) {
+      const size_t a = rel_rng.UniformInt(config.num_shared);
+      size_t b = rel_rng.UniformInt(config.num_shared - 1);
+      if (b >= a) ++b;  // Distinct endpoints, uniform over the off-diagonal.
+      const DomainSpec* da = domains[a % domains.size()];
+      const DomainSpec* db = domains[b % domains.size()];
+      pair.left.AddIriTriple(
+          ResourceIri(config.left_name, da->type_name, a),
+          OntIri(config.left_name, "relatedTo"),
+          ResourceIri(config.left_name, db->type_name, b));
+      // The right KB keeps most of the edge layer, so matched
+      // neighborhoods overlap strongly without being identical.
+      if (rel_rng.Bernoulli(0.9)) {
+        pair.right.AddIriTriple(
+            ResourceIri(config.right_name, da->type_name, a),
+            OntIri(config.right_name, "relatedTo"),
+            ResourceIri(config.right_name, db->type_name, b));
+      }
+    }
+  }
+
   pair.left.BuildEntityIndex();
   pair.right.BuildEntityIndex();
   for (const auto& [left_iri, right_iri] : truth_iris) {

@@ -56,6 +56,15 @@ struct ScenarioConfig {
   /// the entity it impersonates (in addition to the name), giving PARIS
   /// enough (false) evidence to cross its 0.95 threshold.
   size_t decoy_shared_attrs = 2;
+
+  /// Expected "relatedTo" entity-entity edges per shared entity (0 = none,
+  /// the historical default). The edge layer connects shared entities on
+  /// both sides (the right KB keeps ~90% of it), giving graph-propagating
+  /// linkers (SiGMa) a neighborhood signal. Drawn from an RNG stream
+  /// separate from the attribute draws and referencing only entities that
+  /// already exist, so scenarios with the knob at 0 are bit-identical to
+  /// pre-knob output and enabling it shifts no EntityIds.
+  double relation_density = 0.0;
 };
 
 /// A generated KB pair plus its exact ground truth.

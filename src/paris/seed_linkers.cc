@@ -1,0 +1,30 @@
+#include "paris/seed_linkers.h"
+
+#include <sstream>
+#include <utility>
+
+namespace alex::paris {
+
+std::vector<std::string> KnownLinkerTags() {
+  return {std::string(kParisLinkerTag), std::string(kSigmaLinkerTag)};
+}
+
+Result<std::unique_ptr<core::SeedLinker>> MakeSeedLinker(
+    std::string_view tag, const rdf::Dataset* left, const rdf::Dataset* right,
+    const ParisConfig& paris_config, const SigmaConfig& sigma_config) {
+  if (tag == kParisLinkerTag) {
+    return std::unique_ptr<core::SeedLinker>(
+        std::make_unique<ParisSeedLinker>(left, right, paris_config));
+  }
+  if (tag == kSigmaLinkerTag) {
+    return std::unique_ptr<core::SeedLinker>(
+        std::make_unique<SigmaSeedLinker>(left, right, sigma_config));
+  }
+  std::ostringstream msg;
+  msg << "unknown seed linker '" << tag << "' (known:";
+  for (const std::string& known : KnownLinkerTags()) msg << " " << known;
+  msg << ")";
+  return Status::NotFound(msg.str());
+}
+
+}  // namespace alex::paris

@@ -1,0 +1,62 @@
+#ifndef ALEX_PARIS_SEED_LINKERS_H_
+#define ALEX_PARIS_SEED_LINKERS_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "core/seed_linker.h"
+#include "paris/paris.h"
+#include "paris/sigma.h"
+#include "rdf/dataset.h"
+
+namespace alex::paris {
+
+/// Stable type tags of the built-in seed linkers.
+inline constexpr std::string_view kParisLinkerTag = "paris";
+inline constexpr std::string_view kSigmaLinkerTag = "sigma";
+
+/// core::SeedLinker adapter over the PARIS probabilistic linker.
+class ParisSeedLinker final : public core::SeedLinker {
+ public:
+  ParisSeedLinker(const rdf::Dataset* left, const rdf::Dataset* right,
+                  ParisConfig config = {})
+      : linker_(left, right, config) {}
+
+  std::string_view type_tag() const override { return kParisLinkerTag; }
+  std::vector<ScoredLink> Run() override { return linker_.Run(); }
+
+ private:
+  ParisLinker linker_;
+};
+
+/// core::SeedLinker adapter over the SiGMa-style greedy linker.
+class SigmaSeedLinker final : public core::SeedLinker {
+ public:
+  SigmaSeedLinker(const rdf::Dataset* left, const rdf::Dataset* right,
+                  SigmaConfig config = {})
+      : linker_(left, right, config) {}
+
+  std::string_view type_tag() const override { return kSigmaLinkerTag; }
+  std::vector<ScoredLink> Run() override { return linker_.Run(); }
+
+ private:
+  SigmaLinker linker_;
+};
+
+/// Sorted tags of the linkers MakeSeedLinker knows how to build.
+std::vector<std::string> KnownLinkerTags();
+
+/// Constructs the seed linker named by `tag` ("paris" or "sigma") over the
+/// borrowed dataset pair. Unknown tags yield NotFound naming the tag and
+/// the known set — callers validate linker selection up front through this
+/// one function instead of each growing their own switch.
+Result<std::unique_ptr<core::SeedLinker>> MakeSeedLinker(
+    std::string_view tag, const rdf::Dataset* left, const rdf::Dataset* right,
+    const ParisConfig& paris_config = {}, const SigmaConfig& sigma_config = {});
+
+}  // namespace alex::paris
+
+#endif  // ALEX_PARIS_SEED_LINKERS_H_

@@ -1,0 +1,217 @@
+#include "paris/sigma.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <queue>
+#include <unordered_map>
+#include <utility>
+
+#include "core/blocking.h"
+#include "obs/trace.h"
+
+namespace alex::paris {
+namespace {
+
+uint64_t PackPair(rdf::EntityId l, rdf::EntityId r) {
+  return (static_cast<uint64_t>(l) << 32) | r;
+}
+
+/// Intersection size of two sorted, deduplicated key vectors.
+size_t IntersectCount(const std::vector<core::BlockKey>& a,
+                      const std::vector<core::BlockKey>& b) {
+  size_t i = 0, j = 0, n = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      ++n;
+      ++i;
+      ++j;
+    }
+  }
+  return n;
+}
+
+double Jaccard(const std::vector<core::BlockKey>& a,
+               const std::vector<core::BlockKey>& b) {
+  size_t inter = IntersectCount(a, b);
+  size_t uni = a.size() + b.size() - inter;
+  return uni == 0 ? 0.0 : static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+/// Entity neighborhood graph induced by IRI-object attributes whose object
+/// resolves to an entity of the same dataset (class IRIs and other
+/// non-subject objects drop out naturally). Edges are symmetric; each
+/// adjacency list is sorted and deduplicated.
+std::vector<std::vector<rdf::EntityId>> BuildNeighbors(
+    const rdf::Dataset& ds) {
+  std::vector<std::vector<rdf::EntityId>> nbrs(ds.num_entities());
+  for (rdf::EntityId e = 0; e < ds.num_entities(); ++e) {
+    for (const rdf::Attribute& attr : ds.attributes(e)) {
+      if (!ds.dict().term(attr.object).is_iri()) continue;
+      auto other = ds.FindEntity(attr.object);
+      if (!other.has_value() || *other == e) continue;
+      nbrs[e].push_back(*other);
+      nbrs[*other].push_back(e);
+    }
+  }
+  for (auto& list : nbrs) {
+    std::sort(list.begin(), list.end());
+    list.erase(std::unique(list.begin(), list.end()), list.end());
+  }
+  return nbrs;
+}
+
+/// Current scoring state of one candidate pair.
+struct PairState {
+  double base = 0.0;     // string evidence (blocking-key Jaccard), fixed
+  double current = 0.0;  // base + propagation bonus, only ever increases
+  uint32_t support = 0;  // accepted matches among this pair's neighbors
+};
+
+struct QueueEntry {
+  double score;
+  rdf::EntityId left;
+  rdf::EntityId right;
+};
+
+/// Max-heap order: highest score first; ties prefer the smallest
+/// (left, right) so the greedy commit order is deterministic.
+struct QueueLess {
+  bool operator()(const QueueEntry& a, const QueueEntry& b) const {
+    if (a.score != b.score) return a.score < b.score;
+    if (a.left != b.left) return a.left > b.left;
+    return a.right > b.right;
+  }
+};
+
+}  // namespace
+
+SigmaLinker::SigmaLinker(const rdf::Dataset* left, const rdf::Dataset* right,
+                         SigmaConfig config)
+    : left_(left), right_(right), config_(config) {}
+
+std::vector<ScoredLink> SigmaLinker::Run() {
+  ALEX_TRACE_SPAN("linker", "sigma.run");
+  size_t num_left = left_->num_entities();
+  size_t num_right = right_->num_entities();
+  if (num_left == 0 || num_right == 0) return {};
+
+  core::BlockingIndex right_index(*right_);
+  core::TermKeyCache left_keys(*left_);
+
+  std::vector<std::vector<core::BlockKey>> left_sets(num_left);
+  for (rdf::EntityId e = 0; e < num_left; ++e) {
+    left_keys.EntityKeys(e, &left_sets[e]);
+  }
+  std::vector<std::vector<core::BlockKey>> right_sets(num_right);
+  for (rdf::EntityId e = 0; e < num_right; ++e) {
+    right_index.term_keys().EntityKeys(e, &right_sets[e]);
+  }
+
+  std::vector<std::vector<rdf::EntityId>> left_nbrs = BuildNeighbors(*left_);
+  std::vector<std::vector<rdf::EntityId>> right_nbrs = BuildNeighbors(*right_);
+
+  std::unordered_map<uint64_t, PairState> pairs;
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, QueueLess> queue;
+
+  // Seed phase: blocking proposes right candidates per left entity; the
+  // best string-evidence pairs enter the queue.
+  std::vector<uint32_t> shared(num_right, 0);
+  std::vector<rdf::EntityId> touched;
+  std::vector<std::pair<double, rdf::EntityId>> scored;  // (base, right)
+  for (rdf::EntityId l = 0; l < num_left; ++l) {
+    touched.clear();
+    for (core::BlockKey key : left_sets[l]) {
+      const std::vector<rdf::EntityId>* block = right_index.block(key);
+      if (block == nullptr || block->size() > config_.max_block_entities) {
+        continue;
+      }
+      for (rdf::EntityId r : *block) {
+        if (shared[r]++ == 0) touched.push_back(r);
+      }
+    }
+    scored.clear();
+    for (rdf::EntityId r : touched) {
+      size_t inter = shared[r];
+      shared[r] = 0;
+      size_t uni = left_sets[l].size() + right_sets[r].size() - inter;
+      double base =
+          uni == 0 ? 0.0 : static_cast<double>(inter) / static_cast<double>(uni);
+      if (base >= config_.seed_threshold) scored.emplace_back(base, r);
+    }
+    std::sort(scored.begin(), scored.end(), [](const auto& a, const auto& b) {
+      if (a.first != b.first) return a.first > b.first;
+      return a.second < b.second;
+    });
+    if (scored.size() > config_.max_candidates_per_entity) {
+      scored.resize(config_.max_candidates_per_entity);
+    }
+    for (const auto& [base, r] : scored) {
+      pairs.emplace(PackPair(l, r), PairState{base, base, 0});
+      queue.push(QueueEntry{base, l, r});
+    }
+  }
+
+  // Greedy phase: commit the best pair, propagate its score to neighbor
+  // pairs, repeat. Lazy deletion — an entry counts only if it carries the
+  // pair's current score (scores only increase, so the heap max bounds the
+  // best live pair and the loop can stop at accept_threshold).
+  constexpr rdf::EntityId kUnmatched = rdf::kInvalidEntityId;
+  std::vector<rdf::EntityId> matched_left(num_left, kUnmatched);
+  std::vector<rdf::EntityId> matched_right(num_right, kUnmatched);
+  std::vector<ScoredLink> links;
+  while (!queue.empty()) {
+    QueueEntry top = queue.top();
+    queue.pop();
+    if (top.score < config_.accept_threshold) break;
+    if (matched_left[top.left] != kUnmatched ||
+        matched_right[top.right] != kUnmatched) {
+      continue;
+    }
+    PairState& state = pairs[PackPair(top.left, top.right)];
+    if (top.score != state.current) continue;  // stale entry
+
+    matched_left[top.left] = top.right;
+    matched_right[top.right] = top.left;
+    links.push_back(ScoredLink{top.left, top.right, state.current});
+
+    if (config_.propagation_weight <= 0.0) continue;
+    for (rdf::EntityId ln : left_nbrs[top.left]) {
+      if (matched_left[ln] != kUnmatched) continue;
+      for (rdf::EntityId rn : right_nbrs[top.right]) {
+        if (matched_right[rn] != kUnmatched) continue;
+        uint64_t pk = PackPair(ln, rn);
+        auto [it, inserted] = pairs.try_emplace(pk);
+        PairState& ps = it->second;
+        if (inserted) {
+          // Propagation-born candidate: blocking never proposed it, so its
+          // string evidence is computed here on first sight.
+          ps.base = Jaccard(left_sets[ln], right_sets[rn]);
+          ps.current = ps.base;
+        }
+        ps.support++;
+        size_t denom = std::max<size_t>(
+            1, std::max(left_nbrs[ln].size(), right_nbrs[rn].size()));
+        double frac = std::min(
+            1.0, static_cast<double>(ps.support) / static_cast<double>(denom));
+        double combined = ps.base + config_.propagation_weight * frac;
+        if (combined > ps.current) {
+          ps.current = combined;
+          queue.push(QueueEntry{combined, ln, rn});
+        }
+      }
+    }
+  }
+
+  std::sort(links.begin(), links.end(),
+            [](const ScoredLink& a, const ScoredLink& b) {
+              if (a.left != b.left) return a.left < b.left;
+              return a.right < b.right;
+            });
+  return links;
+}
+
+}  // namespace alex::paris

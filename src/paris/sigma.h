@@ -1,0 +1,75 @@
+#ifndef ALEX_PARIS_SIGMA_H_
+#define ALEX_PARIS_SIGMA_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "rdf/dataset.h"
+#include "paris/paris.h"
+
+namespace alex::paris {
+
+/// Configuration for the SiGMa-style greedy linker.
+struct SigmaConfig {
+  /// Minimum string-evidence (blocking-key Jaccard) score for a pair to
+  /// enter the seed queue on its own. Pairs below this can still surface
+  /// later through neighborhood propagation.
+  double seed_threshold = 0.15;
+  /// Minimum combined (string + propagation) score for a pair to be
+  /// accepted as a match. The greedy loop stops once the best remaining
+  /// pair falls below this.
+  double accept_threshold = 0.25;
+  /// Weight of the matched-neighbor fraction in the combined score
+  /// (SiGMa's graph term). 0 disables propagation entirely.
+  double propagation_weight = 0.4;
+  /// Blocking guard: blocks with more right entities than this are treated
+  /// as stop-values and propose no seed candidates.
+  size_t max_block_entities = 64;
+  /// Per left entity, only the best this-many seed candidates (by string
+  /// score) enter the queue.
+  size_t max_candidates_per_entity = 32;
+};
+
+/// SiGMa-style greedy instance matcher (Lacoste-Julien et al., KDD 2013),
+/// reimplemented as an alternative seed linker for ALEX's feedback loop.
+///
+/// Where PARIS computes soft equivalence probabilities over a fixpoint,
+/// SiGMa commits greedily: it keeps a priority queue of candidate pairs
+/// scored by string evidence plus a graph term, repeatedly pops the best
+/// pair, fixes it as a (1-to-1) match, and propagates — every accepted
+/// match raises the score of its neighbors' candidate pairs (entities
+/// related to matched entities are themselves likely matches) and can
+/// introduce brand-new candidates the blocking step never proposed.
+///
+/// Scores:
+///  - string evidence: Jaccard similarity of the two entities' blocking-key
+///    sets (full normalized values, word tokens, and token prefixes — the
+///    same keys core::BlockingIndex blocks on, reused here as a cheap
+///    set-of-words representation);
+///  - combined: string + propagation_weight * fraction of this pair's
+///    neighbor pairs already matched to each other (capped at 1), over the
+///    entity neighborhood graph induced by IRI-object attributes that
+///    resolve to entities of the same dataset.
+///
+/// The queue uses lazy deletion: scores only ever increase, so an entry is
+/// acted on only if it still carries the pair's current score. Ties break
+/// on (left, right) ascending; the result is fully deterministic.
+class SigmaLinker {
+ public:
+  /// Datasets are borrowed and must outlive the linker.
+  SigmaLinker(const rdf::Dataset* left, const rdf::Dataset* right,
+              SigmaConfig config = {});
+
+  /// Runs greedy matching and returns the accepted links with their final
+  /// combined scores, sorted by (left, right).
+  std::vector<ScoredLink> Run();
+
+ private:
+  const rdf::Dataset* left_;
+  const rdf::Dataset* right_;
+  SigmaConfig config_;
+};
+
+}  // namespace alex::paris
+
+#endif  // ALEX_PARIS_SIGMA_H_

@@ -297,10 +297,11 @@ std::string LinkService::SerializeState() const {
 }
 
 Status LinkService::RestoreState(std::string_view blob) {
+  uint32_t format_version = core::ckpt::kFormatVersion;
   ALEX_ASSIGN_OR_RETURN(
       std::string payload,
       core::ckpt::UnwrapPayload(blob, core::ckpt::PayloadKind::kService,
-                                fingerprint_));
+                                fingerprint_, &format_version));
   BinaryReader r(payload);
   uint64_t episodes = 0, feedback = 0, added = 0, removed = 0;
   ALEX_RETURN_NOT_OK(r.ReadU64(&episodes));
@@ -318,7 +319,7 @@ Status LinkService::RestoreState(std::string_view blob) {
   BinaryReader links_r(links_bytes);
   ALEX_RETURN_NOT_OK(loaded_links.LoadState(&links_r));
   BinaryReader alex_r(alex_bytes);
-  ALEX_RETURN_NOT_OK(alex_->LoadState(&alex_r));
+  ALEX_RETURN_NOT_OK(alex_->LoadState(&alex_r, format_version));
 
   links_.Reset(std::move(loaded_links));
   committed_episodes_.store(static_cast<size_t>(episodes),

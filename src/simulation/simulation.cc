@@ -9,6 +9,8 @@
 #include "feedback/oracle.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "paris/seed_linkers.h"
+#include "rl/adaptive_policy.h"
 
 namespace alex::simulation {
 namespace {
@@ -65,16 +67,21 @@ void ApplyStorageBackend(const core::AlexConfig& config, rdf::Dataset* ds) {
   }
 }
 
-/// Simulation checkpoint payload (kind kSimulation): the boundary episode,
-/// the oracle's RNG stream, the per-episode series so far, and the embedded
-/// PartitionedAlex snapshot. Everything else a resumed run needs (datasets,
-/// link spaces, PARIS links) is deterministically regenerated.
-std::string SerializeSimulationState(size_t boundary_episode,
+/// Simulation checkpoint payload (kind kSimulation): the seed-linker tag
+/// (format v2+), the boundary episode, the oracle's RNG stream, the
+/// per-episode series so far, and the embedded PartitionedAlex snapshot.
+/// Everything else a resumed run needs (datasets, link spaces, seed links)
+/// is deterministically regenerated — which is exactly why the linker tag
+/// is persisted: the regenerated initial candidate set must come from the
+/// same linker, or the resumed run silently diverges.
+std::string SerializeSimulationState(std::string_view linker_tag,
+                                     size_t boundary_episode,
                                      const feedback::Oracle& oracle,
                                      uint64_t oracle_seed,
                                      const RunResult& result,
                                      const PartitionedAlex& alex) {
   BinaryWriter w;
+  w.WriteBytes(linker_tag);
   w.WriteU64(boundary_episode);
   for (uint64_t word : oracle.SaveRngState()) w.WriteU64(word);
   w.WriteDouble(oracle.error_rate());
@@ -103,13 +110,34 @@ std::string SerializeSimulationState(size_t boundary_episode,
   return w.Release();
 }
 
-/// Restores a kSimulation payload. Fills `*boundary_episode`, the oracle
-/// RNG, `result->episodes`/`relaxed_episode`, and the engines in `*alex`.
-Status RestoreSimulationState(std::string_view payload, const
-                              SimulationConfig& config, size_t* boundary_episode,
+/// Restores a kSimulation payload written at container `format_version`.
+/// Fills `*boundary_episode`, the oracle RNG, `result->episodes` /
+/// `relaxed_episode`, and the engines in `*alex`. `linker_tag` is the tag
+/// of the linker this run actually used: version-2 payloads carry the
+/// checkpointing run's tag and the two must agree; version-1 payloads
+/// predate pluggable linkers and are implicitly "paris".
+Status RestoreSimulationState(std::string_view payload, uint32_t format_version,
+                              std::string_view linker_tag,
+                              const SimulationConfig& config,
+                              size_t* boundary_episode,
                               feedback::Oracle* oracle, RunResult* result,
                               PartitionedAlex* alex) {
   BinaryReader r(payload);
+  if (format_version >= 2) {
+    std::string_view saved_tag;
+    ALEX_RETURN_NOT_OK(r.ReadBytesView(&saved_tag));
+    if (saved_tag != linker_tag) {
+      return Status::InvalidArgument(
+          "checkpoint: linker section has type tag '" +
+          std::string(saved_tag) + "', but this run uses linker '" +
+          std::string(linker_tag) + "'");
+    }
+  } else if (linker_tag != paris::kParisLinkerTag) {
+    return Status::InvalidArgument(
+        "checkpoint: version-1 linker is implicitly 'paris', but this run "
+        "uses linker '" +
+        std::string(linker_tag) + "'");
+  }
   uint64_t boundary = 0;
   ALEX_RETURN_NOT_OK(r.ReadU64(&boundary));
   Rng::State oracle_rng;
@@ -171,7 +199,7 @@ Status RestoreSimulationState(std::string_view payload, const
     return Status::ParseError("checkpoint has trailing bytes");
   }
   BinaryReader ar(alex_payload);
-  ALEX_RETURN_NOT_OK(alex->LoadState(&ar));
+  ALEX_RETURN_NOT_OK(alex->LoadState(&ar, format_version));
 
   // Engines restored; commit the driver-level pieces.
   oracle->RestoreRngState(oracle_rng);
@@ -183,7 +211,11 @@ Status RestoreSimulationState(std::string_view payload, const
 
 }  // namespace
 
-Simulation::Simulation(SimulationConfig config) : config_(std::move(config)) {}
+Simulation::Simulation(SimulationConfig config) : config_(std::move(config)) {
+  // The simulation layer links every built-in policy, so make them all
+  // selectable by tag before any engine is constructed.
+  rl::RegisterAdaptiveFeaturePolicy();
+}
 
 feedback::GroundTruth Simulation::PartitionTruth(
     const feedback::GroundTruth& truth, const core::PartitionedAlex& alex,
@@ -222,13 +254,29 @@ RunResult Simulation::Run() {
     ApplyStorageBackend(config_.alex, &data_.right);
   }
 
-  // 2. Initial candidate links from the automatic linker (PARIS).
+  // 2. Initial candidate links from the configured seed linker. The phase
+  // keeps its historical name "paris" (sidecar schemas key on it) even when
+  // another linker runs. An unknown tag degrades to the default linker with
+  // an error log, mirroring the engine's unknown-policy fallback.
   std::vector<paris::ScoredLink> initial;
+  std::string linker_tag;
   {
-    ALEX_TRACE_SPAN("simulation", "ParisLinker::Run");
     obs::PhaseTimer phase(&telemetry, "paris");
-    paris::ParisLinker linker(&data_.left, &data_.right, config_.paris);
-    initial = linker.Run();
+    auto linker = paris::MakeSeedLinker(config_.linker, &data_.left,
+                                        &data_.right, config_.paris,
+                                        config_.sigma);
+    if (!linker.ok()) {
+      ALEX_LOG(kError) << "linker '" << config_.linker
+                       << "' unavailable, falling back to '"
+                       << paris::kParisLinkerTag
+                       << "': " << linker.status();
+      linker = paris::MakeSeedLinker(paris::kParisLinkerTag, &data_.left,
+                                     &data_.right, config_.paris,
+                                     config_.sigma);
+    }
+    ALEX_TRACE_SPAN("simulation", "SeedLinker::Run");
+    linker_tag = std::string((*linker)->type_tag());
+    initial = (*linker)->Run();
   }
   result.initial_links = initial.size();
 
@@ -289,14 +337,17 @@ RunResult Simulation::Run() {
       if (!blob.ok()) {
         st = blob.status();
       } else {
+        uint32_t format_version = core::ckpt::kFormatVersion;
         auto payload = core::ckpt::UnwrapPayload(
-            *blob, core::ckpt::PayloadKind::kSimulation, fingerprint);
+            *blob, core::ckpt::PayloadKind::kSimulation, fingerprint,
+            &format_version);
         if (!payload.ok()) {
           st = payload.status();
         } else {
           size_t boundary = 0;
-          st = RestoreSimulationState(*payload, config_, &boundary, &oracle,
-                                      &result, &alex);
+          st = RestoreSimulationState(*payload, format_version, linker_tag,
+                                      config_, &boundary, &oracle, &result,
+                                      &alex);
           if (st.ok()) {
             start_episode = boundary + 1;
             result.resumed_from_episode = boundary;
@@ -386,8 +437,8 @@ RunResult Simulation::Run() {
       obs::PhaseTimer ckpt_phase(&telemetry, "checkpoint");
       const std::string blob = core::ckpt::WrapPayload(
           core::ckpt::PayloadKind::kSimulation, fingerprint,
-          SerializeSimulationState(episode, oracle, config_.oracle_seed,
-                                   result, alex));
+          SerializeSimulationState(linker_tag, episode, oracle,
+                                   config_.oracle_seed, result, alex));
       const Status st = ckpt_manager->Write(blob);
       if (!st.ok()) {
         ALEX_LOG(kWarning) << "checkpoint write at episode " << episode

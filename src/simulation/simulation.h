@@ -12,6 +12,7 @@
 #include "obs/telemetry.h"
 #include "obs/telemetry_hub.h"
 #include "paris/paris.h"
+#include "paris/sigma.h"
 
 namespace alex::simulation {
 
@@ -22,6 +23,14 @@ struct SimulationConfig {
   datagen::ScenarioConfig scenario;
   core::AlexConfig alex;
   paris::ParisConfig paris;
+  /// Seed-linker selection: the type tag of the linker that produces the
+  /// initial candidate links ("paris" or "sigma"; see paris/seed_linkers.h).
+  /// An unknown tag falls back to "paris" with an error log. The tag of the
+  /// linker actually used is recorded in simulation checkpoints, and a
+  /// resume under a different linker fails loudly.
+  std::string linker = "paris";
+  /// Settings of the SiGMa-style linker (used when `linker == "sigma"`).
+  paris::SigmaConfig sigma;
   /// Fraction of feedback items whose verdict is flipped (Appendix C).
   double feedback_error_rate = 0.0;
   uint64_t oracle_seed = 99;

@@ -11,6 +11,8 @@
 #include "datagen/scenarios.h"
 #include "federation/link_index.h"
 #include "obs/metrics.h"
+#include "paris/seed_linkers.h"
+#include "rl/adaptive_policy.h"
 #include "simulation/simulation.h"
 
 namespace alex::core::ckpt {
@@ -87,6 +89,19 @@ TEST(CheckpointFormatTest, RejectsCorruptAndMismatchedBlobs) {
   bad[8] = static_cast<char>(kFormatVersion + 1);
   EXPECT_EQ(UnwrapPayload(bad, PayloadKind::kEngine, fp).status().code(),
             StatusCode::kInvalidArgument);
+
+  // Every version back to kMinFormatVersion still unwraps (the payload
+  // checksum does not cover the header, so patching the version byte
+  // yields a well-formed older-format blob), and the version is reported
+  // to the caller for payload-level dispatch.
+  for (uint32_t v = kMinFormatVersion; v <= kFormatVersion; ++v) {
+    bad = blob;
+    bad[8] = static_cast<char>(v);
+    uint32_t reported = 0;
+    auto out = UnwrapPayload(bad, PayloadKind::kEngine, fp, &reported);
+    ASSERT_TRUE(out.ok()) << "version " << v << ": " << out.status();
+    EXPECT_EQ(reported, v);
+  }
 
   // Config fingerprint mismatch.
   EXPECT_EQ(UnwrapPayload(blob, PayloadKind::kEngine, fp + 1).status().code(),
@@ -294,6 +309,155 @@ TEST_F(EngineCheckpointTest, CorruptPayloadLeavesEngineUntouched) {
 }
 
 // ---------------------------------------------------------------------------
+// Polymorphic policy sections (format v2) and their failure modes.
+
+/// Splits a v2 engine payload into its tag, the bare policy payload, and
+/// the remainder (RNG + engine tables). Layout: WriteBytes(tag) +
+/// WriteBytes(policy payload) + remainder.
+struct SplitEnginePayload {
+  std::string tag;
+  std::string policy;
+  std::string remainder;
+};
+
+SplitEnginePayload SplitV2(const std::string& snapshot) {
+  SplitEnginePayload out;
+  BinaryReader r(snapshot);
+  std::string_view view;
+  EXPECT_TRUE(r.ReadBytesView(&view).ok());
+  out.tag = std::string(view);
+  EXPECT_TRUE(r.ReadBytesView(&view).ok());
+  out.policy = std::string(view);
+  EXPECT_TRUE(r.ReadRaw(r.remaining(), &view).ok());
+  out.remainder = std::string(view);
+  return out;
+}
+
+TEST_F(EngineCheckpointTest, SavedPolicySectionCarriesTypeTag) {
+  AlexEngine engine(&space_, config_, 17);
+  engine.InitializeCandidates({PackPair(L(0), R(0))});
+  engine.ProcessFeedback(FeedbackItem{L(0), R(0), true});
+  const SplitEnginePayload split = SplitV2(Bytes(engine));
+  EXPECT_EQ(split.tag, kDefaultPolicyTag);
+  EXPECT_FALSE(split.policy.empty());
+}
+
+TEST_F(EngineCheckpointTest, UnknownPolicyTagFailsWithNamedStatus) {
+  AlexEngine engine(&space_, config_, 17);
+  engine.InitializeCandidates({PackPair(L(0), R(0))});
+  engine.ProcessFeedback(FeedbackItem{L(0), R(0), true});
+  const SplitEnginePayload split = SplitV2(Bytes(engine));
+
+  // Same payload, the tag spliced to one no build registers.
+  BinaryWriter w;
+  w.WriteBytes("martian-policy");
+  w.WriteBytes(split.policy);
+  w.WriteRaw(split.remainder);
+  const std::string spliced = w.Release();
+
+  AlexEngine victim(&space_, config_, 5);
+  victim.InitializeCandidates({PackPair(L(1), R(1))});
+  const std::string before = Bytes(victim);
+  BinaryReader r(spliced);
+  const Status st = victim.LoadState(&r);
+  ASSERT_EQ(st.code(), StatusCode::kInvalidArgument);
+  // The error names the section and the offending tag.
+  EXPECT_NE(st.message().find("policy section"), std::string::npos)
+      << st.message();
+  EXPECT_NE(st.message().find("martian-policy"), std::string::npos)
+      << st.message();
+  EXPECT_EQ(Bytes(victim), before);
+}
+
+TEST_F(EngineCheckpointTest, ForeignPolicyTagFailsWithNamedStatus) {
+  rl::RegisterAdaptiveFeaturePolicy();
+  // Snapshot taken under the default policy, restored into an engine
+  // configured for a different (registered) one: both tags must be named.
+  AlexEngine engine(&space_, config_, 17);
+  engine.InitializeCandidates({PackPair(L(0), R(0))});
+  engine.ProcessFeedback(FeedbackItem{L(0), R(0), true});
+  const std::string snapshot = Bytes(engine);
+
+  AlexConfig other = config_;
+  other.policy = "adaptive-feature";
+  AlexEngine victim(&space_, other, 5);
+  BinaryReader r(snapshot);
+  const Status st = victim.LoadState(&r);
+  ASSERT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(st.message().find("policy section"), std::string::npos)
+      << st.message();
+  EXPECT_NE(st.message().find("epsilon-greedy"), std::string::npos)
+      << st.message();
+  EXPECT_NE(st.message().find("adaptive-feature"), std::string::npos)
+      << st.message();
+}
+
+TEST_F(EngineCheckpointTest, Version1PayloadStillLoads) {
+  AlexEngine engine(&space_, config_, 17);
+  engine.InitializeCandidates({PackPair(L(0), R(0)), PackPair(L(1), R(1))});
+  engine.ProcessFeedback(FeedbackItem{L(0), R(0), true});
+  engine.EndEpisode();
+  const std::string snapshot = Bytes(engine);
+  const SplitEnginePayload split = SplitV2(snapshot);
+
+  // A version-1 payload is the same bytes with the policy inlined bare:
+  // no tag, no length prefix.
+  const std::string v1_bytes = split.policy + split.remainder;
+
+  AlexEngine restored(&space_, config_, 99);
+  BinaryReader r(v1_bytes);
+  ASSERT_TRUE(restored.LoadState(&r, /*format_version=*/1).ok());
+  EXPECT_TRUE(r.AtEnd());
+  // Saving the restored engine (always v2) reproduces the original bytes.
+  EXPECT_EQ(Bytes(restored), snapshot);
+}
+
+TEST_F(EngineCheckpointTest, Version1PayloadRejectedUnderNonDefaultPolicy) {
+  rl::RegisterAdaptiveFeaturePolicy();
+  AlexEngine engine(&space_, config_, 17);
+  engine.InitializeCandidates({PackPair(L(0), R(0))});
+  const SplitEnginePayload split = SplitV2(Bytes(engine));
+  const std::string v1_bytes = split.policy + split.remainder;
+
+  AlexConfig other = config_;
+  other.policy = "adaptive-feature";
+  AlexEngine victim(&space_, other, 5);
+  BinaryReader r(v1_bytes);
+  const Status st = victim.LoadState(&r, /*format_version=*/1);
+  ASSERT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(st.message().find("version-1"), std::string::npos) << st.message();
+  EXPECT_NE(st.message().find("adaptive-feature"), std::string::npos)
+      << st.message();
+}
+
+TEST_F(EngineCheckpointTest, AdaptivePolicyEngineRoundTrips) {
+  rl::RegisterAdaptiveFeaturePolicy();
+  AlexConfig config = config_;
+  config.policy = "adaptive-feature";
+  AlexEngine engine(&space_, config, 17);
+  engine.InitializeCandidates({PackPair(L(0), R(0)), PackPair(L(1), R(1))});
+  engine.ProcessFeedback(FeedbackItem{L(0), R(0), true});
+  engine.ProcessFeedback(FeedbackItem{L(2), R(2), false});
+  engine.EndEpisode();
+  const std::string snapshot = Bytes(engine);
+  EXPECT_EQ(SplitV2(snapshot).tag, "adaptive-feature");
+
+  AlexEngine resumed(&space_, config, 99);
+  BinaryReader r(snapshot);
+  ASSERT_TRUE(resumed.LoadState(&r).ok());
+  EXPECT_TRUE(r.AtEnd());
+  EXPECT_EQ(Bytes(resumed), snapshot);
+  EXPECT_EQ(resumed.candidates(), engine.candidates());
+
+  // Both timelines continue identically after the round trip.
+  for (AlexEngine* e : {&engine, &resumed}) {
+    e->ProcessFeedback(FeedbackItem{L(3), R(3), true});
+    e->EndEpisode();
+  }
+  EXPECT_EQ(Bytes(engine), Bytes(resumed));
+}
+
+// ---------------------------------------------------------------------------
 // LinkIndex snapshot.
 
 TEST(LinkIndexCheckpointTest, RoundTripPreservesIdsOrderAndEpoch) {
@@ -481,6 +645,91 @@ TEST(SimulationCheckpointTest, MismatchedConfigRejectedOnResume) {
       simulation::Simulation(res_config).Run();
   EXPECT_EQ(result.resume_error.code(), StatusCode::kInvalidArgument);
   EXPECT_EQ(result.episodes.size(), 1u);
+}
+
+TEST(SimulationCheckpointTest, ForeignLinkerTagRejectedOnResume) {
+  const std::string dir = ScratchDir("sim_foreign_linker");
+
+  simulation::SimulationConfig config = SmallConfig();
+  config.alex.max_episodes = 4;
+  config.checkpoint_every_k_episodes = 2;
+  config.checkpoint_dir = dir;
+  ASSERT_TRUE(simulation::Simulation(config).Run().resume_error.ok());
+
+  // The checkpoint records linker "paris"; resuming under "sigma" would
+  // silently re-seed the link space from a different matcher, so it must be
+  // refused by name rather than fingerprint (the engine config is equal).
+  simulation::SimulationConfig res_config = SmallConfig();
+  res_config.resume_from = dir;
+  res_config.linker = std::string(paris::kSigmaLinkerTag);
+  const simulation::RunResult result =
+      simulation::Simulation(res_config).Run();
+  EXPECT_EQ(result.resume_error.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.resume_error.message().find("paris"), std::string::npos)
+      << result.resume_error;
+  EXPECT_NE(result.resume_error.message().find("sigma"), std::string::npos)
+      << result.resume_error;
+  EXPECT_EQ(result.resumed_from_episode, 0u);
+  EXPECT_EQ(result.episodes.size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Backward compatibility: a committed format-v1 checkpoint (written before
+// the pluggable linker/policy refactor) must still resume, and the resumed
+// run must match an uninterrupted one episode for episode.
+
+/// The exact configuration the v1 fixture was produced with. Do not change:
+/// the fingerprint inside the fixture binds to these values.
+simulation::SimulationConfig V1FixtureConfig() {
+  simulation::SimulationConfig config;
+  config.scenario = datagen::DbpediaSwdf();
+  config.alex.episode_size = 120;
+  config.alex.max_episodes = 4;
+  config.feedback_error_rate = 0.1;
+  return config;
+}
+
+TEST(SimulationCheckpointTest, FormatV1CheckpointStillResumes) {
+  const std::string fixture =
+      std::string(ALEX_TESTDATA_DIR) + "/sim_v1_dbpedia_swdf.alexckpt";
+  ASSERT_TRUE(fs::exists(fixture)) << fixture;
+
+  // Reference: the same run, uninterrupted, for 6 episodes.
+  simulation::SimulationConfig ref_config = V1FixtureConfig();
+  ref_config.alex.max_episodes = 6;
+  const simulation::RunResult reference =
+      simulation::Simulation(ref_config).Run();
+
+  // Resume from the pre-refactor blob (episode boundary 4) and finish.
+  simulation::SimulationConfig res_config = V1FixtureConfig();
+  res_config.alex.max_episodes = 6;
+  res_config.resume_from = fixture;
+  const simulation::RunResult resumed =
+      simulation::Simulation(res_config).Run();
+  ASSERT_TRUE(resumed.resume_error.ok()) << resumed.resume_error;
+  EXPECT_EQ(resumed.resumed_from_episode, 4u);
+
+  ExpectSameSeries(reference.episodes, resumed.episodes);
+  EXPECT_EQ(reference.converged_episode, resumed.converged_episode);
+  EXPECT_EQ(reference.new_links_discovered, resumed.new_links_discovered);
+}
+
+TEST(SimulationCheckpointTest, FormatV1CheckpointRejectsNonParisLinker) {
+  const std::string fixture =
+      std::string(ALEX_TESTDATA_DIR) + "/sim_v1_dbpedia_swdf.alexckpt";
+  ASSERT_TRUE(fs::exists(fixture)) << fixture;
+
+  // Version-1 blobs have no linker section; the format implies "paris".
+  simulation::SimulationConfig res_config = V1FixtureConfig();
+  res_config.alex.max_episodes = 6;
+  res_config.resume_from = fixture;
+  res_config.linker = std::string(paris::kSigmaLinkerTag);
+  const simulation::RunResult result =
+      simulation::Simulation(res_config).Run();
+  EXPECT_EQ(result.resume_error.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.resume_error.message().find("version-1"), std::string::npos)
+      << result.resume_error;
+  EXPECT_EQ(result.resumed_from_episode, 0u);
 }
 
 }  // namespace

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/metrics.h"
+
 namespace alex::core {
 namespace {
 
@@ -63,6 +65,38 @@ TEST(MetricsTest, EmptyTruth) {
   EXPECT_DOUBLE_EQ(m.precision, 0.0);
   EXPECT_DOUBLE_EQ(m.recall, 0.0);
   EXPECT_DOUBLE_EQ(m.f_measure, 0.0);
+}
+
+TEST(MetricsTest, ZeroDenominatorsCountUndefinedEvents) {
+  // A 0 that means "undefined" is indistinguishable from "all wrong" in a
+  // metric series, so each zero-denominator occurrence must emit a counted
+  // event — one per undefined metric, two when both sets are empty.
+  obs::Counter& undefined =
+      obs::MetricsRegistry::Global().counter("metrics.undefined");
+
+  GroundTruth truth;
+  truth.Add(1, 1);
+  uint64_t before = undefined.Value();
+  ComputeMetrics({}, truth);  // Precision undefined.
+  EXPECT_EQ(undefined.Value(), before + 1);
+
+  GroundTruth empty_truth;
+  std::unordered_set<feedback::PairKey> candidates = {PackPair(1, 1)};
+  before = undefined.Value();
+  ComputeMetrics(candidates, empty_truth);  // Recall undefined.
+  EXPECT_EQ(undefined.Value(), before + 1);
+
+  before = undefined.Value();
+  LinkSetMetrics m = ComputeMetrics({}, empty_truth);  // Both undefined.
+  EXPECT_EQ(undefined.Value(), before + 2);
+  EXPECT_DOUBLE_EQ(m.precision, 0.0);
+  EXPECT_DOUBLE_EQ(m.recall, 0.0);
+  EXPECT_DOUBLE_EQ(m.f_measure, 0.0);
+
+  // Well-defined metrics emit nothing.
+  before = undefined.Value();
+  ComputeMetrics(candidates, truth);
+  EXPECT_EQ(undefined.Value(), before);
 }
 
 TEST(MetricsTest, DirectionMatters) {

@@ -183,6 +183,47 @@ TEST(PolicyTest, SetEpsilonTakesEffect) {
   }
 }
 
+TEST(PolicyTest, GlobalActionValuesBreaksValueTiesByKey) {
+  // Regression: equal-valued features must rank by ascending key. The old
+  // value-only unstable sort fed from an unordered_map left their relative
+  // order to the hash table's iteration history, so two runs (or two
+  // standard libraries) could report different rankings for identical
+  // learned state.
+  EpsilonGreedyPolicy policy(0.1, 17);
+  // Three features with the exact same average return, interleaved with a
+  // better and a worse one; insertion order deliberately scrambled.
+  policy.RecordReturn(StateAction{1, 30}, 0.5);
+  policy.RecordReturn(StateAction{1, 10}, 0.5);
+  policy.RecordReturn(StateAction{2, 99}, 1.0);
+  policy.RecordReturn(StateAction{1, 20}, 0.5);
+  policy.RecordReturn(StateAction{2, 7}, -1.0);
+
+  const auto ranked = policy.GlobalActionValues();
+  ASSERT_EQ(ranked.size(), 5u);
+  EXPECT_EQ(ranked[0].first, 99u);
+  EXPECT_EQ(ranked[1].first, 10u);  // Tied at 0.5: ascending key order.
+  EXPECT_EQ(ranked[2].first, 20u);
+  EXPECT_EQ(ranked[3].first, 30u);
+  EXPECT_EQ(ranked[4].first, 7u);
+}
+
+TEST(PolicyTest, RegistryCreatesDefaultAndRejectsUnknown) {
+  AlexConfig config;
+  config.epsilon = 0.35;
+  auto policy =
+      PolicyRegistry::Global().Create(kDefaultPolicyTag, config, 11);
+  ASSERT_TRUE(policy.ok()) << policy.status();
+  EXPECT_EQ((*policy)->type_tag(), kDefaultPolicyTag);
+  EXPECT_DOUBLE_EQ((*policy)->epsilon(), 0.35);
+
+  auto unknown = PolicyRegistry::Global().Create("softmax", config, 11);
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_EQ(unknown.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(unknown.status().message().find("softmax"), std::string::npos);
+  EXPECT_NE(unknown.status().message().find("epsilon-greedy"),
+            std::string::npos);
+}
+
 TEST(PolicyTest, StateActionHashSpreadsLowBits) {
   // The hash is truncated to size_t by the container; on 32-bit targets
   // only the low word survives. The splitmix-style finalizer must push

@@ -1,0 +1,164 @@
+#include "paris/sigma.h"
+
+#include <algorithm>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "datagen/generator.h"
+#include "datagen/scenarios.h"
+#include "paris/seed_linkers.h"
+#include "rdf/dataset.h"
+
+namespace alex::paris {
+namespace {
+
+/// Two tiny KBs with obvious name evidence. Entities a/b/c on the left
+/// correspond to x/y/z on the right by shared literal values.
+void BuildToyPair(rdf::Dataset* left, rdf::Dataset* right) {
+  const std::string name = "http://ex.org/name";
+  left->AddLiteralTriple("http://l/a", name,
+                         rdf::Term::Literal("alpha centauri"));
+  left->AddLiteralTriple("http://l/b", name, rdf::Term::Literal("beta pictoris"));
+  left->AddLiteralTriple("http://l/c", name, rdf::Term::Literal("gamma draconis"));
+  right->AddLiteralTriple("http://r/x", name,
+                          rdf::Term::Literal("alpha centauri"));
+  right->AddLiteralTriple("http://r/y", name,
+                          rdf::Term::Literal("beta pictoris"));
+  right->AddLiteralTriple("http://r/z", name,
+                          rdf::Term::Literal("gamma draconis"));
+  left->BuildEntityIndex();
+  right->BuildEntityIndex();
+}
+
+TEST(SigmaLinker, MatchesByStringEvidence) {
+  rdf::Dataset left("left"), right("right");
+  BuildToyPair(&left, &right);
+
+  SigmaLinker linker(&left, &right);
+  const std::vector<ScoredLink> links = linker.Run();
+  ASSERT_EQ(links.size(), 3u);
+  for (const ScoredLink& link : links) {
+    // Toy IRIs are interned in order, so entity ids correspond 1:1.
+    EXPECT_EQ(link.left, link.right);
+    EXPECT_GT(link.score, 0.0);
+  }
+  // Output is sorted by (left, right).
+  EXPECT_TRUE(std::is_sorted(links.begin(), links.end(),
+                             [](const ScoredLink& a, const ScoredLink& b) {
+                               return a.left < b.left ||
+                                      (a.left == b.left && a.right < b.right);
+                             }));
+}
+
+TEST(SigmaLinker, GreedyMatchingIsOneToOne) {
+  datagen::ScenarioConfig scenario = datagen::DbpediaSwdf();
+  auto data = datagen::GenerateScenario(scenario);
+  SigmaLinker linker(&data.left, &data.right);
+  const std::vector<ScoredLink> links = linker.Run();
+  ASSERT_FALSE(links.empty());
+
+  std::vector<rdf::EntityId> lefts, rights;
+  for (const ScoredLink& link : links) {
+    lefts.push_back(link.left);
+    rights.push_back(link.right);
+  }
+  std::sort(lefts.begin(), lefts.end());
+  std::sort(rights.begin(), rights.end());
+  EXPECT_EQ(std::adjacent_find(lefts.begin(), lefts.end()), lefts.end());
+  EXPECT_EQ(std::adjacent_find(rights.begin(), rights.end()), rights.end());
+}
+
+TEST(SigmaLinker, DeterministicAcrossRuns) {
+  datagen::ScenarioConfig scenario = datagen::DbpediaSwdf();
+  scenario.relation_density = 1.5;
+  auto data = datagen::GenerateScenario(scenario);
+
+  SigmaLinker a(&data.left, &data.right);
+  SigmaLinker b(&data.left, &data.right);
+  const std::vector<ScoredLink> la = a.Run();
+  const std::vector<ScoredLink> lb = b.Run();
+  ASSERT_EQ(la.size(), lb.size());
+  for (size_t i = 0; i < la.size(); ++i) {
+    EXPECT_EQ(la[i].left, lb[i].left);
+    EXPECT_EQ(la[i].right, lb[i].right);
+    EXPECT_EQ(la[i].score, lb[i].score);
+  }
+}
+
+TEST(SigmaLinker, PropagationRecoversNoisyNeighbors) {
+  // A scenario with heavy value noise and an entity-relation layer: the
+  // graph term must help, not hurt — quality with propagation enabled must
+  // be at least as good as with it disabled on the same pair.
+  datagen::ScenarioConfig scenario = datagen::DbpediaSwdf();
+  scenario.relation_density = 2.0;
+  scenario.value_noise = 0.5;
+  auto data = datagen::GenerateScenario(scenario);
+
+  auto correct = [&](const std::vector<ScoredLink>& links) {
+    size_t n = 0;
+    for (const ScoredLink& link : links) {
+      if (data.truth.Contains(feedback::PackPair(link.left, link.right))) ++n;
+    }
+    return n;
+  };
+
+  SigmaConfig no_prop;
+  no_prop.propagation_weight = 0.0;
+  SigmaLinker flat(&data.left, &data.right, no_prop);
+  const size_t correct_flat = correct(flat.Run());
+
+  SigmaLinker prop(&data.left, &data.right);
+  const size_t correct_prop = correct(prop.Run());
+
+  EXPECT_GE(correct_prop, correct_flat);
+  EXPECT_GT(correct_prop, 0u);
+}
+
+TEST(SigmaLinker, EmptyDatasetsYieldNoLinks) {
+  rdf::Dataset left("left"), right("right");
+  left.BuildEntityIndex();
+  right.BuildEntityIndex();
+  SigmaLinker linker(&left, &right);
+  EXPECT_TRUE(linker.Run().empty());
+}
+
+TEST(SeedLinkerFactory, BuildsKnownTagsAndRejectsUnknown) {
+  rdf::Dataset left("left"), right("right");
+  BuildToyPair(&left, &right);
+
+  auto paris = MakeSeedLinker(kParisLinkerTag, &left, &right);
+  ASSERT_TRUE(paris.ok());
+  EXPECT_EQ((*paris)->type_tag(), kParisLinkerTag);
+
+  auto sigma = MakeSeedLinker(kSigmaLinkerTag, &left, &right);
+  ASSERT_TRUE(sigma.ok());
+  EXPECT_EQ((*sigma)->type_tag(), kSigmaLinkerTag);
+
+  auto unknown = MakeSeedLinker("silk", &left, &right);
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_EQ(unknown.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(unknown.status().message().find("silk"), std::string::npos);
+  EXPECT_NE(unknown.status().message().find("paris"), std::string::npos);
+  EXPECT_NE(unknown.status().message().find("sigma"), std::string::npos);
+}
+
+TEST(SeedLinkerFactory, FactoryOutputMatchesDirectRun) {
+  datagen::ScenarioConfig scenario = datagen::DbpediaSwdf();
+  auto data = datagen::GenerateScenario(scenario);
+
+  SigmaLinker direct(&data.left, &data.right);
+  const std::vector<ScoredLink> expected = direct.Run();
+
+  auto via_factory = MakeSeedLinker(kSigmaLinkerTag, &data.left, &data.right);
+  ASSERT_TRUE(via_factory.ok());
+  const std::vector<ScoredLink> actual = (*via_factory)->Run();
+  ASSERT_EQ(actual.size(), expected.size());
+  for (size_t i = 0; i < actual.size(); ++i) {
+    EXPECT_EQ(actual[i].left, expected[i].left);
+    EXPECT_EQ(actual[i].right, expected[i].right);
+  }
+}
+
+}  // namespace
+}  // namespace alex::paris
